@@ -1,0 +1,62 @@
+//! B2 — Criterion benchmarks of the measurement layer: bootstrap
+//! resampling, the three-way comparators, and the sensitivity of comparator
+//! cost to sample size and bootstrap rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use relperf_measure::bootstrap::{mean_ci, resample};
+use relperf_measure::compare::{BootstrapComparator, BootstrapConfig, MedianComparator};
+use relperf_measure::{Sample, ThreeWayComparator};
+use std::hint::black_box;
+
+fn noisy_sample(center: f64, n: usize, seed: u64) -> Sample {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sample::new(
+        (0..n)
+            .map(|_| center * (1.0 + 0.05 * (rng.random_range(-1.0..1.0))))
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bootstrap");
+    for &n in &[30usize, 100, 500] {
+        let s = noisy_sample(1.0, n, 1);
+        group.bench_with_input(BenchmarkId::new("resample", n), &n, |bench, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            bench.iter(|| resample(&mut rng, black_box(&s)))
+        });
+        group.bench_with_input(BenchmarkId::new("mean_ci_200", n), &n, |bench, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            bench.iter(|| mean_ci(&mut rng, black_box(&s), 200, 0.95))
+        });
+    }
+    group.finish();
+}
+
+fn bench_comparators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("three-way-compare");
+    let a = noisy_sample(1.00, 30, 4);
+    let b = noisy_sample(1.05, 30, 5);
+    for &reps in &[20usize, 100] {
+        let cmp = BootstrapComparator::with_config(
+            6,
+            BootstrapConfig {
+                reps,
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("bootstrap", reps), &reps, |bench, _| {
+            bench.iter(|| cmp.compare(black_box(&a), black_box(&b)))
+        });
+    }
+    let median = MedianComparator::new(0.02);
+    group.bench_function("median", |bench| {
+        bench.iter(|| median.compare(black_box(&a), black_box(&b)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bootstrap, bench_comparators);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E1 — Regenerates Fig. 1b: the execution-time distributions of the four
+//! placements (DD, DA, AD, AA) of the two-loop scientific code, N=500
+//! measurements each, rendered as ASCII histograms plus the resulting
+//! clustering.
+//!
+//! Expected shape (paper): AD significantly best; AA second; DD and DA
+//! equivalent at the bottom.
+
+use relperf_bench::{header, print_clusters, print_summary, run_pipeline, SEED};
+use relperf_core::report::histogram_panels;
+use relperf_workloads::experiment::Experiment;
+
+fn main() {
+    header("Fig. 1b — timing distributions of the two-loop code (N = 500)");
+    let exp = Experiment::fig1();
+    let (measured, table) = run_pipeline(&exp, 500, 100, SEED);
+
+    print_summary(&measured);
+
+    let panels: Vec<(String, relperf_measure::sample::Histogram)> = measured
+        .iter()
+        .map(|m| (format!("alg{} (N={})", m.label, m.sample.len()), m.sample.histogram(24)))
+        .collect();
+    println!("\n{}", histogram_panels(&panels, 40));
+
+    print_clusters(&table, &measured);
+
+    let clustering = table.final_assignment();
+    println!("\nFinal assignment (max-score with cumulation):");
+    for rank in 1..=clustering.num_classes() {
+        for a in clustering.class(rank) {
+            println!("  C{rank}: alg{} ({:.2})", measured[a.algorithm].label, a.score);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! E2 — Regenerates Fig. 2: the bubble-sort walkthrough with three-way
+//! comparison, printing every intermediate sequence/rank state.
+//!
+//! The comparator is scripted with the true relations of Fig. 1b
+//! (AD best; AA second; DD ~ DA equivalent), and the initial sequence is
+//! the paper's ⟨(DD,1),(AA,2),(DA,3),(AD,4)⟩.
+
+use relperf_bench::header;
+use relperf_core::sort::{sort_with_trace, SortState};
+use relperf_measure::Outcome;
+
+const LABELS: [&str; 4] = ["DD", "AA", "DA", "AD"];
+
+fn class(alg: usize) -> usize {
+    match alg {
+        3 => 0,     // AD — fastest
+        1 => 1,     // AA
+        0 | 2 => 2, // DD ~ DA
+        _ => unreachable!(),
+    }
+}
+
+fn cmp(a: usize, b: usize) -> Outcome {
+    match class(a).cmp(&class(b)) {
+        std::cmp::Ordering::Less => Outcome::Better,
+        std::cmp::Ordering::Greater => Outcome::Worse,
+        std::cmp::Ordering::Equal => Outcome::Equivalent,
+    }
+}
+
+fn render(state: &SortState) -> String {
+    state
+        .sequence
+        .iter()
+        .zip(&state.ranks)
+        .map(|(&alg, &rank)| format!("({},{})", LABELS[alg], rank))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    header("Fig. 2 — bubble sort with three-way comparison");
+    let initial = SortState::initial(4);
+    println!("initial:  {}", render(&initial));
+
+    let (final_state, steps) = sort_with_trace(initial, cmp);
+    for (i, step) in steps.iter().enumerate() {
+        println!(
+            "step {}: compare {} {} {}  {:>6}  ->  {}",
+            i + 1,
+            LABELS[step.algorithms.0],
+            step.outcome.symbol(),
+            LABELS[step.algorithms.1],
+            if step.swapped { "swap" } else { "keep" },
+            render(&step.state_after),
+        );
+    }
+
+    println!("\nfinal:    {}", render(&final_state));
+    println!("classes:  {}", final_state.num_classes());
+    assert_eq!(
+        render(&final_state),
+        "(AD,1) (AA,2) (DD,3) (DA,3)",
+        "final state must match the paper's Fig. 2"
+    );
+    println!("matches the paper's final sequence ⟨(AD,1),(AA,2),(DD,3),(DA,3)⟩ ✓");
+}

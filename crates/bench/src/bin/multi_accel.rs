@@ -1,0 +1,126 @@
+//! E9 (extension) — the paper's "Device-Accelerator(s)" plural: the
+//! three-task scientific code on a platform with TWO accelerators (a fast
+//! expensive GPU `A` and a slow cheap Raspberry-Pi-class board `B`),
+//! clustering all 3^3 = 27 placements.
+//!
+//! The interesting structure: compute-heavy tasks want `A`, nothing wants
+//! `B` for speed — but `B` placements dominate the *cheap* end of each
+//! class, which is exactly the multi-criteria selection the clusters
+//! enable.
+
+use rand::prelude::*;
+use relperf_bench::{header, paper_comparator, SEED};
+use relperf_core::cluster::ClusterConfig;
+use relperf_core::relative_scores;
+use relperf_measure::Sample;
+use relperf_sim::device::{DeviceKind, DeviceSpec};
+use relperf_sim::link::LinkSpec;
+use relperf_sim::multi::{enumerate_multi_placements, multi_label, AcceleratorSlot, MultiPlatform};
+use relperf_sim::noise::NoiseModel;
+use relperf_workloads::scientific_code;
+
+fn platform() -> MultiPlatform {
+    let table1 = relperf_sim::presets::table1_platform();
+    let p = MultiPlatform {
+        device: table1.device.clone(),
+        device_noise: table1.device_noise.clone(),
+        accelerators: vec![
+            AcceleratorSlot {
+                spec: table1.accelerator.clone(),
+                link: table1.link.clone(),
+                noise: table1.accel_noise.clone(),
+                transfer_noise: table1.transfer_noise.clone(),
+            },
+            AcceleratorSlot {
+                spec: DeviceSpec {
+                    name: "raspberry-pi-4".into(),
+                    kind: DeviceKind::RaspberryPi,
+                    peak_flops: 5.0e9,
+                    mem_capacity_bytes: 512 << 20,
+                    mem_pressure_penalty: 1.0,
+                    energy_per_flop: 0.15e-9,
+                    idle_power_watts: 2.5,
+                    cost_per_second: 1.0e-3,
+                    launch_overhead_s: 5.0e-5,
+                },
+                link: LinkSpec {
+                    name: "gigabit-ethernet".into(),
+                    latency_s: 2.0e-4,
+                    bandwidth_bytes_per_s: 1.2e8,
+                    energy_per_byte: 6.0e-9,
+                },
+                noise: NoiseModel::Gaussian { std_frac: 0.03 },
+                transfer_noise: NoiseModel::LogNormal { sigma: 0.1 },
+            },
+        ],
+        context_switch_s: table1.context_switch_s,
+    };
+    p.validate();
+    p
+}
+
+fn main() {
+    header("Two accelerators (A = GPU, B = Raspberry Pi): 27 placements of the RLS code");
+    let platform = platform();
+    let tasks = scientific_code::tasks(10);
+    let placements = enumerate_multi_placements(3, 2);
+    let mut rng = StdRng::seed_from_u64(SEED);
+
+    let samples: Vec<(String, Sample)> = placements
+        .iter()
+        .map(|p| {
+            let label = multi_label(p);
+            let sample = platform
+                .measure(&tasks, p, 30, &mut rng)
+                .expect("finite simulated times");
+            (label, sample)
+        })
+        .collect();
+
+    println!("{:<6} {:>12} {:>12}", "alg", "mean [s]", "cost");
+    let mut costs = Vec::new();
+    for (p, (label, sample)) in placements.iter().zip(&samples) {
+        let rec = platform.execute(&tasks, p, &mut StdRng::seed_from_u64(1));
+        costs.push(rec.operating_cost);
+        println!("{:<6} {:>12.5} {:>12.6}", label, sample.mean(), rec.operating_cost);
+    }
+
+    let comparator = paper_comparator(SEED ^ 0x51);
+    let table = relative_scores(
+        samples.len(),
+        ClusterConfig { repetitions: 40 },
+        &mut rng,
+        |a, b| {
+            use relperf_measure::ThreeWayComparator;
+            comparator.compare(&samples[a].1, &samples[b].1)
+        },
+    );
+    let clustering = table.final_assignment();
+    println!("\nperformance classes ({} total):", clustering.num_classes());
+    for rank in 1..=clustering.num_classes() {
+        let members: Vec<String> = clustering
+            .class(rank)
+            .iter()
+            .map(|a| samples[a.algorithm].0.clone())
+            .collect();
+        println!("  C{rank}: {}", members.join(" "));
+    }
+
+    // Cheapest algorithm inside the best two classes — the multi-criteria
+    // selection the clusters exist for.
+    let mut best_cheap: Option<(usize, f64)> = None;
+    for (i, a) in clustering.assignments().iter().enumerate() {
+        if a.rank <= 2 {
+            let c = costs[i];
+            if best_cheap.is_none() || c < best_cheap.unwrap().1 {
+                best_cheap = Some((i, c));
+            }
+        }
+    }
+    if let Some((i, c)) = best_cheap {
+        println!(
+            "\ncheapest placement within the two best classes: {} (cost {:.6})",
+            samples[i].0, c
+        );
+    }
+}

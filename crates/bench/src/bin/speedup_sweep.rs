@@ -1,0 +1,43 @@
+//! E5 — The Sec. IV speed-up claim: at n=10 the mean execution time of
+//! alg_DDA is only ~0.002 s below alg_DDD (speed-up ≈ 1.05), and the
+//! speed-up grows with n. Sweeps n and prints the series, including the
+//! crossover below which offloading L3 does not pay.
+
+use relperf_bench::header;
+use relperf_workloads::experiment::Experiment;
+
+fn main() {
+    header("Speed-up of alg_DDA over alg_DDD vs loop length n");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12} {:>10}",
+        "n", "DDD mean [s]", "DDA mean [s]", "delta [s]", "speed-up"
+    );
+    for n in [2usize, 5, 10, 25, 50, 100, 200] {
+        let exp = Experiment::table1(n);
+        let placement_of = |label: &str| {
+            exp.placements
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, p)| p.clone())
+                .unwrap()
+        };
+        let ddd = exp
+            .platform
+            .execute_noiseless(&exp.tasks, &placement_of("DDD"))
+            .total_time_s;
+        let dda = exp
+            .platform
+            .execute_noiseless(&exp.tasks, &placement_of("DDA"))
+            .total_time_s;
+        println!(
+            "{:>6} {:>14.6} {:>14.6} {:>12.6} {:>10.3}{}",
+            n,
+            ddd,
+            dda,
+            ddd - dda,
+            ddd / dda,
+            if ddd / dda < 1.0 { "   (offload does not pay yet)" } else { "" }
+        );
+    }
+    println!("\npaper reference at n=10: delta ≈ 0.002 s, speed-up ≈ 1.05");
+}

@@ -1,0 +1,113 @@
+//! Shared harness code for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one paper artifact (see
+//! DESIGN.md §3 for the experiment index); the helpers here keep their
+//! output formats consistent so EXPERIMENTS.md can quote them directly.
+
+use rand::prelude::*;
+use relperf_core::cluster::{ClusterConfig, ScoreTable};
+use relperf_measure::compare::{BootstrapComparator, BootstrapConfig};
+use relperf_workloads::experiment::{cluster_measurements, measure_all, Experiment, MeasuredAlgorithm};
+
+/// Standard seed for all experiment binaries — every number in
+/// EXPERIMENTS.md is reproducible from this.
+pub const SEED: u64 = 1234;
+
+/// The comparator configuration used by the experiment binaries: 30
+/// bootstrap rounds keeps borderline pairs visibly stochastic, matching the
+/// paper's N=30 discussion.
+pub fn paper_comparator(seed: u64) -> BootstrapComparator {
+    BootstrapComparator::with_config(
+        seed,
+        BootstrapConfig {
+            reps: 30,
+            ..Default::default()
+        },
+    )
+}
+
+/// Measures an experiment and clusters it with the standard pipeline.
+/// Returns the measurements and the relative-score table.
+pub fn run_pipeline(
+    exp: &Experiment,
+    n_measurements: usize,
+    repetitions: usize,
+    seed: u64,
+) -> (Vec<MeasuredAlgorithm>, ScoreTable) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let measured = measure_all(exp, n_measurements, &mut rng);
+    let comparator = paper_comparator(seed ^ 0xC0FF_EE);
+    let table = cluster_measurements(
+        &measured,
+        &comparator,
+        ClusterConfig { repetitions },
+        &mut rng,
+    );
+    (measured, table)
+}
+
+/// Prints a section header in the shared format.
+pub fn header(title: &str) {
+    println!("==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+}
+
+/// Prints the per-algorithm mean/sd summary table.
+pub fn print_summary(measured: &[MeasuredAlgorithm]) {
+    println!(
+        "{:<6} {:>12} {:>12} {:>8} {:>14} {:>12}",
+        "alg", "mean [s]", "sd [s]", "cv [%]", "device MFLOPs", "cost"
+    );
+    for m in measured {
+        println!(
+            "{:<6} {:>12.6} {:>12.6} {:>8.2} {:>14.2} {:>12.5}",
+            m.label,
+            m.sample.mean(),
+            m.sample.std_dev(),
+            100.0 * m.sample.coeff_of_variation(),
+            m.record.device_flops as f64 / 1e6,
+            m.record.operating_cost,
+        );
+    }
+}
+
+/// Prints the relative-score clusters in the paper's Table I layout.
+pub fn print_clusters(table: &ScoreTable, measured: &[MeasuredAlgorithm]) {
+    println!("\nCluster  Algorithm  Relative Score");
+    for (i, cluster) in table.clusters().iter().enumerate() {
+        let mut first = true;
+        for &(alg, score) in cluster {
+            println!(
+                "{:<8} alg{:<7} {:.2}",
+                if first { format!("C{}", i + 1) } else { String::new() },
+                measured[alg].label,
+                score
+            );
+            first = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_smoke_test() {
+        let exp = Experiment::table1(2);
+        let (measured, table) = run_pipeline(&exp, 10, 10, SEED);
+        assert_eq!(measured.len(), 8);
+        assert_eq!(table.num_algorithms(), 8);
+        print_summary(&measured);
+        print_clusters(&table, &measured);
+    }
+
+    #[test]
+    fn pipeline_is_reproducible() {
+        let exp = Experiment::fig1();
+        let (_, t1) = run_pipeline(&exp, 10, 5, 7);
+        let (_, t2) = run_pipeline(&exp, 10, 5, 7);
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,412 @@
+//! Performance classes and relative scores (Procedure 4 of the paper).
+//!
+//! The clustering procedure is not deterministic when the measurement
+//! distributions partially overlap: repeated sorts can assign a borderline
+//! algorithm to different classes. Procedure 4 turns that instability into
+//! information — the *relative score* of algorithm `j` with respect to
+//! class `r` is the fraction of `Rep` shuffled clustering repetitions in
+//! which `j` received rank `r`, i.e. the confidence of that membership.
+
+use crate::sort::{sort_from, SortState};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use relperf_measure::Outcome;
+
+/// Configuration of the repeated clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of shuffled sort repetitions (`Rep` in Procedure 4).
+    pub repetitions: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { repetitions: 100 }
+    }
+}
+
+/// Relative scores of every algorithm with respect to every class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreTable {
+    /// Number of algorithms `p`.
+    p: usize,
+    /// `scores[alg][rank-1]` = fraction of repetitions in which `alg`
+    /// received `rank`. Rows sum to 1 (up to rounding).
+    scores: Vec<Vec<f64>>,
+    /// Largest rank observed in any repetition.
+    max_rank: usize,
+}
+
+impl ScoreTable {
+    /// Number of algorithms.
+    pub fn num_algorithms(&self) -> usize {
+        self.p
+    }
+
+    /// Largest class index `k` observed across repetitions.
+    pub fn num_classes(&self) -> usize {
+        self.max_rank
+    }
+
+    /// Relative score of `alg` with respect to class `rank` (1-based);
+    /// 0 when the pair never occurred.
+    pub fn score(&self, alg: usize, rank: usize) -> f64 {
+        if rank == 0 || rank > self.max_rank {
+            return 0.0;
+        }
+        self.scores[alg][rank - 1]
+    }
+
+    /// The paper's per-cluster view: for class `rank`, every algorithm with
+    /// a positive relative score, sorted by descending score (ties by
+    /// index). This is the `GetCluster_r` output.
+    pub fn cluster(&self, rank: usize) -> Vec<(usize, f64)> {
+        let mut members: Vec<(usize, f64)> = (0..self.p)
+            .map(|alg| (alg, self.score(alg, rank)))
+            .filter(|&(_, s)| s > 0.0)
+            .collect();
+        members.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        members
+    }
+
+    /// All clusters, `C_1` through `C_k`.
+    pub fn clusters(&self) -> Vec<Vec<(usize, f64)>> {
+        (1..=self.max_rank).map(|r| self.cluster(r)).collect()
+    }
+
+    /// The paper's final single-cluster assignment: each algorithm goes to
+    /// the class with its maximum relative score (ties resolved towards the
+    /// better class), and its final score cumulates the scores of that class
+    /// and all better classes.
+    pub fn final_assignment(&self) -> Clustering {
+        let mut assignments = Vec::with_capacity(self.p);
+        for alg in 0..self.p {
+            let row = &self.scores[alg];
+            let mut best_rank = 1;
+            let mut best_score = f64::MIN;
+            for (idx, &s) in row.iter().enumerate() {
+                // Strictly greater: earlier (better) ranks win ties.
+                if s > best_score {
+                    best_score = s;
+                    best_rank = idx + 1;
+                }
+            }
+            let cumulative: f64 = row[..best_rank].iter().sum();
+            assignments.push(Assignment {
+                algorithm: alg,
+                rank: best_rank,
+                score: cumulative,
+            });
+        }
+        Clustering::from_assignments(assignments)
+    }
+}
+
+/// One algorithm's final class and cumulative confidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assignment {
+    /// Algorithm index.
+    pub algorithm: usize,
+    /// Final class (1-based, after renumbering to consecutive classes).
+    pub rank: usize,
+    /// Cumulative relative score (confidence).
+    pub score: f64,
+}
+
+/// A final clustering: each algorithm in exactly one class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    assignments: Vec<Assignment>,
+    num_classes: usize,
+}
+
+impl Clustering {
+    fn from_assignments(mut assignments: Vec<Assignment>) -> Self {
+        // Renumber ranks to consecutive 1..=k (max-score assignment can
+        // leave gaps when no algorithm peaks in some intermediate class).
+        let mut ranks: Vec<usize> = assignments.iter().map(|a| a.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        for a in &mut assignments {
+            a.rank = ranks.binary_search(&a.rank).expect("rank present") + 1;
+        }
+        let num_classes = ranks.len();
+        Clustering {
+            assignments,
+            num_classes,
+        }
+    }
+
+    /// Number of classes `k`.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Per-algorithm assignments, indexed by algorithm.
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// Class and score of one algorithm.
+    pub fn assignment(&self, alg: usize) -> Assignment {
+        self.assignments[alg]
+    }
+
+    /// Members of class `rank` with their scores, best score first.
+    pub fn class(&self, rank: usize) -> Vec<Assignment> {
+        let mut v: Vec<Assignment> = self
+            .assignments
+            .iter()
+            .copied()
+            .filter(|a| a.rank == rank)
+            .collect();
+        v.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then(a.algorithm.cmp(&b.algorithm))
+        });
+        v
+    }
+}
+
+/// Procedure 4: runs `config.repetitions` shuffled sorts and tallies the
+/// relative score of every (algorithm, class) pair.
+///
+/// `cmp(a, b)` compares algorithm `a` against `b`; it is typically
+/// stochastic (a fresh bootstrap comparison per call over the same fixed
+/// measurement samples — the paper re-uses the `N` measurements and repeats
+/// only the analysis).
+///
+/// # Examples
+///
+/// ```
+/// use rand::prelude::*;
+/// use relperf_core::cluster::{relative_scores, ClusterConfig};
+/// use relperf_core::Outcome;
+///
+/// let cost = [2.0, 1.0, 2.0];
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let table = relative_scores(3, ClusterConfig::default(), &mut rng, |a, b| {
+///     match cost[a].partial_cmp(&cost[b]).unwrap() {
+///         std::cmp::Ordering::Less => Outcome::Better,
+///         std::cmp::Ordering::Greater => Outcome::Worse,
+///         std::cmp::Ordering::Equal => Outcome::Equivalent,
+///     }
+/// });
+/// assert_eq!(table.score(1, 1), 1.0);           // always the best class
+/// let clustering = table.final_assignment();
+/// assert_eq!(clustering.num_classes(), 2);
+/// ```
+pub fn relative_scores<R: Rng + ?Sized>(
+    p: usize,
+    config: ClusterConfig,
+    rng: &mut R,
+    mut cmp: impl FnMut(usize, usize) -> Outcome,
+) -> ScoreTable {
+    assert!(config.repetitions > 0, "need at least one repetition");
+    let mut counts = vec![vec![0usize; p.max(1)]; p];
+    let mut max_rank = 0usize;
+    for _ in 0..config.repetitions {
+        let mut seq: Vec<usize> = (0..p).collect();
+        seq.shuffle(rng);
+        let state = sort_from(SortState::from_sequence(seq), &mut cmp);
+        for (pos, &alg) in state.sequence.iter().enumerate() {
+            let rank = state.ranks[pos];
+            counts[alg][rank - 1] += 1;
+            max_rank = max_rank.max(rank);
+        }
+    }
+    let rep = config.repetitions as f64;
+    let scores = counts
+        .into_iter()
+        .map(|row| row.into_iter().map(|c| c as f64 / rep).collect())
+        .collect();
+    ScoreTable {
+        p,
+        scores,
+        max_rank,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use Outcome::{Better, Equivalent, Worse};
+
+    fn level_cmp(levels: &'static [usize]) -> impl FnMut(usize, usize) -> Outcome {
+        move |a, b| match levels[a].cmp(&levels[b]) {
+            std::cmp::Ordering::Less => Better,
+            std::cmp::Ordering::Greater => Worse,
+            std::cmp::Ordering::Equal => Equivalent,
+        }
+    }
+
+    #[test]
+    fn deterministic_comparator_gives_unit_scores() {
+        static LEVELS: [usize; 4] = [1, 0, 2, 1];
+        let mut rng = StdRng::seed_from_u64(81);
+        let table = relative_scores(4, ClusterConfig { repetitions: 50 }, &mut rng, level_cmp(&LEVELS));
+        assert_eq!(table.num_classes(), 3);
+        assert_eq!(table.score(1, 1), 1.0);
+        assert_eq!(table.score(0, 2), 1.0);
+        assert_eq!(table.score(3, 2), 1.0);
+        assert_eq!(table.score(2, 3), 1.0);
+        // Scores for other ranks are zero.
+        assert_eq!(table.score(1, 2), 0.0);
+        assert_eq!(table.score(2, 1), 0.0);
+    }
+
+    #[test]
+    fn rows_sum_to_one() {
+        static LEVELS: [usize; 5] = [0, 1, 1, 2, 0];
+        let mut rng = StdRng::seed_from_u64(82);
+        let table = relative_scores(5, ClusterConfig::default(), &mut rng, level_cmp(&LEVELS));
+        for alg in 0..5 {
+            let total: f64 = (1..=table.num_classes()).map(|r| table.score(alg, r)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "alg {alg} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn stochastic_comparator_splits_scores() {
+        // Algorithms 0 and 1: comparisons flip between equivalent and
+        // decided, so 1 should appear in both class 1 and class 2.
+        let mut flip = 0usize;
+        let cmp = move |a: usize, b: usize| -> Outcome {
+            flip += 1;
+            match (a, b) {
+                (0, 1) => {
+                    if flip % 3 == 0 {
+                        Equivalent
+                    } else {
+                        Better
+                    }
+                }
+                (1, 0) => {
+                    if flip % 3 == 0 {
+                        Equivalent
+                    } else {
+                        Worse
+                    }
+                }
+                _ => Equivalent,
+            }
+        };
+        let mut rng = StdRng::seed_from_u64(83);
+        let table = relative_scores(2, ClusterConfig { repetitions: 300 }, &mut rng, cmp);
+        let s11 = table.score(1, 1);
+        let s12 = table.score(1, 2);
+        assert!(s11 > 0.05, "score(1,1) = {s11}");
+        assert!(s12 > 0.5, "score(1,2) = {s12}");
+        assert!((s11 + s12 - 1.0).abs() < 1e-9);
+        // Algorithm 0 always wins or ties — always rank 1.
+        assert_eq!(table.score(0, 1), 1.0);
+    }
+
+    #[test]
+    fn cluster_view_sorted_by_score() {
+        static LEVELS: [usize; 3] = [0, 0, 1];
+        let mut rng = StdRng::seed_from_u64(84);
+        let table = relative_scores(3, ClusterConfig { repetitions: 20 }, &mut rng, level_cmp(&LEVELS));
+        let c1 = table.cluster(1);
+        assert_eq!(c1.len(), 2);
+        assert!(c1.iter().all(|&(_, s)| s == 1.0));
+        let c2 = table.cluster(2);
+        assert_eq!(c2, vec![(2, 1.0)]);
+        assert!(table.cluster(9).is_empty());
+        assert_eq!(table.clusters().len(), 2);
+    }
+
+    #[test]
+    fn final_assignment_max_score_and_cumulation() {
+        // Hand-built table mirroring the paper's Sec. III example:
+        // AD: 1.0 @ C1; AA: 0.3 @ C1, 0.7 @ C2; DD: 0.3 @ C2, 0.7 @ C3;
+        // DA: 0.3 @ C2, 0.6 @ C3, 0.1 @ C4.
+        let table = ScoreTable {
+            p: 4,
+            scores: vec![
+                vec![1.0, 0.0, 0.0, 0.0],      // AD
+                vec![0.3, 0.7, 0.0, 0.0],      // AA
+                vec![0.0, 0.3, 0.7, 0.0],      // DD
+                vec![0.0, 0.3, 0.6, 0.1],      // DA
+            ],
+            max_rank: 4,
+        };
+        let clustering = table.final_assignment();
+        // Paper: C1 {AD 1.0}; C2 {AA 1.0}; C3 {DD 1.0, DA 0.9}.
+        assert_eq!(clustering.num_classes(), 3);
+        let ad = clustering.assignment(0);
+        assert_eq!((ad.rank, ad.score), (1, 1.0));
+        let aa = clustering.assignment(1);
+        assert_eq!(aa.rank, 2);
+        assert!((aa.score - 1.0).abs() < 1e-9);
+        let dd = clustering.assignment(2);
+        assert_eq!(dd.rank, 3);
+        assert!((dd.score - 1.0).abs() < 1e-9);
+        let da = clustering.assignment(3);
+        assert_eq!(da.rank, 3);
+        assert!((da.score - 0.9).abs() < 1e-9);
+        // Class view is ordered by score.
+        let c3 = clustering.class(3);
+        assert_eq!(c3[0].algorithm, 2);
+        assert_eq!(c3[1].algorithm, 3);
+    }
+
+    #[test]
+    fn final_assignment_renumbers_gapped_ranks() {
+        // Both algorithms peak in classes 1 and 3 — class 2 disappears and
+        // ranks must be renumbered consecutively.
+        let table = ScoreTable {
+            p: 2,
+            scores: vec![vec![0.9, 0.1, 0.0], vec![0.0, 0.4, 0.6]],
+            max_rank: 3,
+        };
+        let clustering = table.final_assignment();
+        assert_eq!(clustering.num_classes(), 2);
+        assert_eq!(clustering.assignment(0).rank, 1);
+        assert_eq!(clustering.assignment(1).rank, 2);
+    }
+
+    #[test]
+    fn tie_in_scores_resolves_to_better_rank() {
+        let table = ScoreTable {
+            p: 1,
+            scores: vec![vec![0.5, 0.5]],
+            max_rank: 2,
+        };
+        let c = table.final_assignment();
+        assert_eq!(c.assignment(0).rank, 1);
+        assert!((c.assignment(0).score - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_repetitions_panics() {
+        let mut rng = StdRng::seed_from_u64(85);
+        relative_scores(2, ClusterConfig { repetitions: 0 }, &mut rng, |_, _| Equivalent);
+    }
+
+    #[test]
+    fn single_algorithm() {
+        let mut rng = StdRng::seed_from_u64(86);
+        let table = relative_scores(1, ClusterConfig { repetitions: 5 }, &mut rng, |_, _| {
+            unreachable!("no comparisons for p = 1")
+        });
+        assert_eq!(table.num_classes(), 1);
+        assert_eq!(table.score(0, 1), 1.0);
+        let c = table.final_assignment();
+        assert_eq!(c.num_classes(), 1);
+    }
+
+    #[test]
+    fn scores_are_seeded() {
+        static LEVELS: [usize; 4] = [0, 1, 0, 2];
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            relative_scores(4, ClusterConfig::default(), &mut rng, level_cmp(&LEVELS))
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

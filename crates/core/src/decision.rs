@@ -1,0 +1,333 @@
+//! Decision models for algorithm selection (paper, Sec. IV).
+//!
+//! Clustering exists to *select* algorithms under more than one criterion:
+//!
+//! * [`CostSpeedModel`] — the trade-off between execution time, operating
+//!   cost (accelerator rental), and cluster confidence: "the choice of
+//!   algorithm is now based on a decision-model that is a trade-off between
+//!   operating cost and speed".
+//! * [`EnergyBudgetController`] — the hysteresis switcher of the paper's
+//!   second scenario: run the preferred algorithm until the device's energy
+//!   budget is exhausted, switch to the algorithm that off-loads most of
+//!   the device FLOPs, switch back "when the device cools down".
+
+/// Everything a decision model needs to know about one candidate algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgorithmProfile {
+    /// Display label, e.g. `"DDA"`.
+    pub label: String,
+    /// Performance class from the final clustering (1 = best).
+    pub rank: usize,
+    /// Relative score (confidence of the class assignment).
+    pub score: f64,
+    /// Mean execution time, seconds.
+    pub mean_time_s: f64,
+    /// FLOPs executed on the edge device per run.
+    pub device_flops: u64,
+    /// FLOPs executed on the accelerator per run.
+    pub accel_flops: u64,
+    /// Operating cost per run (currency).
+    pub operating_cost: f64,
+    /// Edge-device energy per run, joules.
+    pub device_energy_j: f64,
+}
+
+/// Linear trade-off between normalized time, normalized operating cost, and
+/// cluster confidence. Lower utility wins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSpeedModel {
+    /// Weight on (normalized) mean execution time.
+    pub time_weight: f64,
+    /// Weight on (normalized) operating cost — "the weight on the operating
+    /// cost would depend on the importance of speed-up for the application".
+    pub cost_weight: f64,
+    /// Bonus weight on the relative score (prefer confident assignments).
+    pub confidence_weight: f64,
+}
+
+impl Default for CostSpeedModel {
+    fn default() -> Self {
+        CostSpeedModel {
+            time_weight: 1.0,
+            cost_weight: 1.0,
+            confidence_weight: 0.1,
+        }
+    }
+}
+
+impl CostSpeedModel {
+    /// Utility of one candidate given the normalization constants; lower is
+    /// better.
+    fn utility(&self, c: &AlgorithmProfile, max_time: f64, max_cost: f64) -> f64 {
+        let t = if max_time > 0.0 { c.mean_time_s / max_time } else { 0.0 };
+        let m = if max_cost > 0.0 { c.operating_cost / max_cost } else { 0.0 };
+        self.time_weight * t + self.cost_weight * m - self.confidence_weight * c.score
+    }
+
+    /// Selects the candidate minimizing the utility. Returns the index into
+    /// `candidates`, or `None` when empty.
+    pub fn select(&self, candidates: &[AlgorithmProfile]) -> Option<usize> {
+        let max_time = candidates.iter().map(|c| c.mean_time_s).fold(0.0, f64::max);
+        let max_cost = candidates
+            .iter()
+            .map(|c| c.operating_cost)
+            .fold(0.0, f64::max);
+        candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                self.utility(a, max_time, max_cost)
+                    .partial_cmp(&self.utility(b, max_time, max_cost))
+                    .expect("finite utilities")
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Paper-style two-step selection: restrict to the best class(es) up to
+    /// `max_rank`, then pick the cheapest by operating cost.
+    pub fn cheapest_within_rank(
+        candidates: &[AlgorithmProfile],
+        max_rank: usize,
+    ) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.rank <= max_rank)
+            .min_by(|(_, a), (_, b)| {
+                a.operating_cost
+                    .partial_cmp(&b.operating_cost)
+                    .expect("finite costs")
+                    .then(a.rank.cmp(&b.rank))
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+/// Which of the two configured algorithms the controller is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The preferred (fast, device-heavy) algorithm.
+    HighPerformance,
+    /// The fallback that offloads device FLOPs (lets the device cool).
+    LowEnergy,
+}
+
+/// One step of the controller trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerStep {
+    /// Run index.
+    pub run: usize,
+    /// Mode used for this run.
+    pub mode: Mode,
+    /// Device thermal/energy reservoir after the run, joules.
+    pub reservoir_j: f64,
+    /// Whether the controller switched mode *after* this run.
+    pub switched: bool,
+}
+
+/// Hysteresis controller over a device energy reservoir.
+///
+/// The reservoir integrates device energy per run and dissipates
+/// `dissipation_j` per run (cooling). When it exceeds `high_watermark_j`
+/// the controller switches to [`Mode::LowEnergy`]; when it falls below
+/// `low_watermark_j` it switches back — the paper's "switch to `alg_DAA` …
+/// and then switch back to `alg_DDD` when the device cools down".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBudgetController {
+    /// Switch to low-energy mode when the reservoir exceeds this.
+    pub high_watermark_j: f64,
+    /// Switch back to high-performance mode below this.
+    pub low_watermark_j: f64,
+    /// Passive dissipation per run, joules.
+    pub dissipation_j: f64,
+}
+
+impl EnergyBudgetController {
+    /// Validates the watermark ordering.
+    ///
+    /// # Panics
+    /// Panics when `low_watermark_j >= high_watermark_j` or dissipation is
+    /// negative.
+    pub fn validate(&self) {
+        assert!(
+            self.low_watermark_j < self.high_watermark_j,
+            "low watermark must be below high watermark"
+        );
+        assert!(self.dissipation_j >= 0.0, "dissipation must be non-negative");
+    }
+
+    /// Simulates `runs` executions alternating between `high` and `low`
+    /// according to the hysteresis rule, returning the full trace.
+    pub fn simulate(
+        &self,
+        high: &AlgorithmProfile,
+        low: &AlgorithmProfile,
+        runs: usize,
+    ) -> Vec<ControllerStep> {
+        self.validate();
+        let mut mode = Mode::HighPerformance;
+        let mut reservoir = 0.0_f64;
+        let mut trace = Vec::with_capacity(runs);
+        for run in 0..runs {
+            let profile = match mode {
+                Mode::HighPerformance => high,
+                Mode::LowEnergy => low,
+            };
+            reservoir = (reservoir + profile.device_energy_j - self.dissipation_j).max(0.0);
+            let next_mode = match mode {
+                Mode::HighPerformance if reservoir > self.high_watermark_j => Mode::LowEnergy,
+                Mode::LowEnergy if reservoir < self.low_watermark_j => Mode::HighPerformance,
+                m => m,
+            };
+            let switched = next_mode != mode;
+            trace.push(ControllerStep {
+                run,
+                mode,
+                reservoir_j: reservoir,
+                switched,
+            });
+            mode = next_mode;
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(label: &str, rank: usize, time: f64, cost: f64, dev_j: f64) -> AlgorithmProfile {
+        AlgorithmProfile {
+            label: label.into(),
+            rank,
+            score: 1.0,
+            mean_time_s: time,
+            device_flops: 1_000,
+            accel_flops: 0,
+            operating_cost: cost,
+            device_energy_j: dev_j,
+        }
+    }
+
+    #[test]
+    fn pure_speed_weighting_picks_fastest() {
+        let cands = vec![
+            profile("slow", 2, 2.0, 0.0, 1.0),
+            profile("fast", 1, 1.0, 5.0, 1.0),
+        ];
+        let model = CostSpeedModel {
+            time_weight: 1.0,
+            cost_weight: 0.0,
+            confidence_weight: 0.0,
+        };
+        assert_eq!(model.select(&cands), Some(1));
+    }
+
+    #[test]
+    fn pure_cost_weighting_picks_cheapest() {
+        let cands = vec![
+            profile("pricey", 1, 1.0, 5.0, 1.0),
+            profile("free", 2, 2.0, 0.0, 1.0),
+        ];
+        let model = CostSpeedModel {
+            time_weight: 0.0,
+            cost_weight: 1.0,
+            confidence_weight: 0.0,
+        };
+        assert_eq!(model.select(&cands), Some(1));
+    }
+
+    #[test]
+    fn balanced_tradeoff_crossover() {
+        // The paper's scenario: DDA is slightly faster but costs accelerator
+        // money; DDD is free. A cost-heavy weighting must choose DDD, a
+        // speed-heavy weighting DDA.
+        let cands = vec![
+            profile("DDA", 1, 0.040, 1.0, 1.0),
+            profile("DDD", 2, 0.042, 0.0, 1.0),
+        ];
+        let speedy = CostSpeedModel {
+            time_weight: 1.0,
+            cost_weight: 0.01,
+            confidence_weight: 0.0,
+        };
+        let frugal = CostSpeedModel {
+            time_weight: 1.0,
+            cost_weight: 10.0,
+            confidence_weight: 0.0,
+        };
+        assert_eq!(speedy.select(&cands), Some(0));
+        assert_eq!(frugal.select(&cands), Some(1));
+    }
+
+    #[test]
+    fn select_empty_is_none() {
+        assert_eq!(CostSpeedModel::default().select(&[]), None);
+    }
+
+    #[test]
+    fn cheapest_within_rank_filters_classes() {
+        let cands = vec![
+            profile("best-expensive", 1, 1.0, 9.0, 1.0),
+            profile("best-cheap", 1, 1.1, 3.0, 1.0),
+            profile("bad-free", 3, 5.0, 0.0, 1.0),
+        ];
+        assert_eq!(CostSpeedModel::cheapest_within_rank(&cands, 1), Some(1));
+        assert_eq!(CostSpeedModel::cheapest_within_rank(&cands, 3), Some(2));
+        assert_eq!(CostSpeedModel::cheapest_within_rank(&cands, 0), None);
+    }
+
+    #[test]
+    fn controller_switches_and_recovers() {
+        let high = profile("DDD", 2, 0.042, 0.0, 10.0); // all FLOPs on device
+        let low = profile("DAA", 1, 0.041, 1.0, 1.0); // offloads most FLOPs
+        let ctrl = EnergyBudgetController {
+            high_watermark_j: 30.0,
+            low_watermark_j: 10.0,
+            dissipation_j: 4.0,
+        };
+        let trace = ctrl.simulate(&high, &low, 40);
+        assert_eq!(trace.len(), 40);
+        // Must reach low-energy mode at some point and come back.
+        let low_runs = trace.iter().filter(|s| s.mode == Mode::LowEnergy).count();
+        let high_runs = trace.iter().filter(|s| s.mode == Mode::HighPerformance).count();
+        assert!(low_runs > 0, "never switched to low-energy");
+        assert!(high_runs > 0);
+        let switches = trace.iter().filter(|s| s.switched).count();
+        assert!(switches >= 2, "expected at least one full cycle, got {switches}");
+        // Reservoir never negative.
+        assert!(trace.iter().all(|s| s.reservoir_j >= 0.0));
+        // In high mode the reservoir (net +6 J/run) must grow towards the
+        // watermark; in low mode (net −3 J/run) it must fall.
+        for w in trace.windows(2) {
+            if w[0].mode == Mode::HighPerformance && w[1].mode == Mode::HighPerformance {
+                assert!(w[1].reservoir_j >= w[0].reservoir_j);
+            }
+        }
+    }
+
+    #[test]
+    fn controller_stays_high_when_budget_ample() {
+        let high = profile("DDD", 1, 1.0, 0.0, 1.0);
+        let low = profile("DAA", 2, 1.0, 1.0, 0.1);
+        let ctrl = EnergyBudgetController {
+            high_watermark_j: 100.0,
+            low_watermark_j: 10.0,
+            dissipation_j: 2.0, // dissipates more than it accumulates
+        };
+        let trace = ctrl.simulate(&high, &low, 20);
+        assert!(trace.iter().all(|s| s.mode == Mode::HighPerformance));
+        assert!(trace.iter().all(|s| !s.switched));
+    }
+
+    #[test]
+    #[should_panic(expected = "low watermark")]
+    fn controller_rejects_inverted_watermarks() {
+        EnergyBudgetController {
+            high_watermark_j: 1.0,
+            low_watermark_j: 2.0,
+            dissipation_j: 0.0,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,31 @@
+//! Relative performance analysis — the paper's primary contribution.
+//!
+//! Given `p` mathematically equivalent algorithms and a three-way comparator
+//! over their measurement distributions (`relperf-measure`), this crate
+//!
+//! 1. sorts the algorithms with a **three-way bubble sort** whose rank
+//!    update rules merge equivalent algorithms into the same performance
+//!    class ([`sort`], Procedures 1–3 of the paper),
+//! 2. repeats the clustering over shuffled inputs to compute **relative
+//!    scores** — the confidence of each algorithm's membership in each
+//!    class ([`cluster`], Procedure 4),
+//! 3. applies **decision models** that pick an algorithm from the clusters
+//!    under additional criteria such as operating cost or an energy budget
+//!    ([`decision`], Sec. IV), and
+//! 4. renders the tables and figures of the paper from those results
+//!    ([`report`]).
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod decision;
+pub mod predict;
+pub mod report;
+pub mod search;
+pub mod similarity;
+pub mod sort;
+pub mod triplet;
+
+pub use cluster::{relative_scores, ClusterConfig, Clustering, ScoreTable};
+pub use relperf_measure::Outcome;
+pub use sort::{sort, sort_with_trace, SortState, SortStep};

@@ -1,0 +1,278 @@
+//! Execution-less prediction of relative performance.
+//!
+//! The paper's future work: "these clusters can be used as ground truth to
+//! train performance models that can automatically identify the algorithm
+//! of required performance without executing them." This module provides a
+//! reference implementation of exactly that loop:
+//!
+//! * candidates are described by numeric feature vectors (device FLOPs,
+//!   offloaded FLOPs, transferred bytes, crossings, … — whatever the
+//!   caller extracts from the placement),
+//! * a measured subset with known classes is the training set,
+//! * a distance-weighted k-nearest-neighbour model predicts the class of
+//!   unmeasured candidates,
+//! * leave-one-out validation grades the model on the training set.
+//!
+//! kNN over z-scored features keeps the model assumption-free — in the
+//! spirit of the paper's methodology, which avoids distributional
+//! assumptions end to end.
+
+/// A labelled training example: feature vector and performance class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledExample {
+    /// Feature vector (constant length across a model).
+    pub features: Vec<f64>,
+    /// Performance class (1 = best).
+    pub class: usize,
+}
+
+/// A k-nearest-neighbour class predictor over z-scored features.
+#[derive(Debug, Clone)]
+pub struct KnnClassModel {
+    k: usize,
+    examples: Vec<LabelledExample>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+/// Errors from model construction or prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictError {
+    /// No training examples were supplied.
+    EmptyTrainingSet,
+    /// Feature vectors have inconsistent lengths.
+    FeatureLengthMismatch,
+    /// `k` is zero.
+    ZeroK,
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::EmptyTrainingSet => write!(f, "training set is empty"),
+            PredictError::FeatureLengthMismatch => write!(f, "feature vectors differ in length"),
+            PredictError::ZeroK => write!(f, "k must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+impl KnnClassModel {
+    /// Fits (memorizes + normalizes) the training set.
+    pub fn fit(examples: Vec<LabelledExample>, k: usize) -> Result<Self, PredictError> {
+        if k == 0 {
+            return Err(PredictError::ZeroK);
+        }
+        let Some(first) = examples.first() else {
+            return Err(PredictError::EmptyTrainingSet);
+        };
+        let dim = first.features.len();
+        if examples.iter().any(|e| e.features.len() != dim) {
+            return Err(PredictError::FeatureLengthMismatch);
+        }
+        let n = examples.len() as f64;
+        let mut means = vec![0.0; dim];
+        for e in &examples {
+            for (m, &x) in means.iter_mut().zip(&e.features) {
+                *m += x / n;
+            }
+        }
+        let mut stds = vec![0.0; dim];
+        for e in &examples {
+            for (s, (&x, &m)) in stds.iter_mut().zip(e.features.iter().zip(&means)) {
+                *s += (x - m).powi(2) / n;
+            }
+        }
+        for s in &mut stds {
+            *s = s.sqrt().max(1e-12);
+        }
+        Ok(KnnClassModel {
+            k,
+            examples,
+            means,
+            stds,
+        })
+    }
+
+    fn zscore(&self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&x, (&m, &s))| (x - m) / s)
+            .collect()
+    }
+
+    /// Predicts the class of a feature vector by distance-weighted vote of
+    /// the `k` nearest training examples.
+    pub fn predict(&self, features: &[f64]) -> Result<usize, PredictError> {
+        if features.len() != self.means.len() {
+            return Err(PredictError::FeatureLengthMismatch);
+        }
+        Ok(self.predict_excluding(features, usize::MAX))
+    }
+
+    fn predict_excluding(&self, features: &[f64], skip: usize) -> usize {
+        let z = self.zscore(features);
+        let mut dists: Vec<(f64, usize)> = self
+            .examples
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != skip)
+            .map(|(_, e)| {
+                let ez = self.zscore(&e.features);
+                let d: f64 = z
+                    .iter()
+                    .zip(&ez)
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+                (d, e.class)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let mut votes: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        for &(d, class) in dists.iter().take(self.k) {
+            *votes.entry(class).or_insert(0.0) += 1.0 / (d + 1e-9);
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite votes"))
+            .map(|(class, _)| class)
+            .expect("at least one neighbour")
+    }
+
+    /// Leave-one-out accuracy on the training set: exact-class hit rate
+    /// and within-one-class hit rate (adjacent classes are soft errors for
+    /// performance selection).
+    pub fn leave_one_out(&self) -> (f64, f64) {
+        let n = self.examples.len();
+        if n < 2 {
+            return (1.0, 1.0);
+        }
+        let mut exact = 0usize;
+        let mut within_one = 0usize;
+        for i in 0..n {
+            let pred = self.predict_excluding(&self.examples[i].features, i);
+            let truth = self.examples[i].class;
+            if pred == truth {
+                exact += 1;
+            }
+            if pred.abs_diff(truth) <= 1 {
+                within_one += 1;
+            }
+        }
+        (exact as f64 / n as f64, within_one as f64 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example(features: &[f64], class: usize) -> LabelledExample {
+        LabelledExample {
+            features: features.to_vec(),
+            class,
+        }
+    }
+
+    fn separable_training_set() -> Vec<LabelledExample> {
+        // Class 1 near the origin, class 2 near (10, 10), class 3 near
+        // (20, 0); well separated.
+        vec![
+            example(&[0.0, 0.0], 1),
+            example(&[1.0, 0.5], 1),
+            example(&[0.5, 1.0], 1),
+            example(&[10.0, 10.0], 2),
+            example(&[11.0, 9.5], 2),
+            example(&[9.5, 10.5], 2),
+            example(&[20.0, 0.0], 3),
+            example(&[21.0, 0.5], 3),
+            example(&[19.5, 1.0], 3),
+        ]
+    }
+
+    #[test]
+    fn predicts_separable_classes() {
+        let model = KnnClassModel::fit(separable_training_set(), 3).unwrap();
+        assert_eq!(model.predict(&[0.2, 0.2]).unwrap(), 1);
+        assert_eq!(model.predict(&[10.2, 10.2]).unwrap(), 2);
+        assert_eq!(model.predict(&[20.2, 0.2]).unwrap(), 3);
+    }
+
+    #[test]
+    fn loo_accuracy_perfect_on_separable_data() {
+        let model = KnnClassModel::fit(separable_training_set(), 2).unwrap();
+        let (exact, soft) = model.leave_one_out();
+        assert_eq!(exact, 1.0);
+        assert_eq!(soft, 1.0);
+    }
+
+    #[test]
+    fn normalization_makes_scales_irrelevant() {
+        // Second feature is 1e6x larger; without z-scoring it would drown
+        // the first.
+        let train = vec![
+            example(&[0.0, 5e6], 1),
+            example(&[0.1, 5e6], 1),
+            example(&[10.0, 5e6], 2),
+            example(&[10.1, 5e6], 2),
+        ];
+        let model = KnnClassModel::fit(train, 1).unwrap();
+        assert_eq!(model.predict(&[0.05, 5e6]).unwrap(), 1);
+        assert_eq!(model.predict(&[9.9, 5e6]).unwrap(), 2);
+    }
+
+    #[test]
+    fn k_larger_than_set_is_tolerated() {
+        let train = vec![example(&[0.0], 1), example(&[1.0], 2)];
+        let model = KnnClassModel::fit(train, 10).unwrap();
+        // With both neighbours voting, the closer one wins by weight.
+        assert_eq!(model.predict(&[0.1]).unwrap(), 1);
+        assert_eq!(model.predict(&[0.9]).unwrap(), 2);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert_eq!(
+            KnnClassModel::fit(vec![], 3).unwrap_err(),
+            PredictError::EmptyTrainingSet
+        );
+        assert_eq!(
+            KnnClassModel::fit(vec![example(&[1.0], 1)], 0).unwrap_err(),
+            PredictError::ZeroK
+        );
+        let bad = vec![example(&[1.0], 1), example(&[1.0, 2.0], 2)];
+        assert_eq!(
+            KnnClassModel::fit(bad, 1).unwrap_err(),
+            PredictError::FeatureLengthMismatch
+        );
+        let model = KnnClassModel::fit(vec![example(&[1.0], 1)], 1).unwrap();
+        assert_eq!(
+            model.predict(&[1.0, 2.0]).unwrap_err(),
+            PredictError::FeatureLengthMismatch
+        );
+    }
+
+    #[test]
+    fn single_example_loo_is_trivially_perfect() {
+        let model = KnnClassModel::fit(vec![example(&[1.0], 1)], 1).unwrap();
+        assert_eq!(model.leave_one_out(), (1.0, 1.0));
+    }
+
+    #[test]
+    fn within_one_class_counts_soft_hits() {
+        // Two interleaved classes 1 and 2: exact accuracy may drop but
+        // within-one stays 1.0 since |1-2| = 1.
+        let train = vec![
+            example(&[0.0], 1),
+            example(&[0.2], 2),
+            example(&[0.4], 1),
+            example(&[0.6], 2),
+        ];
+        let model = KnnClassModel::fit(train, 1).unwrap();
+        let (_, soft) = model.leave_one_out();
+        assert_eq!(soft, 1.0);
+    }
+}

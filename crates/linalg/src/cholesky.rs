@@ -1,0 +1,199 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::triangular::{solve_lower, solve_lower_matrix, solve_upper, solve_upper_matrix};
+
+/// The Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix, stored as the lower factor `L`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors `a` as `L·Lᵀ`.
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular inputs and
+    /// [`LinalgError::Singular`] when a pivot is non-positive (the matrix is
+    /// not positive definite).
+    ///
+    /// Only the lower triangle of `a` is read, so callers holding a matrix
+    /// that is symmetric only up to rounding (e.g. `AᵀA` assembled with a
+    /// non-symmetric kernel) get a well-defined result.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                op: "cholesky",
+                shape: a.shape(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal: l_jj = sqrt(a_jj - Σ_{k<j} l_jk²)
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                let v = l[(j, k)];
+                d -= v * v;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::Singular {
+                    op: "cholesky",
+                    pivot: j,
+                });
+            }
+            let djj = d.sqrt();
+            l[(j, j)] = djj;
+            // Column below the diagonal: l_ij = (a_ij - Σ_{k<j} l_ik·l_jk)/l_jj
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                // Both slices are within the already-computed triangle.
+                let (ri, rj) = (i * n, j * n);
+                let li = &l.as_slice()[ri..ri + j];
+                let lj = &l.as_slice()[rj..rj + j];
+                s -= crate::blas::dot(li, lj);
+                l[(i, j)] = s / djj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Borrow the lower factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Consume the factorization and return `L`.
+    pub fn into_l(self) -> Matrix {
+        self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A·x = b` via the two triangular solves `L·y = b`, `Lᵀ·x = y`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = solve_lower(&self.l, b)?;
+        solve_upper(&self.l.transpose(), &y)
+    }
+
+    /// Solves `A·X = B` for a matrix right-hand side.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let y = solve_lower_matrix(&self.l, b)?;
+        solve_upper_matrix(&self.l.transpose(), &y)
+    }
+
+    /// Inverse of the factored matrix, computed by solving against the
+    /// identity. Exposed because the paper's RLS expression is written with
+    /// an explicit inverse; [`Cholesky::solve_matrix`] is the cheaper path.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factored matrix: `det(A) = Π l_jj²`.
+    pub fn det(&self) -> f64 {
+        let mut d = 1.0;
+        for j in 0..self.dim() {
+            let v = self.l[(j, j)];
+            d *= v * v;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::gemv;
+    use crate::gemm::gemm_naive;
+    use crate::random::{random_spd, random_vector};
+    use rand::prelude::*;
+
+    #[test]
+    fn factor_known_matrix() {
+        // A = [[4, 2], [2, 3]] has L = [[2, 0], [1, sqrt(2)]].
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.l()[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((ch.l()[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((ch.l()[(1, 1)] - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(ch.l()[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn reconstruction_l_lt() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = random_spd(&mut rng, 25);
+        let ch = Cholesky::factor(&a).unwrap();
+        let rec = gemm_naive(ch.l(), &ch.l().transpose()).unwrap();
+        assert!(rec.approx_eq(&a, 1e-7), "max diff {}", rec.try_sub(&a).unwrap().max_abs());
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = random_spd(&mut rng, 30);
+        let x_true = random_vector(&mut rng, 30);
+        let b = gemv(&a, &x_true).unwrap();
+        let x = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        for (got, exp) in x.iter().zip(&x_true) {
+            assert!((got - exp).abs() < 1e-5, "{got} vs {exp}");
+        }
+    }
+
+    #[test]
+    fn solve_matrix_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = random_spd(&mut rng, 16);
+        let x_true = crate::random::random_matrix(&mut rng, 16, 3);
+        let b = gemm_naive(&a, &x_true).unwrap();
+        let x = Cholesky::factor(&a).unwrap().solve_matrix(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-5));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let a = random_spd(&mut rng, 12);
+        let inv = Cholesky::factor(&a).unwrap().inverse().unwrap();
+        let prod = gemm_naive(&a, &inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(12), 1e-6));
+    }
+
+    #[test]
+    fn det_of_diagonal() {
+        let a = Matrix::from_diag(&[4.0, 9.0]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.det() - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let err = Cholesky::factor(&Matrix::zeros(2, 3)).unwrap_err();
+        assert!(matches!(err, LinalgError::NotSquare { .. }));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        let err = Cholesky::factor(&a).unwrap_err();
+        assert!(matches!(err, LinalgError::Singular { op: "cholesky", .. }));
+    }
+
+    #[test]
+    fn rejects_zero_matrix() {
+        let err = Cholesky::factor(&Matrix::zeros(3, 3)).unwrap_err();
+        assert!(matches!(err, LinalgError::Singular { pivot: 0, .. }));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[&[9.0]]).unwrap();
+        let ch = Cholesky::factor(&a).unwrap();
+        assert_eq!(ch.l()[(0, 0)], 3.0);
+        assert_eq!(ch.solve(&[18.0]).unwrap(), vec![2.0]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Spectral condition numbers and regularization diagnostics for the RLS
+//! `MathTask`.
+//!
+//! The paper's Procedure 6 feeds each iteration's penalty back as the next
+//! regularizer `λ`; these helpers quantify how `λ` moves the Gram matrix's
+//! condition number — the numerical side of the algorithm-equivalence
+//! story (the Cholesky and QR RLS paths differ precisely in how they cope
+//! with ill-conditioned Gram matrices).
+
+use crate::eigen::symmetric_eigen;
+use crate::error::Result;
+use crate::gemm::syrk_ata;
+use crate::matrix::Matrix;
+
+/// Spectral (2-norm) condition number of a symmetric positive-definite
+/// matrix: `λ_max / λ_min`.
+///
+/// Returns `f64::INFINITY` when the smallest eigenvalue is non-positive
+/// (the matrix is singular or indefinite to working precision).
+pub fn spd_condition_number(a: &Matrix) -> Result<f64> {
+    let e = symmetric_eigen(a)?;
+    let max = e.values.first().copied().unwrap_or(0.0);
+    let min = e.values.last().copied().unwrap_or(0.0);
+    if min <= 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(max / min)
+}
+
+/// Condition number of the regularized Gram matrix `AᵀA + λI`.
+pub fn rls_gram_condition(a: &Matrix, lambda: f64) -> Result<f64> {
+    let mut gram = syrk_ata(a);
+    gram.add_diag_mut(lambda);
+    spd_condition_number(&gram)
+}
+
+/// The smallest `λ` from `candidates` whose regularized Gram matrix meets
+/// the target condition number, or `None` if none does. This is the
+/// selection rule an energy-constrained device would use to keep the
+/// cheap Cholesky path numerically safe instead of paying for QR.
+pub fn min_lambda_for_condition(
+    a: &Matrix,
+    candidates: &[f64],
+    target: f64,
+) -> Result<Option<f64>> {
+    let mut sorted: Vec<f64> = candidates.to_vec();
+    sorted.sort_by(|x, y| x.partial_cmp(y).expect("finite lambdas"));
+    for &lambda in &sorted {
+        if rls_gram_condition(a, lambda)? <= target {
+            return Ok(Some(lambda));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_matrix;
+    use rand::prelude::*;
+
+    #[test]
+    fn identity_has_condition_one() {
+        assert!((spd_condition_number(&Matrix::identity(5)).unwrap() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn diagonal_condition_is_ratio() {
+        let a = Matrix::from_diag(&[10.0, 2.0, 1.0]);
+        assert!((spd_condition_number(&a).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_is_infinite() {
+        let a = Matrix::from_diag(&[1.0, 0.0]);
+        assert!(spd_condition_number(&a).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn regularization_improves_conditioning() {
+        let mut rng = StdRng::seed_from_u64(151);
+        let a = random_matrix(&mut rng, 20, 20);
+        let loose = rls_gram_condition(&a, 1e-9).unwrap();
+        let tight = rls_gram_condition(&a, 1.0).unwrap();
+        let very_tight = rls_gram_condition(&a, 100.0).unwrap();
+        assert!(tight < loose);
+        assert!(very_tight < tight);
+        assert!(very_tight >= 1.0);
+    }
+
+    #[test]
+    fn min_lambda_selection() {
+        let mut rng = StdRng::seed_from_u64(152);
+        let a = random_matrix(&mut rng, 15, 15);
+        let candidates = [1e-6, 1e-3, 1.0, 1e3];
+        // A huge target accepts the smallest lambda.
+        let l = min_lambda_for_condition(&a, &candidates, 1e12).unwrap();
+        assert_eq!(l, Some(1e-6));
+        // A tiny target forces a large lambda (or none).
+        let l = min_lambda_for_condition(&a, &candidates, 1.5).unwrap();
+        assert!(l.is_none() || l.unwrap() >= 1.0);
+        // Impossible target.
+        let l = min_lambda_for_condition(&a, &candidates, 0.5).unwrap();
+        assert_eq!(l, None);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(spd_condition_number(&Matrix::zeros(2, 3)).is_err());
+    }
+}

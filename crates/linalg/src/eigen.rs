@@ -1,0 +1,204 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Used by [`crate::condition`] to compute spectral condition numbers of
+//! the RLS Gram matrices — the diagnostic that explains *why* the
+//! regularization parameter matters for the paper's `MathTask` — and by
+//! downstream analyses that need spectra of measured covariance matrices.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition `A = V·Λ·Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, in the order of `values`.
+    pub vectors: Matrix,
+}
+
+/// Default maximum number of Jacobi sweeps.
+pub const MAX_SWEEPS: usize = 64;
+
+/// Convergence threshold on the off-diagonal Frobenius norm, relative to
+/// the matrix norm.
+pub const OFF_DIAG_TOL: f64 = 1e-12;
+
+/// Computes all eigenvalues and eigenvectors of a symmetric matrix with
+/// the cyclic Jacobi rotation method.
+///
+/// Returns [`LinalgError::NotSquare`] for rectangular input; symmetry is
+/// the caller's contract (only the upper triangle is read consistently —
+/// asymmetric input gives the decomposition of `(A + Aᵀ)/2` up to
+/// first order).
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            op: "symmetric_eigen",
+            shape: a.shape(),
+        });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let norm = m.frobenius_norm().max(f64::MIN_POSITIVE);
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[(p, q)] * m[(p, q)];
+            }
+        }
+        if (2.0 * off).sqrt() <= OFF_DIAG_TOL * norm {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Standard stable Jacobi rotation computation.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Collect and sort descending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+    Ok(SymmetricEigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::gemv;
+    use crate::gemm::gemm_naive;
+    use crate::random::random_spd;
+    use rand::prelude::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_v_lambda_vt() {
+        let mut rng = StdRng::seed_from_u64(141);
+        let a = random_spd(&mut rng, 15);
+        let e = symmetric_eigen(&a).unwrap();
+        let lambda = Matrix::from_diag(&e.values);
+        let rec = gemm_naive(&gemm_naive(&e.vectors, &lambda).unwrap(), &e.vectors.transpose())
+            .unwrap();
+        assert!(
+            rec.approx_eq(&a, 1e-7),
+            "max diff {}",
+            rec.try_sub(&a).unwrap().max_abs()
+        );
+    }
+
+    #[test]
+    fn vectors_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(142);
+        let a = random_spd(&mut rng, 12);
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = gemm_naive(&e.vectors.transpose(), &e.vectors).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(12), 1e-8));
+    }
+
+    #[test]
+    fn eigenpairs_satisfy_av_eq_lambda_v() {
+        let mut rng = StdRng::seed_from_u64(143);
+        let a = random_spd(&mut rng, 10);
+        let e = symmetric_eigen(&a).unwrap();
+        for c in 0..10 {
+            let vcol = e.vectors.col(c);
+            let av = gemv(&a, &vcol).unwrap();
+            for i in 0..10 {
+                assert!(
+                    (av[i] - e.values[c] * vcol[i]).abs() < 1e-7,
+                    "eigenpair {c} violated at row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spd_eigenvalues_positive_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(144);
+        let a = random_spd(&mut rng, 20);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!(e.values.iter().all(|&l| l > 0.0));
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let mut rng = StdRng::seed_from_u64(145);
+        let a = random_spd(&mut rng, 8);
+        let trace: f64 = (0..8).map(|i| a[(i, i)]).sum();
+        let e = symmetric_eigen(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let e = symmetric_eigen(&Matrix::from_rows(&[&[5.0]]).unwrap()).unwrap();
+        assert_eq!(e.values, vec![5.0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for the linear algebra substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Errors produced by linear algebra kernels.
+///
+/// The kernels validate their inputs eagerly so that shape bugs surface at
+/// the call site rather than as out-of-bounds panics deep inside a blocked
+/// loop nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable operation name, e.g. `"gemm"`.
+        op: &'static str,
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// An operation requiring a square matrix received a rectangular one.
+    NotSquare {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Offending shape.
+        shape: (usize, usize),
+    },
+    /// A factorization failed because the matrix is singular (or, for
+    /// Cholesky, not positive definite) at the given pivot index.
+    Singular {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Pivot index at which the breakdown was detected.
+        pivot: usize,
+    },
+    /// A dimension argument was zero where a positive size is required.
+    EmptyDimension {
+        /// Human-readable operation name.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: shape mismatch {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { op, shape } => {
+                write!(f, "{op}: expected square matrix, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular { op, pivot } => {
+                write!(f, "{op}: singular (or not positive definite) at pivot {pivot}")
+            }
+            LinalgError::EmptyDimension { op } => {
+                write!(f, "{op}: dimension must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch {
+            op: "gemm",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(e.to_string(), "gemm: shape mismatch 2x3 vs 4x5");
+    }
+
+    #[test]
+    fn display_not_square() {
+        let e = LinalgError::NotSquare {
+            op: "cholesky",
+            shape: (2, 3),
+        };
+        assert_eq!(e.to_string(), "cholesky: expected square matrix, got 2x3");
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = LinalgError::Singular { op: "lu", pivot: 1 };
+        assert_eq!(e.to_string(), "lu: singular (or not positive definite) at pivot 1");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LinalgError::EmptyDimension { op: "qr" });
+    }
+}

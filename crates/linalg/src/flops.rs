@@ -1,0 +1,185 @@
+//! Exact floating-point-operation counts for every kernel in this crate.
+//!
+//! The paper's Sec. IV selects algorithms under a budget on "the number of
+//! floating point operations (FLOPs) performed by the scientific code on
+//! that device"; these counts feed the simulator's timing and energy models
+//! and the decision models in `relperf-core`.
+
+/// FLOPs of a general `m x k · k x n` matrix product (one multiply and one
+/// add per inner-loop step): `2·m·k·n`.
+pub fn gemm(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+/// FLOPs of a matrix-vector product `m x n · n`: `2·m·n`.
+pub fn gemv(m: usize, n: usize) -> u64 {
+    2 * (m as u64) * (n as u64)
+}
+
+/// FLOPs of `AᵀA` for an `m x n` matrix exploiting symmetry:
+/// `m·n·(n+1)` (half of the general product plus the diagonal).
+pub fn syrk(m: usize, n: usize) -> u64 {
+    (m as u64) * (n as u64) * (n as u64 + 1)
+}
+
+/// FLOPs of a Cholesky factorization of an `n x n` SPD matrix: `n³/3`
+/// to leading order (the conventional `(1/3)n³ + O(n²)` count, rounded).
+pub fn cholesky(n: usize) -> u64 {
+    let n = n as u64;
+    (n * n * n) / 3 + n * n
+}
+
+/// FLOPs of an LU factorization with partial pivoting: `(2/3)·n³` to
+/// leading order.
+pub fn lu(n: usize) -> u64 {
+    let n = n as u64;
+    2 * n * n * n / 3 + n * n
+}
+
+/// FLOPs of a Householder QR of an `m x n` matrix (`m ≥ n`):
+/// `2·n²·(m − n/3)` to leading order.
+pub fn qr(m: usize, n: usize) -> u64 {
+    let (m, n) = (m as u64, n as u64);
+    2 * n * n * m - (2 * n * n * n) / 3
+}
+
+/// FLOPs of one triangular solve with an `n x n` factor and a single
+/// right-hand side: `n²`.
+pub fn trsv(n: usize) -> u64 {
+    let n = n as u64;
+    n * n
+}
+
+/// FLOPs of a triangular solve with an `n x n` factor and `k` right-hand
+/// sides: `k·n²`.
+pub fn trsm(n: usize, k: usize) -> u64 {
+    (k as u64) * trsv(n)
+}
+
+/// FLOPs of the Frobenius norm of an `m x n` matrix: `2·m·n` (square and
+/// accumulate) plus one square root.
+pub fn frobenius(m: usize, n: usize) -> u64 {
+    2 * (m as u64) * (n as u64) + 1
+}
+
+/// FLOPs of an elementwise matrix addition / subtraction: `m·n`.
+pub fn elementwise(m: usize, n: usize) -> u64 {
+    (m as u64) * (n as u64)
+}
+
+/// FLOPs of one iteration of the paper's `MathTask` body (Procedure 6) with
+/// `size x size` matrices, solving `Z = (AᵀA + λI)⁻¹ AᵀB` via the
+/// normal-equations/Cholesky path and computing the penalty
+/// `‖A·Z − B‖²`:
+///
+/// * `AᵀA` (symmetric rank-k update),
+/// * `+ λI` (n adds),
+/// * Cholesky factorization,
+/// * `AᵀB` (general product),
+/// * two triangular solves with `n` right-hand sides,
+/// * `A·Z` and the residual norm.
+pub fn rls_iteration(size: usize) -> u64 {
+    let s = size;
+    syrk(s, s)
+        + s as u64
+        + cholesky(s)
+        + gemm(s, s, s)
+        + 2 * trsm(s, s)
+        + gemm(s, s, s)
+        + elementwise(s, s)
+        + frobenius(s, s)
+}
+
+/// Total FLOPs of a `MathTask` of `iters` iterations at the given size.
+pub fn rls_task(size: usize, iters: usize) -> u64 {
+    (iters as u64) * rls_iteration(size)
+}
+
+/// Bytes of one dense `rows x cols` `f64` matrix.
+pub fn matrix_bytes(rows: usize, cols: usize) -> u64 {
+    8 * (rows as u64) * (cols as u64)
+}
+
+/// Bytes that must cross the device link per `MathTask` iteration when the
+/// task runs on the accelerator: the two input matrices `A`, `B` move to the
+/// device and the scalar penalty comes back (the result matrix `Z` stays
+/// device-resident, matching the TensorFlow placement behaviour the paper
+/// describes as "data-movement between CPU and GPU").
+pub fn rls_iteration_offload_bytes(size: usize) -> u64 {
+    2 * matrix_bytes(size, size) + 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_count() {
+        assert_eq!(gemm(2, 3, 4), 48);
+        assert_eq!(gemm(0, 3, 4), 0);
+    }
+
+    #[test]
+    fn gemv_count() {
+        assert_eq!(gemv(3, 4), 24);
+    }
+
+    #[test]
+    fn syrk_is_half_of_gemm_plus_diagonal() {
+        // For square m = n = s: syrk = s·s·(s+1), gemm = 2·s³.
+        let s = 10;
+        assert!(syrk(s, s) < gemm(s, s, s));
+        assert_eq!(syrk(s, s), 10 * 10 * 11);
+    }
+
+    #[test]
+    fn cholesky_leading_order() {
+        // n=30: n³/3 = 9000; the n² correction adds 900.
+        assert_eq!(cholesky(30), 9900);
+    }
+
+    #[test]
+    fn qr_exceeds_cholesky_for_square() {
+        // QR on a square matrix costs roughly 4x Cholesky — the reason the
+        // normal-equations path is the default in `rls`.
+        let n = 64;
+        assert!(qr(n, n) > 3 * cholesky(n));
+    }
+
+    #[test]
+    fn trsm_scales_with_rhs_count() {
+        assert_eq!(trsm(10, 3), 300);
+    }
+
+    #[test]
+    fn rls_iteration_dominated_by_cubic_terms() {
+        let s = 100;
+        let total = rls_iteration(s);
+        // Two GEMMs (4·s³) + syrk (≈s³) + cholesky (≈s³/3) + trsm (2·s³).
+        let cubic_estimate = 4 * (s as u64).pow(3)
+            + syrk(s, s)
+            + cholesky(s)
+            + 2 * trsm(s, s);
+        assert!(total >= cubic_estimate);
+        assert!(total < cubic_estimate + 10 * (s as u64).pow(2) + 10);
+    }
+
+    #[test]
+    fn rls_task_is_linear_in_iterations() {
+        assert_eq!(rls_task(50, 10), 10 * rls_iteration(50));
+        assert_eq!(rls_task(50, 0), 0);
+    }
+
+    #[test]
+    fn bytes_counts() {
+        assert_eq!(matrix_bytes(2, 3), 48);
+        assert_eq!(rls_iteration_offload_bytes(10), 2 * 800 + 8);
+    }
+
+    #[test]
+    fn monotonicity_in_size() {
+        for s in 1..50 {
+            assert!(rls_iteration(s + 1) > rls_iteration(s));
+        }
+    }
+}

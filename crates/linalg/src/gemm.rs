@@ -1,0 +1,310 @@
+//! Matrix-matrix multiplication kernels.
+//!
+//! Four mathematically equivalent implementations are provided — precisely
+//! the situation the paper studies (equivalent algorithms with different
+//! performance characteristics):
+//!
+//! * [`gemm_naive`] — triple loop in `ikj` order; the correctness reference.
+//! * [`gemm_blocked`] — cache-blocked over all three dimensions.
+//! * [`gemm_packed`] — blocked with an explicitly packed transposed `B`
+//!   panel so the inner kernel streams both operands contiguously.
+//! * [`gemm_parallel`] — the packed kernel parallelized over row bands with
+//!   scoped threads.
+//!
+//! All variants agree with the naive reference up to floating-point
+//! reassociation (property-tested in `tests/`).
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Cache block edge used by the blocked kernels. 64 doubles = 512 bytes per
+/// row strip, sized so that three blocks fit comfortably in a typical L1.
+pub const BLOCK: usize = 64;
+
+fn check_shapes(a: &Matrix, b: &Matrix) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "gemm",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Naive `ikj`-order GEMM; the correctness reference for the other kernels.
+pub fn gemm_naive(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    check_shapes(a, b)?;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for l in 0..k {
+            let aval = a[(i, l)];
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = b.row(l);
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                crow[j] += aval * brow[j];
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Cache-blocked GEMM over all three dimensions.
+pub fn gemm_blocked(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    check_shapes(a, b)?;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for ib in (0..m).step_by(BLOCK) {
+        let imax = (ib + BLOCK).min(m);
+        for lb in (0..k).step_by(BLOCK) {
+            let lmax = (lb + BLOCK).min(k);
+            for jb in (0..n).step_by(BLOCK) {
+                let jmax = (jb + BLOCK).min(n);
+                for i in ib..imax {
+                    for l in lb..lmax {
+                        let aval = a[(i, l)];
+                        let brow = b.row(l);
+                        let crow = c.row_mut(i);
+                        for j in jb..jmax {
+                            crow[j] += aval * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Packs columns `j0..j1` of `b` into a column-major panel so the micro
+/// kernel reads it contiguously.
+fn pack_b_panel(b: &Matrix, j0: usize, j1: usize) -> Vec<f64> {
+    let k = b.rows();
+    let w = j1 - j0;
+    let mut panel = vec![0.0; k * w];
+    for l in 0..k {
+        let row = b.row(l);
+        for (jj, &v) in row[j0..j1].iter().enumerate() {
+            panel[jj * k + l] = v;
+        }
+    }
+    panel
+}
+
+/// Blocked GEMM with an explicitly packed `B` panel; the inner loop is a
+/// plain dot product over two contiguous slices.
+pub fn gemm_packed(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    check_shapes(a, b)?;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for jb in (0..n).step_by(BLOCK) {
+        let jmax = (jb + BLOCK).min(n);
+        let panel = pack_b_panel(b, jb, jmax);
+        for i in 0..m {
+            let arow = a.row(i);
+            let crow = c.row_mut(i);
+            for (jj, cval) in crow[jb..jmax].iter_mut().enumerate() {
+                *cval = crate::blas::dot(arow, &panel[jj * k..(jj + 1) * k]);
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Packed GEMM parallelized over row bands with scoped threads.
+///
+/// `threads == 0` is interpreted as "use available parallelism". The output
+/// is identical to [`gemm_packed`] for any thread count because each row of
+/// `C` is computed by exactly one thread with the same reduction order.
+pub fn gemm_parallel(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matrix> {
+    check_shapes(a, b)?;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    let threads = threads.min(m.max(1));
+    if threads <= 1 || m == 0 {
+        return gemm_packed(a, b);
+    }
+
+    let mut c = Matrix::zeros(m, n);
+    let rows_per_band = m.div_ceil(threads);
+    {
+        let data = c.as_mut_slice();
+        let mut bands: Vec<&mut [f64]> = data.chunks_mut(rows_per_band * n).collect();
+        std::thread::scope(|scope| {
+            for (band_idx, band) in bands.drain(..).enumerate() {
+                let a_ref = &a;
+                let b_ref = &b;
+                scope.spawn(move || {
+                    let i0 = band_idx * rows_per_band;
+                    let band_rows = band.len() / n;
+                    for jb in (0..n).step_by(BLOCK) {
+                        let jmax = (jb + BLOCK).min(n);
+                        let panel = pack_b_panel(b_ref, jb, jmax);
+                        for local_i in 0..band_rows {
+                            let arow = a_ref.row(i0 + local_i);
+                            let crow = &mut band[local_i * n..(local_i + 1) * n];
+                            for (jj, cval) in crow[jb..jmax].iter_mut().enumerate() {
+                                *cval =
+                                    crate::blas::dot(arow, &panel[jj * k..(jj + 1) * k]);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+    Ok(c)
+}
+
+/// Computes `AᵀA` exploiting symmetry (only the upper triangle is computed,
+/// then mirrored), the hot first step of the paper's RLS task.
+pub fn syrk_ata(a: &Matrix) -> Matrix {
+    let (m, n) = a.shape();
+    let mut c = Matrix::zeros(n, n);
+    // Accumulate rank-1 contributions row by row of A: AᵀA = Σᵢ aᵢ aᵢᵀ.
+    for i in 0..m {
+        let row = a.row(i);
+        for p in 0..n {
+            let v = row[p];
+            if v == 0.0 {
+                continue;
+            }
+            let crow = c.row_mut(p);
+            for q in p..n {
+                crow[q] += v * row[q];
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for p in 0..n {
+        for q in (p + 1)..n {
+            let v = c[(p, q)];
+            c[(q, p)] = v;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_matrix;
+    use rand::prelude::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix) {
+        assert!(
+            a.approx_eq(b, 1e-9),
+            "matrices differ: max |Δ| = {}",
+            a.try_sub(b).map(|d| d.max_abs()).unwrap_or(f64::NAN)
+        );
+    }
+
+    #[test]
+    fn naive_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = gemm_naive(&a, &b).unwrap();
+        let expect = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap();
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected_by_all_variants() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        assert!(gemm_naive(&a, &b).is_err());
+        assert!(gemm_blocked(&a, &b).is_err());
+        assert!(gemm_packed(&a, &b).is_err());
+        assert!(gemm_parallel(&a, &b, 2).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_matrix(&mut rng, 17, 17);
+        let i = Matrix::identity(17);
+        assert_close(&gemm_blocked(&a, &i).unwrap(), &a);
+        assert_close(&gemm_blocked(&i, &a).unwrap(), &a);
+    }
+
+    #[test]
+    fn blocked_matches_naive_rectangular() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_matrix(&mut rng, 70, 33);
+        let b = random_matrix(&mut rng, 33, 91);
+        assert_close(&gemm_blocked(&a, &b).unwrap(), &gemm_naive(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn packed_matches_naive_rectangular() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_matrix(&mut rng, 65, 64);
+        let b = random_matrix(&mut rng, 64, 67);
+        assert_close(&gemm_packed(&a, &b).unwrap(), &gemm_naive(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn parallel_matches_packed_exactly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = random_matrix(&mut rng, 50, 40);
+        let b = random_matrix(&mut rng, 40, 30);
+        let seq = gemm_packed(&a, &b).unwrap();
+        for threads in [1, 2, 3, 4, 7] {
+            let par = gemm_parallel(&a, &b, threads).unwrap();
+            // Bitwise identical: each row uses the same reduction order.
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_more_threads_than_rows() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_matrix(&mut rng, 3, 8);
+        let b = random_matrix(&mut rng, 8, 5);
+        let par = gemm_parallel(&a, &b, 16).unwrap();
+        assert_close(&par, &gemm_naive(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn parallel_auto_thread_count() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random_matrix(&mut rng, 20, 20);
+        let b = random_matrix(&mut rng, 20, 20);
+        let par = gemm_parallel(&a, &b, 0).unwrap();
+        assert_close(&par, &gemm_naive(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 4);
+        let c = gemm_blocked(&a, &b).unwrap();
+        assert_eq!(c.shape(), (0, 4));
+        let a1 = Matrix::from_rows(&[&[2.0]]).unwrap();
+        let b1 = Matrix::from_rows(&[&[3.0]]).unwrap();
+        assert_eq!(gemm_packed(&a1, &b1).unwrap()[(0, 0)], 6.0);
+    }
+
+    #[test]
+    fn syrk_matches_explicit_ata() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = random_matrix(&mut rng, 23, 17);
+        let explicit = gemm_naive(&a.transpose(), &a).unwrap();
+        assert_close(&syrk_ata(&a), &explicit);
+    }
+
+    #[test]
+    fn syrk_output_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = random_matrix(&mut rng, 31, 12);
+        assert!(syrk_ata(&a).is_symmetric(1e-12));
+    }
+}

@@ -1,0 +1,80 @@
+//! Dense linear algebra substrate for the relative-performance reproduction.
+//!
+//! The paper's workloads are built from TensorFlow 2.1 linear algebra; this
+//! crate replaces that dependency with a self-contained, pure-Rust stack:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with checked and unchecked
+//!   access, views, and elementwise helpers.
+//! * [`gemm`] — matrix-matrix multiplication in four flavours (naive, blocked,
+//!   packed, and thread-parallel), all bit-agreeing up to floating-point
+//!   reassociation and property-tested against the naive reference.
+//! * [`cholesky`], [`lu`], [`qr`], [`triangular`] — the factorizations needed
+//!   to solve the paper's Regularized Least Squares (RLS) task.
+//! * [`rls`] — the RLS solver `Z = (AᵀA + λI)⁻¹ AᵀB` (Procedure 6 of the
+//!   paper) with both a normal-equations/Cholesky path and a QR path.
+//! * [`flops`] — exact floating-point-operation counts for every kernel,
+//!   consumed by the simulator's energy model.
+//!
+//! All kernels are deterministic given their inputs; randomness only enters
+//! through [`random`] which is fully seeded.
+
+#![warn(missing_docs)]
+
+pub mod blas;
+pub mod cholesky;
+pub mod condition;
+pub mod eigen;
+pub mod error;
+pub mod flops;
+pub mod gemm;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod random;
+pub mod rls;
+pub mod strassen;
+pub mod svd;
+pub mod triangular;
+
+pub use error::{LinalgError, Result};
+pub use matrix::Matrix;
+
+/// Default tolerance used by tests and debug assertions when comparing
+/// floating-point results of mathematically equivalent kernels.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` agree to within `tol` absolutely or
+/// relatively (whichever is looser), the standard mixed criterion for
+/// comparing results of reassociated floating-point computations.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative_for_large_values() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1e12, 1.01e12, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_zero() {
+        assert!(approx_eq(0.0, 0.0, 1e-9));
+        assert!(approx_eq(0.0, 1e-12, 1e-9));
+    }
+}

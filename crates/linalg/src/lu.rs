@@ -1,0 +1,276 @@
+//! LU factorization with partial pivoting.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// The factorization `P·A = L·U` with partial (row) pivoting, stored packed:
+/// `L` (unit diagonal, implicit) in the strict lower triangle and `U` in the
+/// upper triangle of a single matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lu {
+    packed: Matrix,
+    /// Row permutation: `perm[i]` is the original index of pivoted row `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, `+1.0` or `-1.0` (used by the determinant).
+    perm_sign: f64,
+}
+
+/// Pivot magnitude below which the matrix is declared singular.
+pub const PIVOT_TOL: f64 = 1e-13;
+
+impl Lu {
+    /// Factors `a` with partial pivoting.
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular inputs and
+    /// [`LinalgError::Singular`] when no acceptable pivot exists in some
+    /// column.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                op: "lu",
+                shape: a.shape(),
+            });
+        }
+        let n = a.rows();
+        let mut m = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Find the largest pivot in column k at or below the diagonal.
+            let mut p = k;
+            let mut pmax = m[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = m[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < PIVOT_TOL {
+                return Err(LinalgError::Singular { op: "lu", pivot: k });
+            }
+            if p != k {
+                // Swap rows k and p of the working matrix and the permutation.
+                for j in 0..n {
+                    let t = m[(k, j)];
+                    m[(k, j)] = m[(p, j)];
+                    m[(p, j)] = t;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = m[(k, k)];
+            for i in (k + 1)..n {
+                let factor = m[(i, k)] / pivot;
+                m[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let u = m[(k, j)];
+                    m[(i, j)] -= factor * u;
+                }
+            }
+        }
+        Ok(Lu {
+            packed: m,
+            perm,
+            perm_sign: sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Extracts the unit-lower-triangular factor `L` as a dense matrix.
+    pub fn l(&self) -> Matrix {
+        let n = self.dim();
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else if j < i {
+                self.packed[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Extracts the upper-triangular factor `U` as a dense matrix.
+    pub fn u(&self) -> Matrix {
+        let n = self.dim();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.packed[(i, j)] } else { 0.0 })
+    }
+
+    /// Returns the permutation as a vector: row `i` of the factored system
+    /// corresponds to row `perm[i]` of the original matrix.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Solves `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply the permutation, then forward/backward substitution on the
+        // packed factors (L has an implicit unit diagonal).
+        let mut x: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
+        for i in 0..n {
+            let row = self.packed.row(i);
+            let mut s = x[i];
+            for j in 0..i {
+                s -= row[j] * x[j];
+            }
+            x[i] = s; // unit diagonal
+        }
+        for i in (0..n).rev() {
+            let row = self.packed.row(i);
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= row[j] * x[j];
+            }
+            let d = row[i];
+            if d.abs() < PIVOT_TOL {
+                return Err(LinalgError::Singular {
+                    op: "lu_solve",
+                    pivot: i,
+                });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` for a matrix right-hand side.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve_matrix",
+                lhs: (self.dim(), self.dim()),
+                rhs: b.shape(),
+            });
+        }
+        let bt = b.transpose();
+        let mut xt = Matrix::zeros(b.cols(), self.dim());
+        for c in 0..b.cols() {
+            let x = self.solve(bt.row(c))?;
+            xt.row_mut(c).copy_from_slice(&x);
+        }
+        Ok(xt.transpose())
+    }
+
+    /// Inverse via solves against the identity.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant `det(A) = sign(P) · Π u_kk`.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for k in 0..self.dim() {
+            d *= self.packed[(k, k)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::gemv;
+    use crate::gemm::gemm_naive;
+    use crate::random::{random_diag_dominant, random_matrix, random_vector};
+    use rand::prelude::*;
+
+    #[test]
+    fn reconstruction_pa_eq_lu() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = random_matrix(&mut rng, 18, 18);
+        let lu = Lu::factor(&a).unwrap();
+        let l = lu.l();
+        let u = lu.u();
+        let prod = gemm_naive(&l, &u).unwrap();
+        // Build P·A explicitly from the permutation vector.
+        let pa = Matrix::from_fn(18, 18, |i, j| a[(lu.permutation()[i], j)]);
+        assert!(prod.approx_eq(&pa, 1e-8), "max diff {}", prod.try_sub(&pa).unwrap().max_abs());
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let a = random_diag_dominant(&mut rng, 25);
+        let x_true = random_vector(&mut rng, 25);
+        let b = gemv(&a, &x_true).unwrap();
+        let x = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        for (g, e) in x.iter().zip(&x_true) {
+            assert!((g - e).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_element() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let err = Lu::factor(&a).unwrap_err();
+        assert!(matches!(err, LinalgError::Singular { op: "lu", .. }));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(Lu::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn det_known_values() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]).unwrap();
+        assert!((Lu::factor(&a).unwrap().det() - 6.0).abs() < 1e-12);
+        // Permutation matrix has determinant -1.
+        let p = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((Lu::factor(&p).unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_matches_identity() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let a = random_diag_dominant(&mut rng, 10);
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = gemm_naive(&a, &inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(10), 1e-8));
+    }
+
+    #[test]
+    fn solve_matrix_matches_vector_solves() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let a = random_diag_dominant(&mut rng, 12);
+        let b = random_matrix(&mut rng, 12, 3);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve_matrix(&b).unwrap();
+        for c in 0..3 {
+            let xc = lu.solve(&b.col(c)).unwrap();
+            for i in 0..12 {
+                assert!((x[(i, c)] - xc[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_shape_errors() {
+        let lu = Lu::factor(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+        assert!(lu.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+}

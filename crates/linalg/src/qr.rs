@@ -1,0 +1,322 @@
+//! QR factorization via Householder reflections.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::triangular::solve_upper;
+
+/// Householder QR factorization `A = Q·R` of an `m x n` matrix with `m ≥ n`.
+///
+/// `Q` is `m x m` orthogonal and `R` is `m x n` upper-trapezoidal. The
+/// factorization is stored compactly (reflectors + `R`); `Q` is materialized
+/// only on demand.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Reflector vectors, one per eliminated column (each of length `m`,
+    /// zero above its pivot index).
+    reflectors: Vec<Vec<f64>>,
+    /// The `R` factor (upper-trapezoidal `m x n`).
+    r: Matrix,
+}
+
+impl Qr {
+    /// Factors `a` (`m x n`, `m ≥ n`) with Householder reflections.
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `m < n`.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        let mut r = a.clone();
+        let mut reflectors = Vec::with_capacity(n);
+        for k in 0..n {
+            // Build the Householder vector for column k.
+            let mut v = vec![0.0; m];
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                let x = r[(i, k)];
+                v[i] = x;
+                norm_sq += x * x;
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                // Column already zero below the pivot: identity reflector.
+                reflectors.push(vec![0.0; m]);
+                continue;
+            }
+            let alpha = if v[k] >= 0.0 { -norm } else { norm };
+            v[k] -= alpha;
+            let vnorm_sq: f64 = v[k..].iter().map(|x| x * x).sum();
+            if vnorm_sq == 0.0 {
+                reflectors.push(vec![0.0; m]);
+                continue;
+            }
+            // Apply H = I - 2 v vᵀ / (vᵀv) to R from the left.
+            for j in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * r[(i, j)];
+                }
+                let scale = 2.0 * dot / vnorm_sq;
+                for i in k..m {
+                    r[(i, j)] -= scale * v[i];
+                }
+            }
+            reflectors.push(v);
+        }
+        // Clean tiny sub-diagonal residue so R is exactly trapezoidal.
+        for j in 0..n {
+            for i in (j + 1)..m {
+                r[(i, j)] = 0.0;
+            }
+        }
+        Ok(Qr { reflectors, r })
+    }
+
+    /// Borrow the `R` factor (`m x n`, upper-trapezoidal).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn m(&self) -> usize {
+        self.r.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.r.cols()
+    }
+
+    /// Applies `Qᵀ` to a vector in place (the product of the stored
+    /// reflectors in factorization order).
+    pub fn apply_qt(&self, x: &mut [f64]) -> Result<()> {
+        let m = self.m();
+        if x.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr_apply_qt",
+                lhs: (m, 1),
+                rhs: (x.len(), 1),
+            });
+        }
+        for v in &self.reflectors {
+            let vnorm_sq: f64 = v.iter().map(|a| a * a).sum();
+            if vnorm_sq == 0.0 {
+                continue;
+            }
+            let dot: f64 = v.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+            let scale = 2.0 * dot / vnorm_sq;
+            for (xi, vi) in x.iter_mut().zip(v) {
+                *xi -= scale * vi;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies `Q` to a vector in place (reflectors in reverse order).
+    pub fn apply_q(&self, x: &mut [f64]) -> Result<()> {
+        let m = self.m();
+        if x.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr_apply_q",
+                lhs: (m, 1),
+                rhs: (x.len(), 1),
+            });
+        }
+        for v in self.reflectors.iter().rev() {
+            let vnorm_sq: f64 = v.iter().map(|a| a * a).sum();
+            if vnorm_sq == 0.0 {
+                continue;
+            }
+            let dot: f64 = v.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+            let scale = 2.0 * dot / vnorm_sq;
+            for (xi, vi) in x.iter_mut().zip(v) {
+                *xi -= scale * vi;
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes the full `m x m` orthogonal factor `Q`.
+    pub fn q(&self) -> Matrix {
+        let m = self.m();
+        let mut q = Matrix::zeros(m, m);
+        for c in 0..m {
+            let mut e = vec![0.0; m];
+            e[c] = 1.0;
+            self.apply_q(&mut e).expect("length matches by construction");
+            for i in 0..m {
+                q[(i, c)] = e[i];
+            }
+        }
+        q
+    }
+
+    /// Least-squares solve: minimizes `‖A·x − b‖₂` via `R₁·x = (Qᵀb)₁..n`.
+    ///
+    /// Returns [`LinalgError::Singular`] when `R` has a (numerically) zero
+    /// diagonal entry, i.e. `A` is rank deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = (self.m(), self.n());
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr_solve",
+                lhs: (m, 1),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut qtb = b.to_vec();
+        self.apply_qt(&mut qtb)?;
+        let r1 = self.r.submatrix(0, 0, n, n).expect("R1 block in bounds");
+        solve_upper(&r1, &qtb[..n])
+    }
+
+    /// Least-squares solve with a matrix right-hand side.
+    pub fn solve_least_squares_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.m() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr_solve_matrix",
+                lhs: (self.m(), self.n()),
+                rhs: b.shape(),
+            });
+        }
+        let n = self.n();
+        let bt = b.transpose();
+        let mut xt = Matrix::zeros(b.cols(), n);
+        for c in 0..b.cols() {
+            let x = self.solve_least_squares(bt.row(c))?;
+            xt.row_mut(c).copy_from_slice(&x);
+        }
+        Ok(xt.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{gemv, norm2};
+    use crate::gemm::gemm_naive;
+    use crate::random::{random_matrix, random_vector};
+    use rand::prelude::*;
+
+    #[test]
+    fn reconstruction_qr() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let a = random_matrix(&mut rng, 12, 7);
+        let qr = Qr::factor(&a).unwrap();
+        let rec = gemm_naive(&qr.q(), qr.r()).unwrap();
+        assert!(rec.approx_eq(&a, 1e-8), "max diff {}", rec.try_sub(&a).unwrap().max_abs());
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = random_matrix(&mut rng, 10, 6);
+        let q = Qr::factor(&a).unwrap().q();
+        let qtq = gemm_naive(&q.transpose(), &q).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(10), 1e-8));
+    }
+
+    #[test]
+    fn r_is_upper_trapezoidal() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let a = random_matrix(&mut rng, 9, 5);
+        let qr = Qr::factor(&a).unwrap();
+        for j in 0..5 {
+            for i in (j + 1)..9 {
+                assert_eq!(qr.r()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn square_exact_solve() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let a = crate::random::random_diag_dominant(&mut rng, 15);
+        let x_true = random_vector(&mut rng, 15);
+        let b = gemv(&a, &x_true).unwrap();
+        let x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        for (g, e) in x.iter().zip(&x_true) {
+            assert!((g - e).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn overdetermined_residual_is_orthogonal_to_range() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let a = random_matrix(&mut rng, 20, 6);
+        let b = random_vector(&mut rng, 20);
+        let x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        let ax = gemv(&a, &x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| q - p).collect();
+        // Normal equations: Aᵀ·r must vanish at the least-squares optimum.
+        let at_r = crate::blas::gemv_t(&a, &resid).unwrap();
+        assert!(norm2(&at_r) < 1e-8, "‖Aᵀr‖ = {}", norm2(&at_r));
+    }
+
+    #[test]
+    fn apply_q_then_qt_is_identity() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let a = random_matrix(&mut rng, 8, 4);
+        let qr = Qr::factor(&a).unwrap();
+        let x0 = random_vector(&mut rng, 8);
+        let mut x = x0.clone();
+        qr.apply_q(&mut x).unwrap();
+        qr.apply_qt(&mut x).unwrap();
+        for (g, e) in x.iter().zip(&x0) {
+            assert!((g - e).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        assert!(Qr::factor(&Matrix::zeros(3, 5)).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_detected_at_solve() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        let err = qr.solve_least_squares(&[1.0, 1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, LinalgError::Singular { .. }));
+    }
+
+    #[test]
+    fn zero_column_handled() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 2.0], &[0.0, 3.0]]).unwrap();
+        // Factorization itself must not fail; solve reports singularity.
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn matrix_rhs_matches_vector_solves() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let a = random_matrix(&mut rng, 10, 4);
+        let b = random_matrix(&mut rng, 10, 3);
+        let qr = Qr::factor(&a).unwrap();
+        let x = qr.solve_least_squares_matrix(&b).unwrap();
+        for c in 0..3 {
+            let xc = qr.solve_least_squares(&b.col(c)).unwrap();
+            for i in 0..4 {
+                assert!((x[(i, c)] - xc[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_errors_on_apply() {
+        let a = Matrix::identity(3);
+        let qr = Qr::factor(&a).unwrap();
+        let mut short = vec![1.0; 2];
+        assert!(qr.apply_q(&mut short).is_err());
+        assert!(qr.apply_qt(&mut short).is_err());
+        assert!(qr.solve_least_squares(&[1.0, 2.0]).is_err());
+        assert!(qr.solve_least_squares_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Strassen's matrix multiplication — yet another mathematically
+//! equivalent GEMM algorithm with different performance characteristics,
+//! exactly the situation the paper's methodology ranks.
+//!
+//! The implementation recurses on power-of-two padded operands down to a
+//! cutoff, below which it calls the blocked kernel. Asymptotically
+//! `O(n^2.807)`, but with larger constants and worse numerical behaviour
+//! than classical GEMM — whether it *actually* wins on a given platform is
+//! a measurement question, which is the whole point.
+
+use crate::error::Result;
+use crate::gemm::gemm_blocked;
+use crate::matrix::Matrix;
+
+/// Recursion cutoff: below this edge length the blocked kernel is used.
+pub const CUTOFF: usize = 64;
+
+/// Strassen multiply `A·B`.
+///
+/// Shapes are checked like [`gemm_blocked`]; rectangular operands are
+/// padded internally to the next power of two of the largest dimension.
+pub fn gemm_strassen(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(crate::error::LinalgError::ShapeMismatch {
+            op: "gemm_strassen",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let dim = m.max(k).max(n);
+    if dim <= CUTOFF {
+        return gemm_blocked(a, b);
+    }
+    let size = dim.next_power_of_two();
+    let ap = pad(a, size);
+    let bp = pad(b, size);
+    let cp = strassen_square(&ap, &bp, size);
+    Ok(crop(&cp, m, n))
+}
+
+fn pad(m: &Matrix, size: usize) -> Matrix {
+    let mut out = Matrix::zeros(size, size);
+    for i in 0..m.rows() {
+        out.row_mut(i)[..m.cols()].copy_from_slice(m.row(i));
+    }
+    out
+}
+
+fn crop(m: &Matrix, rows: usize, cols: usize) -> Matrix {
+    m.submatrix(0, 0, rows, cols).expect("crop within bounds")
+}
+
+fn quadrants(m: &Matrix, half: usize) -> (Matrix, Matrix, Matrix, Matrix) {
+    (
+        m.submatrix(0, 0, half, half).expect("q11"),
+        m.submatrix(0, half, half, half).expect("q12"),
+        m.submatrix(half, 0, half, half).expect("q21"),
+        m.submatrix(half, half, half, half).expect("q22"),
+    )
+}
+
+fn assemble(c11: &Matrix, c12: &Matrix, c21: &Matrix, c22: &Matrix, half: usize) -> Matrix {
+    let mut c = Matrix::zeros(2 * half, 2 * half);
+    for i in 0..half {
+        c.row_mut(i)[..half].copy_from_slice(c11.row(i));
+        c.row_mut(i)[half..].copy_from_slice(c12.row(i));
+        c.row_mut(half + i)[..half].copy_from_slice(c21.row(i));
+        c.row_mut(half + i)[half..].copy_from_slice(c22.row(i));
+    }
+    c
+}
+
+fn strassen_square(a: &Matrix, b: &Matrix, size: usize) -> Matrix {
+    if size <= CUTOFF {
+        return gemm_blocked(a, b).expect("square operands");
+    }
+    let half = size / 2;
+    let (a11, a12, a21, a22) = quadrants(a, half);
+    let (b11, b12, b21, b22) = quadrants(b, half);
+
+    // The seven Strassen products.
+    let m1 = strassen_square(&a11.try_add(&a22).unwrap(), &b11.try_add(&b22).unwrap(), half);
+    let m2 = strassen_square(&a21.try_add(&a22).unwrap(), &b11, half);
+    let m3 = strassen_square(&a11, &b12.try_sub(&b22).unwrap(), half);
+    let m4 = strassen_square(&a22, &b21.try_sub(&b11).unwrap(), half);
+    let m5 = strassen_square(&a11.try_add(&a12).unwrap(), &b22, half);
+    let m6 = strassen_square(&a21.try_sub(&a11).unwrap(), &b11.try_add(&b12).unwrap(), half);
+    let m7 = strassen_square(&a12.try_sub(&a22).unwrap(), &b21.try_add(&b22).unwrap(), half);
+
+    let c11 = m1
+        .try_add(&m4)
+        .unwrap()
+        .try_sub(&m5)
+        .unwrap()
+        .try_add(&m7)
+        .unwrap();
+    let c12 = m3.try_add(&m5).unwrap();
+    let c21 = m2.try_add(&m4).unwrap();
+    let c22 = m1
+        .try_sub(&m2)
+        .unwrap()
+        .try_add(&m3)
+        .unwrap()
+        .try_add(&m6)
+        .unwrap();
+    assemble(&c11, &c12, &c21, &c22, half)
+}
+
+/// Leading-order FLOP count of Strassen on padded size `n` (power of two):
+/// `7^(log2(n/cutoff)) · 2·cutoff³` plus the quadratic add terms, reported
+/// so the simulator can model the algorithm as a distinct task.
+pub fn strassen_flops(n: usize) -> u64 {
+    let size = n.next_power_of_two().max(CUTOFF);
+    let levels = (size / CUTOFF).trailing_zeros();
+    let leaf = 2 * (CUTOFF as u64).pow(3);
+    let mut total = leaf * 7u64.pow(levels);
+    // 18 half-size additions per level.
+    let mut dim = size as u64;
+    for _ in 0..levels {
+        let half = dim / 2;
+        total += 18 * half * half;
+        dim = half;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_naive;
+    use crate::random::random_matrix;
+    use rand::prelude::*;
+
+    #[test]
+    fn small_falls_back_to_blocked() {
+        let mut rng = StdRng::seed_from_u64(131);
+        let a = random_matrix(&mut rng, 20, 20);
+        let b = random_matrix(&mut rng, 20, 20);
+        let s = gemm_strassen(&a, &b).unwrap();
+        assert!(s.approx_eq(&gemm_naive(&a, &b).unwrap(), 1e-9));
+    }
+
+    #[test]
+    fn power_of_two_above_cutoff() {
+        let mut rng = StdRng::seed_from_u64(132);
+        let a = random_matrix(&mut rng, 128, 128);
+        let b = random_matrix(&mut rng, 128, 128);
+        let s = gemm_strassen(&a, &b).unwrap();
+        let r = gemm_naive(&a, &b).unwrap();
+        assert!(
+            s.approx_eq(&r, 1e-7),
+            "max diff {}",
+            s.try_sub(&r).unwrap().max_abs()
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_padded() {
+        let mut rng = StdRng::seed_from_u64(133);
+        let a = random_matrix(&mut rng, 100, 100);
+        let b = random_matrix(&mut rng, 100, 100);
+        let s = gemm_strassen(&a, &b).unwrap();
+        assert!(s.approx_eq(&gemm_naive(&a, &b).unwrap(), 1e-7));
+    }
+
+    #[test]
+    fn rectangular_operands() {
+        let mut rng = StdRng::seed_from_u64(134);
+        let a = random_matrix(&mut rng, 90, 70);
+        let b = random_matrix(&mut rng, 70, 110);
+        let s = gemm_strassen(&a, &b).unwrap();
+        assert_eq!(s.shape(), (90, 110));
+        assert!(s.approx_eq(&gemm_naive(&a, &b).unwrap(), 1e-7));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(gemm_strassen(&Matrix::zeros(3, 4), &Matrix::zeros(5, 3)).is_err());
+    }
+
+    #[test]
+    fn identity_neutral() {
+        let mut rng = StdRng::seed_from_u64(135);
+        let a = random_matrix(&mut rng, 96, 96);
+        let s = gemm_strassen(&a, &Matrix::identity(96)).unwrap();
+        assert!(s.approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn flop_count_below_classical_for_large_n() {
+        // Strassen must beat 2n³ asymptotically.
+        let n = 4096;
+        assert!(strassen_flops(n) < 2 * (n as u64).pow(3));
+        // …but not below cutoff.
+        assert_eq!(strassen_flops(CUTOFF), 2 * (CUTOFF as u64).pow(3));
+    }
+}

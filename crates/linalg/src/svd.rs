@@ -1,0 +1,208 @@
+//! Singular value decomposition via the symmetric eigendecomposition of
+//! the Gram matrix.
+//!
+//! For the moderate sizes of the paper's workloads (`n ≤ 300`), computing
+//! `V, Σ²` from `AᵀA` with the Jacobi eigensolver and recovering
+//! `U = A V Σ⁻¹` is accurate and keeps the implementation self-contained.
+//! Used for rank diagnostics of the RLS operands and general condition
+//! analysis of rectangular matrices.
+
+use crate::eigen::symmetric_eigen;
+use crate::error::{LinalgError, Result};
+use crate::gemm::{gemm_blocked, syrk_ata};
+use crate::matrix::Matrix;
+
+/// A thin SVD `A = U·Σ·Vᵀ` of an `m x n` matrix with `m ≥ n`:
+/// `U` is `m x n` with orthonormal columns (where σ > 0), `Σ` diagonal
+/// `n x n`, `V` orthogonal `n x n`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (`m x n`).
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (`n x n`, columns).
+    pub v: Matrix,
+}
+
+/// Relative threshold below which a singular value is treated as zero by
+/// [`Svd::rank`]. The Gram-matrix route squares the conditioning, so the
+/// eigensolver's ~1e-12 relative accuracy becomes ~1e-6 on the σ scale;
+/// the threshold sits above that noise floor.
+pub const RANK_TOL: f64 = 1e-6;
+
+impl Svd {
+    /// Computes the thin SVD. Requires `m ≥ n`; transpose first otherwise.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "svd",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        let gram = syrk_ata(a);
+        let eig = symmetric_eigen(&gram)?;
+        // Eigenvalues of AᵀA are σ², descending by construction.
+        let sigma: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let v = eig.vectors;
+        // U = A·V·Σ⁻¹, computed columnwise; zero-σ columns get zero vectors.
+        let av = gemm_blocked(a, &v)?;
+        let mut u = Matrix::zeros(m, n);
+        let scale = sigma.first().copied().unwrap_or(0.0);
+        for j in 0..n {
+            if sigma[j] > RANK_TOL * scale.max(1.0) {
+                for i in 0..m {
+                    u[(i, j)] = av[(i, j)] / sigma[j];
+                }
+            }
+        }
+        Ok(Svd { u, sigma, v })
+    }
+
+    /// Numerical rank: singular values above `RANK_TOL · σ_max`.
+    pub fn rank(&self) -> usize {
+        let max = self.sigma.first().copied().unwrap_or(0.0);
+        self.sigma
+            .iter()
+            .filter(|&&s| s > RANK_TOL * max.max(1.0))
+            .count()
+    }
+
+    /// Spectral (2-)norm: the largest singular value.
+    pub fn norm2(&self) -> f64 {
+        self.sigma.first().copied().unwrap_or(0.0)
+    }
+
+    /// Spectral condition number `σ_max / σ_min` (infinite when rank
+    /// deficient).
+    pub fn condition_number(&self) -> f64 {
+        let max = self.norm2();
+        let min = self.sigma.last().copied().unwrap_or(0.0);
+        if min <= RANK_TOL * max.max(1.0) {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+
+    /// Reconstructs `A` from the factors (testing / low-rank truncation).
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        let sv = Matrix::from_diag(&self.sigma);
+        gemm_blocked(&gemm_blocked(&self.u, &sv)?, &self.v.transpose())
+    }
+
+    /// Best rank-`k` approximation (truncated SVD).
+    pub fn truncate(&self, k: usize) -> Result<Matrix> {
+        let k = k.min(self.sigma.len());
+        let mut sigma = self.sigma.clone();
+        for s in sigma.iter_mut().skip(k) {
+            *s = 0.0;
+        }
+        let sv = Matrix::from_diag(&sigma);
+        gemm_blocked(&gemm_blocked(&self.u, &sv)?, &self.v.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_naive;
+    use crate::random::random_matrix;
+    use rand::prelude::*;
+
+    #[test]
+    fn diagonal_matrix_svd() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let svd = Svd::factor(&a).unwrap();
+        assert!((svd.sigma[0] - 3.0).abs() < 1e-8);
+        assert!((svd.sigma[1] - 2.0).abs() < 1e-8);
+        assert!((svd.sigma[2] - 1.0).abs() < 1e-8);
+        assert_eq!(svd.rank(), 3);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let mut rng = StdRng::seed_from_u64(231);
+        let a = random_matrix(&mut rng, 15, 9);
+        let svd = Svd::factor(&a).unwrap();
+        let rec = svd.reconstruct().unwrap();
+        assert!(
+            rec.approx_eq(&a, 1e-6),
+            "max diff {}",
+            rec.try_sub(&a).unwrap().max_abs()
+        );
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(232);
+        let a = random_matrix(&mut rng, 12, 8);
+        let svd = Svd::factor(&a).unwrap();
+        let utu = gemm_naive(&svd.u.transpose(), &svd.u).unwrap();
+        assert!(utu.approx_eq(&Matrix::identity(8), 1e-6));
+        let vtv = gemm_naive(&svd.v.transpose(), &svd.v).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(8), 1e-7));
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(233);
+        let a = random_matrix(&mut rng, 20, 10);
+        let svd = Svd::factor(&a).unwrap();
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn rank_deficiency_detected() {
+        // Rank-1 outer product.
+        let a = Matrix::from_fn(6, 4, |i, j| ((i + 1) * (j + 1)) as f64);
+        let svd = Svd::factor(&a).unwrap();
+        assert_eq!(svd.rank(), 1);
+        assert!(svd.condition_number().is_infinite());
+    }
+
+    #[test]
+    fn frobenius_norm_equals_sigma_norm() {
+        let mut rng = StdRng::seed_from_u64(234);
+        let a = random_matrix(&mut rng, 10, 10);
+        let svd = Svd::factor(&a).unwrap();
+        let fro = a.frobenius_norm();
+        let sig: f64 = svd.sigma.iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!((fro - sig).abs() < 1e-6 * fro);
+    }
+
+    #[test]
+    fn truncation_is_best_approximation_direction() {
+        let mut rng = StdRng::seed_from_u64(235);
+        let a = random_matrix(&mut rng, 10, 6);
+        let svd = Svd::factor(&a).unwrap();
+        // Error of rank-k approximation shrinks with k and equals the
+        // tail singular-value mass.
+        let mut last_err = f64::INFINITY;
+        for k in 1..=6 {
+            let err = svd.truncate(k).unwrap().try_sub(&a).unwrap().frobenius_norm();
+            assert!(err <= last_err + 1e-9);
+            let tail: f64 = svd.sigma[k..].iter().map(|s| s * s).sum::<f64>().sqrt();
+            assert!((err - tail).abs() < 1e-6 * (tail + 1.0));
+            last_err = err;
+        }
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(Svd::factor(&Matrix::zeros(3, 5)).is_err());
+    }
+
+    #[test]
+    fn spectral_norm_bounds_frobenius() {
+        let mut rng = StdRng::seed_from_u64(236);
+        let a = random_matrix(&mut rng, 9, 9);
+        let svd = Svd::factor(&a).unwrap();
+        assert!(svd.norm2() <= a.frobenius_norm() + 1e-9);
+    }
+}

@@ -1,0 +1,209 @@
+//! Triangular solves, forward and backward, for vectors and matrices.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Minimum pivot magnitude below which a triangular matrix is treated as
+/// numerically singular.
+pub const SINGULAR_TOL: f64 = 1e-13;
+
+fn check_square(op: &'static str, m: &Matrix) -> Result<()> {
+    if !m.is_square() {
+        return Err(LinalgError::NotSquare { op, shape: m.shape() });
+    }
+    Ok(())
+}
+
+/// Solves `L·x = b` for lower-triangular `L` by forward substitution.
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    check_square("solve_lower", l)?;
+    let n = l.rows();
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_lower",
+            lhs: l.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let row = l.row(i);
+        let mut s = x[i];
+        for j in 0..i {
+            s -= row[j] * x[j];
+        }
+        let d = row[i];
+        if d.abs() < SINGULAR_TOL {
+            return Err(LinalgError::Singular {
+                op: "solve_lower",
+                pivot: i,
+            });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `U·x = b` for upper-triangular `U` by backward substitution.
+pub fn solve_upper(u: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    check_square("solve_upper", u)?;
+    let n = u.rows();
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_upper",
+            lhs: u.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let row = u.row(i);
+        let mut s = x[i];
+        for j in (i + 1)..n {
+            s -= row[j] * x[j];
+        }
+        let d = row[i];
+        if d.abs() < SINGULAR_TOL {
+            return Err(LinalgError::Singular {
+                op: "solve_upper",
+                pivot: i,
+            });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `L·X = B` column-by-column for a matrix right-hand side.
+pub fn solve_lower_matrix(l: &Matrix, b: &Matrix) -> Result<Matrix> {
+    check_square("solve_lower_matrix", l)?;
+    if b.rows() != l.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_lower_matrix",
+            lhs: l.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let n = l.rows();
+    let ncols = b.cols();
+    // Work on the transpose so each RHS column is contiguous.
+    let bt = b.transpose();
+    let mut xt = Matrix::zeros(ncols, n);
+    for c in 0..ncols {
+        let x = solve_lower(l, bt.row(c))?;
+        xt.row_mut(c).copy_from_slice(&x);
+    }
+    Ok(xt.transpose())
+}
+
+/// Solves `U·X = B` column-by-column for a matrix right-hand side.
+pub fn solve_upper_matrix(u: &Matrix, b: &Matrix) -> Result<Matrix> {
+    check_square("solve_upper_matrix", u)?;
+    if b.rows() != u.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_upper_matrix",
+            lhs: u.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let n = u.rows();
+    let ncols = b.cols();
+    let bt = b.transpose();
+    let mut xt = Matrix::zeros(ncols, n);
+    for c in 0..ncols {
+        let x = solve_upper(u, bt.row(c))?;
+        xt.row_mut(c).copy_from_slice(&x);
+    }
+    Ok(xt.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::gemv;
+    use crate::random::{random_lower_triangular, random_matrix, random_vector};
+    use rand::prelude::*;
+
+    #[test]
+    fn forward_substitution_known() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]).unwrap();
+        let x = solve_lower(&l, &[4.0, 11.0]).unwrap();
+        assert_eq!(x, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_substitution_known() {
+        let u = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]).unwrap();
+        let x = solve_upper(&u, &[7.0, 9.0]).unwrap();
+        assert_eq!(x, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn random_roundtrip_lower() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let l = random_lower_triangular(&mut rng, 20);
+        let x_true = random_vector(&mut rng, 20);
+        let b = gemv(&l, &x_true).unwrap();
+        let x = solve_lower(&l, &b).unwrap();
+        for (a, e) in x.iter().zip(&x_true) {
+            assert!((a - e).abs() < 1e-8, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn random_roundtrip_upper() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let u = random_lower_triangular(&mut rng, 20).transpose();
+        let x_true = random_vector(&mut rng, 20);
+        let b = gemv(&u, &x_true).unwrap();
+        let x = solve_upper(&u, &b).unwrap();
+        for (a, e) in x.iter().zip(&x_true) {
+            assert!((a - e).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn singular_diagonal_detected() {
+        let l = Matrix::from_rows(&[&[1.0, 0.0], &[5.0, 0.0]]).unwrap();
+        let err = solve_lower(&l, &[1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, LinalgError::Singular { pivot: 1, .. }));
+        let u = Matrix::from_rows(&[&[0.0, 2.0], &[0.0, 1.0]]).unwrap();
+        let err = solve_upper(&u, &[1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, LinalgError::Singular { pivot: 0, .. }));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let l = Matrix::zeros(2, 3);
+        assert!(solve_lower(&l, &[1.0, 2.0]).is_err());
+        let l = Matrix::identity(3);
+        assert!(solve_lower(&l, &[1.0]).is_err());
+        assert!(solve_upper(&l, &[1.0]).is_err());
+        assert!(solve_lower_matrix(&l, &Matrix::zeros(2, 2)).is_err());
+        assert!(solve_upper_matrix(&l, &Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn matrix_rhs_matches_columnwise_vector_solves() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let l = random_lower_triangular(&mut rng, 15);
+        let b = random_matrix(&mut rng, 15, 4);
+        let x = solve_lower_matrix(&l, &b).unwrap();
+        for c in 0..4 {
+            let bc = b.col(c);
+            let xc = solve_lower(&l, &bc).unwrap();
+            for i in 0..15 {
+                assert!((x[(i, c)] - xc[i]).abs() < 1e-12);
+            }
+        }
+        let u = l.transpose();
+        let xu = solve_upper_matrix(&u, &b).unwrap();
+        for c in 0..4 {
+            let bc = b.col(c);
+            let xc = solve_upper(&u, &bc).unwrap();
+            for i in 0..15 {
+                assert!((xu[(i, c)] - xc[i]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests of the linear algebra substrate.
+//!
+//! Every GEMM variant must agree with the naive reference on arbitrary
+//! shapes; factorizations must reconstruct their inputs; solves must
+//! invert multiplications — for *any* well-formed random input, not just
+//! the hand-picked cases of the unit tests.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use relperf_linalg::cholesky::Cholesky;
+use relperf_linalg::eigen::symmetric_eigen;
+use relperf_linalg::gemm::{gemm_blocked, gemm_naive, gemm_packed, gemm_parallel, syrk_ata};
+use relperf_linalg::lu::Lu;
+use relperf_linalg::qr::Qr;
+use relperf_linalg::random::{random_diag_dominant, random_matrix, random_spd, random_vector};
+use relperf_linalg::strassen::gemm_strassen;
+use relperf_linalg::triangular::{solve_lower, solve_upper};
+use relperf_linalg::Matrix;
+
+fn close(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    a.approx_eq(b, tol)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gemm_variants_agree(seed in 0u64..1_000, m in 1usize..40, k in 1usize..40, n in 1usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let reference = gemm_naive(&a, &b).unwrap();
+        prop_assert!(close(&gemm_blocked(&a, &b).unwrap(), &reference, 1e-8));
+        prop_assert!(close(&gemm_packed(&a, &b).unwrap(), &reference, 1e-8));
+        prop_assert!(close(&gemm_parallel(&a, &b, 3).unwrap(), &reference, 1e-8));
+        prop_assert!(close(&gemm_strassen(&a, &b).unwrap(), &reference, 1e-7));
+    }
+
+    #[test]
+    fn gemm_distributes_over_addition(seed in 0u64..1_000, n in 1usize..25) {
+        // A(B + C) = AB + AC up to rounding.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, n, n);
+        let b = random_matrix(&mut rng, n, n);
+        let c = random_matrix(&mut rng, n, n);
+        let lhs = gemm_blocked(&a, &b.try_add(&c).unwrap()).unwrap();
+        let rhs = gemm_blocked(&a, &b).unwrap().try_add(&gemm_blocked(&a, &c).unwrap()).unwrap();
+        prop_assert!(close(&lhs, &rhs, 1e-8));
+    }
+
+    #[test]
+    fn transpose_is_involution_and_reverses_products(seed in 0u64..1_000, m in 1usize..30, n in 1usize..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, m, n);
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let b = random_matrix(&mut rng, n, m);
+        // (AB)ᵀ = BᵀAᵀ
+        let ab_t = gemm_naive(&a, &b).unwrap().transpose();
+        let bt_at = gemm_naive(&b.transpose(), &a.transpose()).unwrap();
+        prop_assert!(close(&ab_t, &bt_at, 1e-9));
+    }
+
+    #[test]
+    fn syrk_matches_explicit_product(seed in 0u64..1_000, m in 1usize..30, n in 1usize..25) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, m, n);
+        let explicit = gemm_naive(&a.transpose(), &a).unwrap();
+        prop_assert!(close(&syrk_ata(&a), &explicit, 1e-9));
+    }
+
+    #[test]
+    fn cholesky_reconstructs(seed in 0u64..1_000, n in 1usize..25) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_spd(&mut rng, n);
+        let ch = Cholesky::factor(&a).unwrap();
+        let rec = gemm_naive(ch.l(), &ch.l().transpose()).unwrap();
+        prop_assert!(close(&rec, &a, 1e-6));
+    }
+
+    #[test]
+    fn cholesky_solve_inverts_multiply(seed in 0u64..1_000, n in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_spd(&mut rng, n);
+        let x = random_vector(&mut rng, n);
+        let b = relperf_linalg::blas::gemv(&a, &x).unwrap();
+        let solved = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        for (s, e) in solved.iter().zip(&x) {
+            prop_assert!((s - e).abs() < 1e-4, "{s} vs {e}");
+        }
+    }
+
+    #[test]
+    fn lu_reconstructs_permuted_input(seed in 0u64..1_000, n in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_diag_dominant(&mut rng, n);
+        let lu = Lu::factor(&a).unwrap();
+        let prod = gemm_naive(&lu.l(), &lu.u()).unwrap();
+        let pa = Matrix::from_fn(n, n, |i, j| a[(lu.permutation()[i], j)]);
+        prop_assert!(close(&prod, &pa, 1e-8));
+    }
+
+    #[test]
+    fn lu_determinant_multiplicative_with_scaling(seed in 0u64..1_000, n in 1usize..10, s in 0.5f64..2.0) {
+        // det(sA) = sⁿ det(A)
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_diag_dominant(&mut rng, n);
+        let det_a = Lu::factor(&a).unwrap().det();
+        let scaled = a.map(|x| s * x);
+        let det_scaled = Lu::factor(&scaled).unwrap().det();
+        let expected = s.powi(n as i32) * det_a;
+        prop_assert!(
+            (det_scaled - expected).abs() <= 1e-6 * expected.abs().max(1.0),
+            "{det_scaled} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn qr_orthogonality_and_reconstruction(seed in 0u64..1_000, n in 1usize..15, extra in 0usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = n + extra;
+        let a = random_matrix(&mut rng, m, n);
+        let qr = Qr::factor(&a).unwrap();
+        let q = qr.q();
+        let qtq = gemm_naive(&q.transpose(), &q).unwrap();
+        prop_assert!(close(&qtq, &Matrix::identity(m), 1e-7));
+        let rec = gemm_naive(&q, qr.r()).unwrap();
+        prop_assert!(close(&rec, &a, 1e-7));
+    }
+
+    #[test]
+    fn triangular_solves_roundtrip(seed in 0u64..1_000, n in 1usize..25) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = relperf_linalg::random::random_lower_triangular(&mut rng, n);
+        let x = random_vector(&mut rng, n);
+        let b = relperf_linalg::blas::gemv(&l, &x).unwrap();
+        let solved = solve_lower(&l, &b).unwrap();
+        for (s, e) in solved.iter().zip(&x) {
+            prop_assert!((s - e).abs() < 1e-5);
+        }
+        let u = l.transpose();
+        let bu = relperf_linalg::blas::gemv(&u, &x).unwrap();
+        let solved_u = solve_upper(&u, &bu).unwrap();
+        for (s, e) in solved_u.iter().zip(&x) {
+            prop_assert!((s - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn eigen_preserves_trace_and_frobenius(seed in 0u64..1_000, n in 1usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_spd(&mut rng, n);
+        let e = symmetric_eigen(&a).unwrap();
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let eig_sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - eig_sum).abs() < 1e-6 * trace.abs().max(1.0));
+        // ‖A‖_F² = Σ λᵢ² for symmetric A.
+        let fro2 = a.frobenius_norm().powi(2);
+        let eig2: f64 = e.values.iter().map(|l| l * l).sum();
+        prop_assert!((fro2 - eig2).abs() < 1e-5 * fro2.max(1.0));
+    }
+
+    #[test]
+    fn rls_solutions_agree_across_methods(seed in 0u64..500, n in 2usize..12, lambda in 0.01f64..10.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, n, n);
+        let b = random_matrix(&mut rng, n, n);
+        let z1 = relperf_linalg::rls::solve_rls_cholesky(&a, &b, lambda).unwrap();
+        let z2 = relperf_linalg::rls::solve_rls_qr(&a, &b, lambda).unwrap();
+        prop_assert!(close(&z1, &z2, 1e-5), "max diff {}", z1.try_sub(&z2).unwrap().max_abs());
+    }
+
+    #[test]
+    fn norms_satisfy_triangle_inequality(seed in 0u64..1_000, n in 1usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = random_vector(&mut rng, n);
+        let y = random_vector(&mut rng, n);
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        use relperf_linalg::blas::{norm1, norm2, norm_inf};
+        prop_assert!(norm2(&sum) <= norm2(&x) + norm2(&y) + 1e-12);
+        prop_assert!(norm1(&sum) <= norm1(&x) + norm1(&y) + 1e-12);
+        prop_assert!(norm_inf(&sum) <= norm_inf(&x) + norm_inf(&y) + 1e-12);
+        // Norm ordering: ‖x‖_∞ ≤ ‖x‖₂ ≤ ‖x‖₁.
+        prop_assert!(norm_inf(&x) <= norm2(&x) + 1e-12);
+        prop_assert!(norm2(&x) <= norm1(&x) + 1e-12);
+    }
+}

@@ -1,0 +1,259 @@
+//! Bootstrap resampling.
+//!
+//! "Instead of summarizing the performance statistic … of all the N
+//! measurements into one number, multiple statistics are evaluated and
+//! compared on data that is randomly sampled from the N measurements; this
+//! approach is commonly known as bootstrapping." (paper, Sec. III)
+
+use crate::sample::Sample;
+use rand::{Rng, RngExt};
+
+/// Draws one bootstrap resample (sampling with replacement, same size) from
+/// `sample`, writing into `buf` to avoid per-draw allocation.
+pub fn resample_into<R: Rng + ?Sized>(rng: &mut R, sample: &Sample, buf: &mut Vec<f64>) {
+    let values = sample.values();
+    let n = values.len();
+    buf.clear();
+    buf.reserve(n);
+    for _ in 0..n {
+        buf.push(values[rng.random_range(0..n)]);
+    }
+}
+
+/// Draws one bootstrap resample as a fresh vector.
+pub fn resample<R: Rng + ?Sized>(rng: &mut R, sample: &Sample) -> Vec<f64> {
+    let mut buf = Vec::new();
+    resample_into(rng, sample, &mut buf);
+    buf
+}
+
+/// The bootstrap distribution of a statistic: applies `stat` to `reps`
+/// independent resamples and returns the resulting values (unsorted).
+pub fn bootstrap_statistic<R, F>(rng: &mut R, sample: &Sample, reps: usize, mut stat: F) -> Vec<f64>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&[f64]) -> f64,
+{
+    let mut out = Vec::with_capacity(reps);
+    let mut buf = Vec::new();
+    for _ in 0..reps {
+        resample_into(rng, sample, &mut buf);
+        out.push(stat(&buf));
+    }
+    out
+}
+
+/// A two-sided percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+    /// Confidence level in `(0, 1)`, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// `true` when `v` lies inside the interval (inclusive).
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// `true` when the two intervals share at least one point.
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile bootstrap confidence interval for an arbitrary statistic.
+///
+/// # Panics
+/// Panics unless `0 < level < 1` and `reps > 0`.
+pub fn percentile_ci<R, F>(
+    rng: &mut R,
+    sample: &Sample,
+    reps: usize,
+    level: f64,
+    stat: F,
+) -> ConfidenceInterval
+where
+    R: Rng + ?Sized,
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(reps > 0, "need at least one bootstrap repetition");
+    assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0, 1)");
+    let stats = bootstrap_statistic(rng, sample, reps, stat);
+    let dist = Sample::new(stats).expect("reps > 0 and stat of finite data");
+    let alpha = (1.0 - level) / 2.0;
+    ConfidenceInterval {
+        lo: dist.quantile(alpha),
+        hi: dist.quantile(1.0 - alpha),
+        level,
+    }
+}
+
+/// Convenience: percentile CI of the mean.
+pub fn mean_ci<R: Rng + ?Sized>(
+    rng: &mut R,
+    sample: &Sample,
+    reps: usize,
+    level: f64,
+) -> ConfidenceInterval {
+    percentile_ci(rng, sample, reps, level, |xs| {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    })
+}
+
+/// Convenience: percentile CI of the median.
+pub fn median_ci<R: Rng + ?Sized>(
+    rng: &mut R,
+    sample: &Sample,
+    reps: usize,
+    level: f64,
+) -> ConfidenceInterval {
+    percentile_ci(rng, sample, reps, level, median_of)
+}
+
+/// Median of an unsorted slice (copies and sorts; helper for bootstrap
+/// statistics where the resample buffer is scratch anyway).
+pub fn median_of(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Linear-interpolation quantile of an unsorted slice.
+pub fn quantile_of(xs: &[f64], q: f64) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    quantile_sorted(&v, q)
+}
+
+/// Linear-interpolation quantile of an already-sorted slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn s(v: &[f64]) -> Sample {
+        Sample::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn resample_same_size_and_from_population() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let x = s(&[1.0, 2.0, 3.0]);
+        let r = resample(&mut rng, &x);
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|v| [1.0, 2.0, 3.0].contains(v)));
+    }
+
+    #[test]
+    fn resample_is_seeded() {
+        let x = s(&[1.0, 2.0, 3.0, 4.0]);
+        let a = resample(&mut StdRng::seed_from_u64(7), &x);
+        let b = resample(&mut StdRng::seed_from_u64(7), &x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bootstrap_statistic_count() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let x = s(&[5.0; 10]);
+        let stats = bootstrap_statistic(&mut rng, &x, 25, |xs| xs[0]);
+        assert_eq!(stats.len(), 25);
+        assert!(stats.iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn mean_ci_contains_true_mean_for_tight_sample() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let x = s(&[10.0, 10.1, 9.9, 10.05, 9.95, 10.0, 10.02, 9.98]);
+        let ci = mean_ci(&mut rng, &x, 500, 0.95);
+        assert!(ci.contains(10.0), "{ci:?}");
+        assert!(ci.width() < 0.2);
+    }
+
+    #[test]
+    fn median_ci_reasonable() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let vals: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let ci = median_ci(&mut rng, &s(&vals), 300, 0.9);
+        assert!(ci.lo <= 4.5 && ci.hi >= 4.5, "{ci:?}");
+    }
+
+    #[test]
+    fn disjoint_cis_for_separated_samples() {
+        let mut rng = StdRng::seed_from_u64(65);
+        let a = s(&[1.0, 1.1, 0.9, 1.05, 0.95]);
+        let b = s(&[5.0, 5.1, 4.9, 5.05, 4.95]);
+        let ca = mean_ci(&mut rng, &a, 200, 0.95);
+        let cb = mean_ci(&mut rng, &b, 200, 0.95);
+        assert!(!ca.overlaps(&cb));
+        assert!(ca.overlaps(&ca));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bootstrap repetition")]
+    fn zero_reps_panics() {
+        let mut rng = StdRng::seed_from_u64(66);
+        percentile_ci(&mut rng, &s(&[1.0]), 0, 0.95, |xs| xs[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "level must be in")]
+    fn bad_level_panics() {
+        let mut rng = StdRng::seed_from_u64(67);
+        percentile_ci(&mut rng, &s(&[1.0]), 10, 1.5, |xs| xs[0]);
+    }
+
+    #[test]
+    fn median_of_matches_sample_median() {
+        assert_eq!(median_of(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_of(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_helpers_match_sample() {
+        let vals = [10.0, 20.0, 30.0, 40.0];
+        let sample = s(&vals);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            assert!((quantile_of(&vals, q) - sample.quantile(q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_sorted_empty_panics() {
+        quantile_sorted(&[], 0.5);
+    }
+}

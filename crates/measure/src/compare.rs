@@ -1,0 +1,481 @@
+//! Three-way comparison of measurement distributions.
+//!
+//! Comparing two algorithms means comparing two *sets* of measurements, and
+//! the result is one of three outcomes: [`Outcome::Better`],
+//! [`Outcome::Worse`], or [`Outcome::Equivalent`] (paper, Sec. I). The
+//! default implementation, [`BootstrapComparator`], follows the bootstrap
+//! strategy of the companion method paper (ref. \[15\], arXiv:2010.07226) as
+//! summarized in Sec. III: repeatedly resample both distributions, compare a
+//! set of quantile statistics per draw, and declare a significant difference
+//! only when one side dominates a large fraction of the draws.
+
+use crate::bootstrap::quantile_sorted;
+use crate::sample::Sample;
+use rand::{Rng, SeedableRng};
+use rand::rngs::StdRng;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Result of comparing algorithm `a` against algorithm `b`.
+///
+/// Measurements are costs (execution time, energy, …): *lower is better*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// `a` performs significantly better (lower metric) than `b`.
+    Better,
+    /// `a` performs significantly worse (higher metric) than `b`.
+    Worse,
+    /// The distributions overlap too much to separate — the algorithms
+    /// belong to the same performance class.
+    Equivalent,
+}
+
+impl Outcome {
+    /// The outcome of the flipped comparison (`b` vs `a`).
+    #[must_use]
+    pub fn invert(self) -> Outcome {
+        match self {
+            Outcome::Better => Outcome::Worse,
+            Outcome::Worse => Outcome::Better,
+            Outcome::Equivalent => Outcome::Equivalent,
+        }
+    }
+
+    /// The paper's notation: `>` for better, `<` for worse, `~` for
+    /// equivalent.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Outcome::Better => ">",
+            Outcome::Worse => "<",
+            Outcome::Equivalent => "~",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A three-way comparison strategy over measurement samples.
+///
+/// Implementations may be stochastic — the paper's relative scores exist
+/// precisely because repeated comparisons of overlapping distributions can
+/// flip between `Equivalent` and a strict outcome.
+pub trait ThreeWayComparator {
+    /// Compares `a` against `b`; lower measurements are better.
+    fn compare(&self, a: &Sample, b: &Sample) -> Outcome;
+}
+
+/// Configuration of the [`BootstrapComparator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapConfig {
+    /// Number of bootstrap rounds `B`.
+    pub reps: usize,
+    /// Quantiles compared in each round.
+    pub quantiles: Vec<f64>,
+    /// Relative margin `δ`: a quantile only counts as a win when it beats
+    /// the opponent by more than this fraction.
+    pub margin: f64,
+    /// Fraction `γ` of quantiles that must win for a round win.
+    pub dominance: f64,
+    /// Decision threshold `τ` on the round-win frequency difference.
+    pub threshold: f64,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        BootstrapConfig {
+            reps: 100,
+            quantiles: vec![0.05, 0.25, 0.5, 0.75, 0.95],
+            margin: 0.02,
+            dominance: 0.8,
+            threshold: 0.5,
+        }
+    }
+}
+
+impl BootstrapConfig {
+    /// Validates the configuration, panicking with a descriptive message on
+    /// nonsensical values. Called by [`BootstrapComparator::with_config`].
+    pub fn validate(&self) {
+        assert!(self.reps > 0, "bootstrap reps must be positive");
+        assert!(!self.quantiles.is_empty(), "need at least one quantile");
+        assert!(
+            self.quantiles.iter().all(|q| (0.0..=1.0).contains(q)),
+            "quantiles must lie in [0, 1]"
+        );
+        assert!(self.margin >= 0.0, "margin must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&self.dominance),
+            "dominance must lie in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.threshold),
+            "threshold must lie in [0, 1]"
+        );
+    }
+}
+
+/// Bootstrap quantile-dominance comparator (the paper's default strategy).
+///
+/// Each call derives a fresh RNG from the base seed and an internal counter,
+/// so a given comparator instance produces a deterministic *sequence* of
+/// stochastic comparisons — experiments are reproducible end-to-end from one
+/// seed while successive comparisons of the same pair may still disagree,
+/// which is what the relative scores of Sec. III quantify.
+///
+/// # Examples
+///
+/// ```
+/// use relperf_measure::{BootstrapComparator, Outcome, Sample, ThreeWayComparator};
+///
+/// let fast = Sample::new(vec![1.00, 1.02, 0.98, 1.01, 0.99]).unwrap();
+/// let slow = Sample::new(vec![2.00, 2.02, 1.98, 2.01, 1.99]).unwrap();
+/// let cmp = BootstrapComparator::new(42);
+/// assert_eq!(cmp.compare(&fast, &slow), Outcome::Better);
+/// assert_eq!(cmp.compare(&slow, &fast), Outcome::Worse);
+/// assert_eq!(cmp.compare(&fast, &fast), Outcome::Equivalent);
+/// ```
+#[derive(Debug)]
+pub struct BootstrapComparator {
+    config: BootstrapConfig,
+    base_seed: u64,
+    counter: AtomicU64,
+}
+
+impl BootstrapComparator {
+    /// Creates a comparator with the default configuration.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(seed, BootstrapConfig::default())
+    }
+
+    /// Creates a comparator with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid (see
+    /// [`BootstrapConfig::validate`]).
+    pub fn with_config(seed: u64, config: BootstrapConfig) -> Self {
+        config.validate();
+        BootstrapComparator {
+            config,
+            base_seed: seed,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &BootstrapConfig {
+        &self.config
+    }
+
+    fn next_rng(&self) -> StdRng {
+        let c = self.counter.fetch_add(1, Ordering::Relaxed);
+        // SplitMix64 step decorrelates consecutive counters.
+        let mut z = self.base_seed ^ c.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        StdRng::seed_from_u64(z ^ (z >> 31))
+    }
+
+    /// One bootstrap round: resample both sides, compare all configured
+    /// quantiles, and score the round for `a`, `b`, or a tie.
+    fn round<R: Rng + ?Sized>(&self, rng: &mut R, a: &Sample, b: &Sample) -> RoundResult {
+        let mut buf_a = Vec::with_capacity(a.len());
+        let mut buf_b = Vec::with_capacity(b.len());
+        crate::bootstrap::resample_into(rng, a, &mut buf_a);
+        crate::bootstrap::resample_into(rng, b, &mut buf_b);
+        buf_a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        buf_b.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+
+        let mut wins_a = 0usize;
+        let mut wins_b = 0usize;
+        for &q in &self.config.quantiles {
+            let qa = quantile_sorted(&buf_a, q);
+            let qb = quantile_sorted(&buf_b, q);
+            let scale = qa.abs().min(qb.abs());
+            let gap = self.config.margin * scale;
+            if qa < qb - gap {
+                wins_a += 1;
+            } else if qb < qa - gap {
+                wins_b += 1;
+            }
+        }
+        let needed = (self.config.dominance * self.config.quantiles.len() as f64).ceil() as usize;
+        let needed = needed.max(1);
+        if wins_a >= needed {
+            RoundResult::A
+        } else if wins_b >= needed {
+            RoundResult::B
+        } else {
+            RoundResult::Tie
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RoundResult {
+    A,
+    B,
+    Tie,
+}
+
+impl ThreeWayComparator for BootstrapComparator {
+    fn compare(&self, a: &Sample, b: &Sample) -> Outcome {
+        let mut rng = self.next_rng();
+        let mut wins_a = 0usize;
+        let mut wins_b = 0usize;
+        for _ in 0..self.config.reps {
+            match self.round(&mut rng, a, b) {
+                RoundResult::A => wins_a += 1,
+                RoundResult::B => wins_b += 1,
+                RoundResult::Tie => {}
+            }
+        }
+        let pa = wins_a as f64 / self.config.reps as f64;
+        let pb = wins_b as f64 / self.config.reps as f64;
+        if pa - pb > self.config.threshold {
+            Outcome::Better
+        } else if pb - pa > self.config.threshold {
+            Outcome::Worse
+        } else {
+            Outcome::Equivalent
+        }
+    }
+}
+
+/// TOST-style comparator on bootstrap confidence intervals of the mean:
+/// `a` is better when its CI lies entirely below `b`'s CI by more than the
+/// relative margin; overlapping CIs are equivalent.
+///
+/// A simpler, more classical alternative to [`BootstrapComparator`]; used by
+/// the sensitivity experiments to show the clustering is robust to the
+/// comparator choice.
+#[derive(Debug)]
+pub struct MeanCiComparator {
+    /// Number of bootstrap repetitions per CI.
+    pub reps: usize,
+    /// Confidence level of each CI.
+    pub level: f64,
+    /// Relative equivalence margin on the CI gap.
+    pub margin: f64,
+    base_seed: u64,
+    counter: AtomicU64,
+}
+
+impl MeanCiComparator {
+    /// Creates a mean-CI comparator with the given seed and defaults
+    /// (`reps=200`, `level=0.95`, `margin=0.01`).
+    pub fn new(seed: u64) -> Self {
+        MeanCiComparator {
+            reps: 200,
+            level: 0.95,
+            margin: 0.01,
+            base_seed: seed,
+            counter: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ThreeWayComparator for MeanCiComparator {
+    fn compare(&self, a: &Sample, b: &Sample) -> Outcome {
+        let c = self.counter.fetch_add(1, Ordering::Relaxed);
+        let mut rng = StdRng::seed_from_u64(self.base_seed.wrapping_add(c.wrapping_mul(0x9E37)));
+        let ca = crate::bootstrap::mean_ci(&mut rng, a, self.reps, self.level);
+        let cb = crate::bootstrap::mean_ci(&mut rng, b, self.reps, self.level);
+        let gap = self.margin * ca.lo.abs().min(cb.lo.abs());
+        if ca.hi + gap < cb.lo {
+            Outcome::Better
+        } else if cb.hi + gap < ca.lo {
+            Outcome::Worse
+        } else {
+            Outcome::Equivalent
+        }
+    }
+}
+
+/// Deterministic comparator on medians with a relative equivalence band —
+/// useful in tests and for noise-free simulated measurements.
+#[derive(Debug, Clone)]
+pub struct MedianComparator {
+    /// Relative band within which two medians count as equivalent.
+    pub rel_tolerance: f64,
+}
+
+impl MedianComparator {
+    /// Creates a median comparator with the given relative tolerance.
+    pub fn new(rel_tolerance: f64) -> Self {
+        assert!(rel_tolerance >= 0.0, "tolerance must be non-negative");
+        MedianComparator { rel_tolerance }
+    }
+}
+
+impl ThreeWayComparator for MedianComparator {
+    fn compare(&self, a: &Sample, b: &Sample) -> Outcome {
+        let ma = a.median();
+        let mb = b.median();
+        let gap = self.rel_tolerance * ma.abs().min(mb.abs());
+        if ma < mb - gap {
+            Outcome::Better
+        } else if mb < ma - gap {
+            Outcome::Worse
+        } else {
+            Outcome::Equivalent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn noisy(center: f64, spread: f64, n: usize, seed: u64) -> Sample {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sample::new(
+            (0..n)
+                .map(|_| center + rng.random_range(-spread..spread))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn outcome_invert_and_symbols() {
+        assert_eq!(Outcome::Better.invert(), Outcome::Worse);
+        assert_eq!(Outcome::Worse.invert(), Outcome::Better);
+        assert_eq!(Outcome::Equivalent.invert(), Outcome::Equivalent);
+        assert_eq!(Outcome::Better.to_string(), ">");
+        assert_eq!(Outcome::Equivalent.to_string(), "~");
+    }
+
+    #[test]
+    fn separated_distributions_are_better_worse() {
+        let cmp = BootstrapComparator::new(71);
+        let fast = noisy(1.0, 0.05, 50, 1);
+        let slow = noisy(2.0, 0.05, 50, 2);
+        assert_eq!(cmp.compare(&fast, &slow), Outcome::Better);
+        assert_eq!(cmp.compare(&slow, &fast), Outcome::Worse);
+    }
+
+    #[test]
+    fn identical_distributions_are_equivalent() {
+        let cmp = BootstrapComparator::new(72);
+        let a = noisy(1.0, 0.1, 50, 3);
+        let b = noisy(1.0, 0.1, 50, 4);
+        assert_eq!(cmp.compare(&a, &b), Outcome::Equivalent);
+    }
+
+    #[test]
+    fn heavily_overlapping_distributions_are_equivalent() {
+        // b is a 0.5% elementwise shift of a — far inside the 2% margin.
+        let cmp = BootstrapComparator::new(73);
+        let a = noisy(1.00, 0.3, 40, 5);
+        let b = Sample::new(a.values().iter().map(|v| v * 1.005).collect()).unwrap();
+        assert_eq!(cmp.compare(&a, &b), Outcome::Equivalent);
+    }
+
+    #[test]
+    fn comparator_sequence_is_deterministic() {
+        let a = noisy(1.0, 0.2, 30, 7);
+        let b = noisy(1.1, 0.2, 30, 8);
+        let run = |seed: u64| {
+            let cmp = BootstrapComparator::new(seed);
+            (0..10).map(|_| cmp.compare(&a, &b)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn borderline_pair_flips_between_outcomes() {
+        // Engineered overlap: with N small and distributions close, repeated
+        // comparisons must disagree at least once — the effect the paper's
+        // relative scores quantify (Sec. III, N=30 discussion). Fewer
+        // bootstrap rounds widen the flip band around the τ boundary.
+        let a = noisy(1.000, 0.10, 30, 9);
+        let b = noisy(1.075, 0.10, 30, 10);
+        let cfg = BootstrapConfig {
+            reps: 20,
+            ..Default::default()
+        };
+        let cmp = BootstrapComparator::with_config(74, cfg);
+        let outcomes: Vec<Outcome> = (0..60).map(|_| cmp.compare(&a, &b)).collect();
+        let distinct: std::collections::HashSet<_> = outcomes.iter().copied().collect();
+        assert!(
+            distinct.len() >= 2,
+            "expected stochastic flips, got only {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn antisymmetry_holds_statistically() {
+        let a = noisy(1.0, 0.05, 40, 11);
+        let b = noisy(1.5, 0.05, 40, 12);
+        let cmp = BootstrapComparator::new(75);
+        for _ in 0..5 {
+            let ab = cmp.compare(&a, &b);
+            let ba = cmp.compare(&b, &a);
+            assert_eq!(ab, ba.invert());
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_values() {
+        let bad = BootstrapConfig {
+            reps: 0,
+            ..Default::default()
+        };
+        assert!(std::panic::catch_unwind(|| bad.validate()).is_err());
+        let bad = BootstrapConfig {
+            quantiles: vec![1.5],
+            ..Default::default()
+        };
+        assert!(std::panic::catch_unwind(|| bad.validate()).is_err());
+        let bad = BootstrapConfig {
+            margin: -0.1,
+            ..Default::default()
+        };
+        assert!(std::panic::catch_unwind(|| bad.validate()).is_err());
+    }
+
+    #[test]
+    fn mean_ci_comparator_on_separated_and_overlapping() {
+        let cmp = MeanCiComparator::new(76);
+        let fast = noisy(1.0, 0.02, 40, 13);
+        let slow = noisy(1.5, 0.02, 40, 14);
+        assert_eq!(cmp.compare(&fast, &slow), Outcome::Better);
+        assert_eq!(cmp.compare(&slow, &fast), Outcome::Worse);
+        let other = noisy(1.001, 0.02, 40, 15);
+        assert_eq!(cmp.compare(&fast, &other), Outcome::Equivalent);
+    }
+
+    #[test]
+    fn median_comparator_deterministic() {
+        let cmp = MedianComparator::new(0.05);
+        let a = Sample::new(vec![1.0, 1.0, 1.0]).unwrap();
+        let b = Sample::new(vec![2.0, 2.0, 2.0]).unwrap();
+        let c = Sample::new(vec![1.02, 1.02, 1.02]).unwrap();
+        assert_eq!(cmp.compare(&a, &b), Outcome::Better);
+        assert_eq!(cmp.compare(&b, &a), Outcome::Worse);
+        assert_eq!(cmp.compare(&a, &c), Outcome::Equivalent);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn median_comparator_rejects_negative_tolerance() {
+        MedianComparator::new(-1.0);
+    }
+
+    #[test]
+    fn zero_margin_still_behaves() {
+        let cfg = BootstrapConfig {
+            margin: 0.0,
+            ..Default::default()
+        };
+        let cmp = BootstrapComparator::with_config(77, cfg);
+        let fast = noisy(1.0, 0.01, 40, 16);
+        let slow = noisy(3.0, 0.01, 40, 17);
+        assert_eq!(cmp.compare(&fast, &slow), Outcome::Better);
+    }
+}

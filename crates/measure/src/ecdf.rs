@@ -1,0 +1,169 @@
+//! Empirical cumulative distribution functions and distribution distances.
+//!
+//! The paper's comparison strategy quantifies the *overlap* of two
+//! measurement distributions. The bootstrap comparator is the primary
+//! mechanism; the ECDF utilities here provide the classical
+//! (Kolmogorov–Smirnov) view used by the ablation experiments to check
+//! that the clustering is not an artifact of the comparator choice.
+
+use crate::sample::Sample;
+
+/// An empirical CDF built from a [`Sample`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of a sample.
+    pub fn new(sample: &Sample) -> Self {
+        Ecdf {
+            sorted: sample.sorted().to_vec(),
+        }
+    }
+
+    /// Number of underlying observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false` (samples are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `F(x)` — the fraction of observations `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x via the
+        // predicate `v <= x` on the sorted data.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The observation values where the ECDF steps.
+    pub fn support(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov distance `sup_x |F_a(x) − F_b(x)|`.
+pub fn ks_distance(a: &Sample, b: &Sample) -> f64 {
+    let fa = Ecdf::new(a);
+    let fb = Ecdf::new(b);
+    let mut d = 0.0_f64;
+    for &x in fa.support().iter().chain(fb.support()) {
+        d = d.max((fa.eval(x) - fb.eval(x)).abs());
+    }
+    d
+}
+
+/// Histogram-overlap coefficient in `[0, 1]`: the shared probability mass
+/// of the two distributions estimated on a common equal-width grid of
+/// `bins` bins spanning both samples. 1 = identical histograms,
+/// 0 = disjoint supports.
+pub fn overlap_coefficient(a: &Sample, b: &Sample, bins: usize) -> f64 {
+    assert!(bins > 0, "need at least one bin");
+    let lo = a.min().min(b.min());
+    let hi = a.max().max(b.max());
+    if hi == lo {
+        return 1.0; // both samples are a single identical point
+    }
+    let width = (hi - lo) / bins as f64;
+    let count = |s: &Sample| -> Vec<f64> {
+        let mut c = vec![0.0; bins];
+        for &v in s.values() {
+            let mut idx = ((v - lo) / width) as usize;
+            if idx >= bins {
+                idx = bins - 1;
+            }
+            c[idx] += 1.0 / s.len() as f64;
+        }
+        c
+    };
+    let ca = count(a);
+    let cb = count(b);
+    ca.iter().zip(&cb).map(|(x, y)| x.min(*y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[f64]) -> Sample {
+        Sample::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn ecdf_step_values() {
+        let f = Ecdf::new(&s(&[1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(f.eval(0.5), 0.0);
+        assert_eq!(f.eval(1.0), 0.25);
+        assert_eq!(f.eval(2.5), 0.5);
+        assert_eq!(f.eval(4.0), 1.0);
+        assert_eq!(f.eval(9.0), 1.0);
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn ecdf_with_ties() {
+        let f = Ecdf::new(&s(&[1.0, 1.0, 2.0]));
+        assert!((f.eval(1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_identical_is_zero() {
+        let a = s(&[1.0, 2.0, 3.0]);
+        assert_eq!(ks_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_is_one() {
+        let a = s(&[1.0, 2.0]);
+        let b = s(&[10.0, 11.0]);
+        assert_eq!(ks_distance(&a, &b), 1.0);
+        assert_eq!(ks_distance(&b, &a), 1.0);
+    }
+
+    #[test]
+    fn ks_half_shifted() {
+        let a = s(&[1.0, 2.0, 3.0, 4.0]);
+        let b = s(&[3.0, 4.0, 5.0, 6.0]);
+        // F_a(2) = 0.5, F_b(2) = 0 → D ≥ 0.5; equality holds here.
+        assert!((ks_distance(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_symmetric_and_bounded() {
+        let a = s(&[1.0, 1.5, 2.0, 5.0]);
+        let b = s(&[1.2, 1.9, 2.2]);
+        let d = ks_distance(&a, &b);
+        assert_eq!(d, ks_distance(&b, &a));
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn overlap_identical_is_one() {
+        let a = s(&[1.0, 2.0, 3.0]);
+        assert!((overlap_coefficient(&a, &a, 8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_disjoint_is_zero() {
+        let a = s(&[0.0, 0.1]);
+        let b = s(&[10.0, 10.1]);
+        assert_eq!(overlap_coefficient(&a, &b, 16), 0.0);
+    }
+
+    #[test]
+    fn overlap_degenerate_point_masses() {
+        let a = s(&[2.0, 2.0]);
+        assert_eq!(overlap_coefficient(&a, &a, 4), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn overlap_zero_bins_panics() {
+        let a = s(&[1.0]);
+        overlap_coefficient(&a, &a, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Measurement collection, sample statistics, bootstrap resampling, and the
+//! three-way distribution comparison at the heart of relative performance
+//! analysis.
+//!
+//! The paper's methodology never reduces a set of performance measurements
+//! to a single number. A measured algorithm is represented by a [`Sample`]
+//! (all `N` measurements); two samples are compared with a
+//! [`compare::ThreeWayComparator`] which returns one of three
+//! [`compare::Outcome`]s — `Better`, `Worse`, or `Equivalent` — using the
+//! bootstrap strategy of Sankaran & Bientinesi (arXiv:2010.07226), the
+//! companion method paper cited as \[15\].
+//!
+//! Modules:
+//!
+//! * [`sample`] — the `Sample` type with quantiles, moments, histograms.
+//! * [`bootstrap`] — resampling engine and percentile confidence intervals.
+//! * [`compare`] — three-way comparators (bootstrap quantile-dominance,
+//!   mean-CI/TOST, deterministic scripted comparators for tests).
+//! * [`timer`] — wall-clock measurement harness with warmup control.
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod compare;
+pub mod ecdf;
+pub mod ranksum;
+pub mod sample;
+pub mod timer;
+pub mod transform;
+
+pub use compare::{BootstrapComparator, Outcome, ThreeWayComparator};
+pub use sample::Sample;

@@ -1,0 +1,384 @@
+//! The [`Sample`] type: a set of repeated performance measurements.
+
+use std::fmt;
+
+/// A set of repeated measurements of one algorithm under one metric
+/// (execution time in seconds throughout the paper, but the type is
+/// unit-agnostic).
+///
+/// Invariants maintained by construction:
+/// * at least one measurement,
+/// * every measurement is finite,
+/// * an internally cached sorted copy for O(1) quantile queries.
+///
+/// # Examples
+///
+/// ```
+/// use relperf_measure::Sample;
+///
+/// let s = Sample::new(vec![3.0, 1.0, 2.0]).unwrap();
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.median(), 2.0);
+/// assert_eq!(s.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    values: Vec<f64>,
+    sorted: Vec<f64>,
+}
+
+/// Error constructing a [`Sample`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleError {
+    /// The measurement vector was empty.
+    Empty,
+    /// A measurement was NaN or infinite (index of the first offender).
+    NonFinite(usize),
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::Empty => write!(f, "sample must contain at least one measurement"),
+            SampleError::NonFinite(i) => write!(f, "measurement {i} is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+impl Sample {
+    /// Wraps a vector of measurements.
+    ///
+    /// Returns [`SampleError::Empty`] for an empty vector and
+    /// [`SampleError::NonFinite`] when any value is NaN or infinite.
+    pub fn new(values: Vec<f64>) -> Result<Self, SampleError> {
+        if values.is_empty() {
+            return Err(SampleError::Empty);
+        }
+        if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+            return Err(SampleError::NonFinite(i));
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+        Ok(Sample { values, sorted })
+    }
+
+    /// Number of measurements `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always `false`; present for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The measurements in insertion order.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The measurements in ascending order.
+    #[inline]
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Smallest measurement.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest measurement.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.len() as f64
+    }
+
+    /// Unbiased sample variance (0 for a single measurement).
+    pub fn variance(&self) -> f64 {
+        let n = self.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation `σ/μ` — the paper's notion of "fluctuations
+    /// in the performance measurements". Returns 0 when the mean is 0.
+    pub fn coeff_of_variation(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m.abs()
+        }
+    }
+
+    /// Linear-interpolation quantile (type-7, the numpy/R default).
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        }
+    }
+
+    /// Median (the 0.5 quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Interquartile range `Q3 − Q1`.
+    pub fn iqr(&self) -> f64 {
+        self.quantile(0.75) - self.quantile(0.25)
+    }
+
+    /// Evaluates several quantiles at once.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
+    }
+
+    /// Histogram with `bins` equal-width bins spanning `[min, max]`.
+    ///
+    /// Returns the bin edges (`bins + 1` values) and counts (`bins` values).
+    /// A degenerate sample (all values equal) produces a single full bin in
+    /// the middle.
+    ///
+    /// # Panics
+    /// Panics when `bins == 0`.
+    pub fn histogram(&self, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        let lo = self.min();
+        let hi = self.max();
+        let width = (hi - lo) / bins as f64;
+        let mut counts = vec![0usize; bins];
+        if width == 0.0 {
+            counts[bins / 2] = self.len();
+        } else {
+            for &v in &self.values {
+                let mut idx = ((v - lo) / width) as usize;
+                if idx >= bins {
+                    idx = bins - 1; // v == max lands in the last bin
+                }
+                counts[idx] += 1;
+            }
+        }
+        let edges = (0..=bins).map(|i| lo + width * i as f64).collect();
+        Histogram { edges, counts }
+    }
+
+    /// Fraction of measurements of `self` that fall inside the `[min, max]`
+    /// range of `other` — a crude but intuitive overlap diagnostic used in
+    /// reports (the comparison itself uses bootstrapping, not this).
+    pub fn range_overlap(&self, other: &Sample) -> f64 {
+        let (lo, hi) = (other.min(), other.max());
+        let inside = self.values.iter().filter(|&&v| v >= lo && v <= hi).count();
+        inside as f64 / self.len() as f64
+    }
+}
+
+/// An equal-width histogram produced by [`Sample::histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bin edges, `len = bins + 1`.
+    pub edges: Vec<f64>,
+    /// Per-bin counts, `len = bins`.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of counted measurements.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Renders a single-column ASCII bar chart, one row per bin, scaled to
+    /// `width` characters — used by the figure-regeneration binaries.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat(c * width / max);
+            out.push_str(&format!(
+                "[{:>12.6}, {:>12.6}) {:>5} {}\n",
+                self.edges[i],
+                self.edges[i + 1],
+                c,
+                bar
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[f64]) -> Sample {
+        Sample::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Sample::new(vec![]).unwrap_err(), SampleError::Empty);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert_eq!(
+            Sample::new(vec![1.0, f64::NAN]).unwrap_err(),
+            SampleError::NonFinite(1)
+        );
+        assert_eq!(
+            Sample::new(vec![f64::INFINITY]).unwrap_err(),
+            SampleError::NonFinite(0)
+        );
+    }
+
+    #[test]
+    fn basic_stats() {
+        let x = s(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(x.mean(), 5.0);
+        assert_eq!(x.min(), 2.0);
+        assert_eq!(x.max(), 9.0);
+        assert!((x.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_measurement() {
+        let x = s(&[3.0]);
+        assert_eq!(x.mean(), 3.0);
+        assert_eq!(x.variance(), 0.0);
+        assert_eq!(x.median(), 3.0);
+        assert_eq!(x.quantile(0.0), 3.0);
+        assert_eq!(x.quantile(1.0), 3.0);
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(s(&[1.0, 2.0, 3.0]).median(), 2.0);
+        assert_eq!(s(&[1.0, 2.0, 3.0, 4.0]).median(), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let x = s(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(x.quantile(0.0), 10.0);
+        assert_eq!(x.quantile(1.0), 40.0);
+        assert!((x.quantile(0.25) - 17.5).abs() < 1e-12);
+        assert!((x.quantile(1.0 / 3.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_out_of_range_panics() {
+        s(&[1.0]).quantile(1.5);
+    }
+
+    #[test]
+    fn iqr_known() {
+        let x = s(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(x.iqr(), 2.0);
+    }
+
+    #[test]
+    fn quantiles_vectorized() {
+        let x = s(&[1.0, 2.0, 3.0]);
+        assert_eq!(x.quantiles(&[0.0, 0.5, 1.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn coeff_of_variation() {
+        let tight = s(&[1.0, 1.01, 0.99]);
+        let loose = s(&[1.0, 2.0, 0.1]);
+        assert!(tight.coeff_of_variation() < loose.coeff_of_variation());
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let x = s(&[0.0, 0.1, 0.5, 0.9, 1.0]);
+        let h = x.histogram(2);
+        assert_eq!(h.bins(), 2);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts, vec![2, 3]); // 0.5 and max land in the last bin
+        assert_eq!(h.edges.len(), 3);
+    }
+
+    #[test]
+    fn histogram_degenerate_sample() {
+        let x = s(&[2.0, 2.0, 2.0]);
+        let h = x.histogram(4);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts[2], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        s(&[1.0]).histogram(0);
+    }
+
+    #[test]
+    fn histogram_ascii_render() {
+        let x = s(&[0.0, 0.0, 1.0]);
+        let text = x.histogram(2).render_ascii(10);
+        assert!(text.contains('#'));
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn range_overlap_extremes() {
+        let a = s(&[1.0, 2.0, 3.0]);
+        let b = s(&[2.5, 4.0]);
+        let c = s(&[10.0, 11.0]);
+        assert_eq!(a.range_overlap(&c), 0.0);
+        assert_eq!(a.range_overlap(&a), 1.0);
+        assert!((a.range_overlap(&b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_is_sorted_and_values_preserved() {
+        let x = s(&[3.0, 1.0, 2.0]);
+        assert_eq!(x.values(), &[3.0, 1.0, 2.0]);
+        assert_eq!(x.sorted(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SampleError::Empty.to_string().contains("at least one"));
+        assert!(SampleError::NonFinite(3).to_string().contains('3'));
+    }
+}

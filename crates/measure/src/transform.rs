@@ -1,0 +1,153 @@
+//! Sample transforms: trimming, winsorizing, warmup removal.
+//!
+//! Timing data is contaminated in predictable ways — cold-cache warmup at
+//! the head (the caching influence of the paper's ref. \[2\]) and
+//! interference spikes in the tail. These transforms produce cleaned
+//! [`Sample`]s while keeping the raw data untouched (the comparison
+//! methodology itself never requires cleaning, but the ablation harness
+//! uses these to test sensitivity to it).
+
+use crate::sample::{Sample, SampleError};
+
+/// Drops the `frac` smallest and `frac` largest measurements (symmetric
+/// trimming). `frac` must be in `[0, 0.5)`; at least one measurement
+/// always survives.
+pub fn trimmed(sample: &Sample, frac: f64) -> Result<Sample, SampleError> {
+    assert!((0.0..0.5).contains(&frac), "trim fraction must be in [0, 0.5)");
+    let n = sample.len();
+    let k = (n as f64 * frac).floor() as usize;
+    let sorted = sample.sorted();
+    let kept = &sorted[k..n - k];
+    if kept.is_empty() {
+        // Only possible when n is tiny and frac large; keep the median.
+        return Sample::new(vec![sample.median()]);
+    }
+    Sample::new(kept.to_vec())
+}
+
+/// Clamps the `frac` smallest and largest measurements to the trim
+/// boundaries instead of dropping them (winsorizing preserves `N`).
+pub fn winsorized(sample: &Sample, frac: f64) -> Result<Sample, SampleError> {
+    assert!((0.0..0.5).contains(&frac), "winsor fraction must be in [0, 0.5)");
+    let n = sample.len();
+    let k = (n as f64 * frac).floor() as usize;
+    let sorted = sample.sorted();
+    let lo = sorted[k];
+    let hi = sorted[n - 1 - k];
+    Sample::new(sample.values().iter().map(|&v| v.clamp(lo, hi)).collect())
+}
+
+/// Drops the first `count` measurements (explicit warmup removal, in
+/// insertion order). Keeps at least one measurement.
+pub fn drop_warmup(sample: &Sample, count: usize) -> Result<Sample, SampleError> {
+    let n = sample.len();
+    let k = count.min(n - 1);
+    Sample::new(sample.values()[k..].to_vec())
+}
+
+/// Heuristic warmup detection: the longest prefix (up to `n/4`) whose
+/// every element exceeds the overall median by more than `threshold`
+/// relative. Returns the number of leading measurements to drop.
+pub fn detect_warmup(sample: &Sample, threshold: f64) -> usize {
+    assert!(threshold >= 0.0, "threshold must be non-negative");
+    let median = sample.median();
+    let cutoff = median * (1.0 + threshold);
+    let max_prefix = sample.len() / 4;
+    sample
+        .values()
+        .iter()
+        .take(max_prefix)
+        .take_while(|&&v| v > cutoff)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[f64]) -> Sample {
+        Sample::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn trimming_removes_extremes() {
+        let x = s(&[100.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 0.0]);
+        let t = trimmed(&x, 0.1).unwrap();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.min(), 1.0);
+        assert_eq!(t.max(), 8.0);
+    }
+
+    #[test]
+    fn trimming_zero_frac_is_identity_on_sorted_values() {
+        let x = s(&[3.0, 1.0, 2.0]);
+        let t = trimmed(&x, 0.0).unwrap();
+        assert_eq!(t.sorted(), x.sorted());
+    }
+
+    #[test]
+    fn trimming_reduces_variance_with_outliers() {
+        let x = s(&[1.0, 1.1, 0.9, 1.0, 50.0]);
+        let t = trimmed(&x, 0.2).unwrap();
+        assert!(t.variance() < x.variance());
+    }
+
+    #[test]
+    #[should_panic(expected = "trim fraction")]
+    fn trim_frac_bounds_checked() {
+        trimmed(&s(&[1.0]), 0.5).unwrap();
+    }
+
+    #[test]
+    fn winsorizing_preserves_count_and_clamps() {
+        let x = s(&[0.0, 1.0, 2.0, 3.0, 100.0]);
+        let w = winsorized(&x, 0.2).unwrap();
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.max(), 3.0); // 100 clamped to the 80th-percentile value
+        assert_eq!(w.min(), 1.0); // 0 clamped up
+        assert!(w.mean() < x.mean());
+    }
+
+    #[test]
+    fn drop_warmup_keeps_order_and_floor() {
+        let x = s(&[9.0, 8.0, 1.0, 1.1, 0.9]);
+        let d = drop_warmup(&x, 2).unwrap();
+        assert_eq!(d.values(), &[1.0, 1.1, 0.9]);
+        // Never drops everything.
+        let d_all = drop_warmup(&x, 99).unwrap();
+        assert_eq!(d_all.len(), 1);
+        assert_eq!(d_all.values(), &[0.9]);
+    }
+
+    #[test]
+    fn warmup_detection_finds_hot_prefix() {
+        // Two slow cold-start runs, then steady state.
+        let vals: Vec<f64> = [2.0, 1.8]
+            .iter()
+            .chain([1.0; 18].iter())
+            .copied()
+            .collect();
+        let x = s(&vals);
+        assert_eq!(detect_warmup(&x, 0.3), 2);
+        // No warmup in a flat sample.
+        assert_eq!(detect_warmup(&s(&[1.0; 10]), 0.1), 0);
+    }
+
+    #[test]
+    fn warmup_detection_capped_at_quarter() {
+        // Every value above the cutoff? The prefix is capped at n/4, so at
+        // most 2 of 8 even in a pathological sample.
+        let x = s(&[5.0, 5.0, 5.0, 5.0, 1.0, 1.0, 1.0, 1.0]);
+        assert!(detect_warmup(&x, 0.1) <= 2);
+    }
+
+    #[test]
+    fn transforms_compose() {
+        let raw = s(&[10.0, 9.0, 1.0, 1.1, 0.9, 1.05, 30.0, 0.95]);
+        let k = detect_warmup(&raw, 0.5);
+        let cleaned = drop_warmup(&raw, k).unwrap();
+        let robust = trimmed(&cleaned, 0.2).unwrap();
+        assert!(robust.max() < 30.0);
+        assert!(robust.coeff_of_variation() < raw.coeff_of_variation());
+    }
+}

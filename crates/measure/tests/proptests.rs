@@ -1,0 +1,150 @@
+//! Property-based tests of samples, bootstrap, and comparators.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::prelude::*;
+use relperf_measure::bootstrap::{mean_ci, median_ci, resample};
+use relperf_measure::compare::{BootstrapComparator, MedianComparator, Outcome, ThreeWayComparator};
+use relperf_measure::ecdf::{ks_distance, overlap_coefficient, Ecdf};
+use relperf_measure::ranksum::MannWhitneyComparator;
+use relperf_measure::Sample;
+
+fn finite_values() -> impl Strategy<Value = Vec<f64>> {
+    vec(0.001f64..1_000.0, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(values in finite_values()) {
+        let s = Sample::new(values).unwrap();
+        let qs: Vec<f64> = (0..=10).map(|i| s.quantile(i as f64 / 10.0)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[1] >= w[0], "quantiles must be monotone: {qs:?}");
+        }
+        prop_assert_eq!(qs[0], s.min());
+        prop_assert_eq!(qs[10], s.max());
+        prop_assert!(s.mean() >= s.min() && s.mean() <= s.max());
+        prop_assert!(s.median() >= s.min() && s.median() <= s.max());
+    }
+
+    #[test]
+    fn variance_is_translation_invariant(values in finite_values(), shift in -100.0f64..100.0) {
+        let s = Sample::new(values.clone()).unwrap();
+        let shifted = Sample::new(values.iter().map(|v| v + shift).collect()).unwrap();
+        prop_assert!((s.variance() - shifted.variance()).abs() < 1e-6 * s.variance().max(1.0));
+        prop_assert!((s.mean() + shift - shifted.mean()).abs() < 1e-9 * s.mean().abs().max(1.0));
+    }
+
+    #[test]
+    fn histogram_conserves_mass(values in finite_values(), bins in 1usize..32) {
+        let s = Sample::new(values).unwrap();
+        let h = s.histogram(bins);
+        prop_assert_eq!(h.total(), s.len());
+        prop_assert_eq!(h.bins(), bins);
+        prop_assert_eq!(h.edges.len(), bins + 1);
+    }
+
+    #[test]
+    fn resample_stays_within_sample_range(values in finite_values(), seed in 0u64..1_000) {
+        let s = Sample::new(values).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = resample(&mut rng, &s);
+        prop_assert_eq!(r.len(), s.len());
+        for v in r {
+            prop_assert!(v >= s.min() && v <= s.max());
+            prop_assert!(s.values().contains(&v));
+        }
+    }
+
+    #[test]
+    fn bootstrap_cis_bracket_the_statistic_range(values in finite_values(), seed in 0u64..500) {
+        let s = Sample::new(values).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ci_mean = mean_ci(&mut rng, &s, 100, 0.9);
+        prop_assert!(ci_mean.lo <= ci_mean.hi);
+        prop_assert!(ci_mean.lo >= s.min() - 1e-9 && ci_mean.hi <= s.max() + 1e-9);
+        let ci_med = median_ci(&mut rng, &s, 100, 0.9);
+        prop_assert!(ci_med.lo >= s.min() - 1e-9 && ci_med.hi <= s.max() + 1e-9);
+    }
+
+    #[test]
+    fn comparators_are_reflexively_equivalent(values in finite_values(), seed in 0u64..500) {
+        let s = Sample::new(values).unwrap();
+        let boot = BootstrapComparator::new(seed);
+        prop_assert_eq!(boot.compare(&s, &s), Outcome::Equivalent);
+        let med = MedianComparator::new(0.01);
+        prop_assert_eq!(med.compare(&s, &s), Outcome::Equivalent);
+        let mw = MannWhitneyComparator::new(0.05);
+        prop_assert_eq!(mw.compare(&s, &s), Outcome::Equivalent);
+    }
+
+    #[test]
+    fn median_comparator_is_antisymmetric(a in finite_values(), b in finite_values()) {
+        let sa = Sample::new(a).unwrap();
+        let sb = Sample::new(b).unwrap();
+        let cmp = MedianComparator::new(0.02);
+        prop_assert_eq!(cmp.compare(&sa, &sb), cmp.compare(&sb, &sa).invert());
+    }
+
+    #[test]
+    fn mann_whitney_is_antisymmetric(a in finite_values(), b in finite_values()) {
+        let sa = Sample::new(a).unwrap();
+        let sb = Sample::new(b).unwrap();
+        let cmp = MannWhitneyComparator::new(0.05);
+        prop_assert_eq!(cmp.compare(&sa, &sb), cmp.compare(&sb, &sa).invert());
+    }
+
+    #[test]
+    fn clearly_separated_samples_always_decided(base in 0.5f64..10.0, seed in 0u64..300) {
+        // b = 3x a elementwise: every comparator must call a better.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..40).map(|_| base * (1.0 + 0.05 * rng.random_range(-1.0..1.0))).collect();
+        let b: Vec<f64> = a.iter().map(|v| 3.0 * v).collect();
+        let sa = Sample::new(a).unwrap();
+        let sb = Sample::new(b).unwrap();
+        prop_assert_eq!(BootstrapComparator::new(seed).compare(&sa, &sb), Outcome::Better);
+        prop_assert_eq!(MedianComparator::new(0.02).compare(&sa, &sb), Outcome::Better);
+        prop_assert_eq!(MannWhitneyComparator::new(0.05).compare(&sa, &sb), Outcome::Better);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_cdf(values in finite_values()) {
+        let s = Sample::new(values).unwrap();
+        let f = Ecdf::new(&s);
+        let mut last = 0.0;
+        for &x in f.support() {
+            let y = f.eval(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(y >= last);
+            last = y;
+        }
+        prop_assert_eq!(f.eval(s.max()), 1.0);
+        prop_assert_eq!(f.eval(s.min() - 1.0), 0.0);
+    }
+
+    #[test]
+    fn ks_distance_is_a_pseudometric(a in finite_values(), b in finite_values(), c in finite_values()) {
+        let sa = Sample::new(a).unwrap();
+        let sb = Sample::new(b).unwrap();
+        let sc = Sample::new(c).unwrap();
+        let dab = ks_distance(&sa, &sb);
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert_eq!(dab, ks_distance(&sb, &sa));
+        prop_assert_eq!(ks_distance(&sa, &sa), 0.0);
+        // Triangle inequality.
+        let dac = ks_distance(&sa, &sc);
+        let dcb = ks_distance(&sc, &sb);
+        prop_assert!(dab <= dac + dcb + 1e-12);
+    }
+
+    #[test]
+    fn overlap_coefficient_bounded_and_symmetric(a in finite_values(), b in finite_values(), bins in 1usize..24) {
+        let sa = Sample::new(a).unwrap();
+        let sb = Sample::new(b).unwrap();
+        let o = overlap_coefficient(&sa, &sb, bins);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&o));
+        prop_assert!((o - overlap_coefficient(&sb, &sa, bins)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,287 @@
+//! Calibration: fitting platform parameters from observed timings.
+//!
+//! The paper's clusters "are specific to the underlying architecture and
+//! run time settings; if the operating conditions are changed, the
+//! measurements have to be repeated." When porting this methodology to a
+//! new device, the first step is estimating its throughput and per-task
+//! overhead from a handful of timing observations — this module does that
+//! with closed-form ordinary least squares on the affine model
+//! `time = overhead + flops / throughput`.
+
+/// One calibration observation: a task of known FLOP volume and its
+/// measured execution time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// FLOPs of the measured task.
+    pub flops: u64,
+    /// Measured wall time, seconds.
+    pub time_s: f64,
+}
+
+/// Result of a throughput fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputFit {
+    /// Estimated sustained throughput, FLOP/s.
+    pub flops_per_s: f64,
+    /// Estimated fixed per-task overhead, seconds (≥ 0 after clamping).
+    pub overhead_s: f64,
+    /// Coefficient of determination of the affine fit.
+    pub r_squared: f64,
+}
+
+/// Error from [`fit_throughput`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// Fewer than two observations, or all FLOP volumes identical — the
+    /// affine model is not identifiable.
+    NotIdentifiable,
+    /// A fitted slope was non-positive (noise dominates; measure bigger
+    /// tasks or more repetitions).
+    DegenerateSlope,
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationError::NotIdentifiable => {
+                write!(f, "need ≥ 2 observations with distinct FLOP volumes")
+            }
+            CalibrationError::DegenerateSlope => {
+                write!(f, "fitted slope non-positive; observations too noisy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Ordinary least squares for `time = a + b·flops`; returns the
+/// throughput `1/b` and overhead `a`.
+pub fn fit_throughput(obs: &[Observation]) -> Result<ThroughputFit, CalibrationError> {
+    if obs.len() < 2 {
+        return Err(CalibrationError::NotIdentifiable);
+    }
+    let n = obs.len() as f64;
+    let mean_x = obs.iter().map(|o| o.flops as f64).sum::<f64>() / n;
+    let mean_y = obs.iter().map(|o| o.time_s).sum::<f64>() / n;
+    let sxx: f64 = obs
+        .iter()
+        .map(|o| (o.flops as f64 - mean_x).powi(2))
+        .sum();
+    if sxx == 0.0 {
+        return Err(CalibrationError::NotIdentifiable);
+    }
+    let sxy: f64 = obs
+        .iter()
+        .map(|o| (o.flops as f64 - mean_x) * (o.time_s - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    if slope <= 0.0 {
+        return Err(CalibrationError::DegenerateSlope);
+    }
+    let intercept = mean_y - slope * mean_x;
+
+    let ss_tot: f64 = obs.iter().map(|o| (o.time_s - mean_y).powi(2)).sum();
+    let ss_res: f64 = obs
+        .iter()
+        .map(|o| {
+            let pred = intercept + slope * o.flops as f64;
+            (o.time_s - pred).powi(2)
+        })
+        .sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+
+    Ok(ThroughputFit {
+        flops_per_s: 1.0 / slope,
+        overhead_s: intercept.max(0.0),
+        r_squared,
+    })
+}
+
+/// Fits link parameters (`latency`, `bandwidth`) from byte/time
+/// observations with the same affine model.
+pub fn fit_link(obs: &[(u64, f64)]) -> Result<(f64, f64), CalibrationError> {
+    let as_obs: Vec<Observation> = obs
+        .iter()
+        .map(|&(bytes, t)| Observation {
+            flops: bytes,
+            time_s: t,
+        })
+        .collect();
+    let fit = fit_throughput(&as_obs)?;
+    Ok((fit.overhead_s, fit.flops_per_s)) // (latency, bytes/s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_affine_data_recovered() {
+        // time = 1e-3 + flops / 1e9
+        let obs: Vec<Observation> = [1_000_000u64, 5_000_000, 20_000_000, 100_000_000]
+            .iter()
+            .map(|&f| Observation {
+                flops: f,
+                time_s: 1e-3 + f as f64 / 1e9,
+            })
+            .collect();
+        let fit = fit_throughput(&obs).unwrap();
+        assert!((fit.flops_per_s - 1e9).abs() / 1e9 < 1e-9);
+        assert!((fit.overhead_s - 1e-3).abs() < 1e-12);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn noisy_data_recovers_approximately() {
+        let mut obs = Vec::new();
+        for i in 1..=20u64 {
+            let f = i * 10_000_000;
+            let jitter = if i % 2 == 0 { 1.02 } else { 0.98 };
+            obs.push(Observation {
+                flops: f,
+                time_s: (5e-4 + f as f64 / 2e9) * jitter,
+            });
+        }
+        let fit = fit_throughput(&obs).unwrap();
+        assert!((fit.flops_per_s - 2e9).abs() / 2e9 < 0.05, "{fit:?}");
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn too_few_observations_rejected() {
+        assert_eq!(
+            fit_throughput(&[Observation {
+                flops: 1,
+                time_s: 1.0
+            }]),
+            Err(CalibrationError::NotIdentifiable)
+        );
+    }
+
+    #[test]
+    fn identical_flops_rejected() {
+        let obs = [
+            Observation {
+                flops: 1_000,
+                time_s: 1.0,
+            },
+            Observation {
+                flops: 1_000,
+                time_s: 1.1,
+            },
+        ];
+        assert_eq!(fit_throughput(&obs), Err(CalibrationError::NotIdentifiable));
+    }
+
+    #[test]
+    fn negative_slope_rejected() {
+        let obs = [
+            Observation {
+                flops: 1_000,
+                time_s: 2.0,
+            },
+            Observation {
+                flops: 2_000,
+                time_s: 1.0,
+            },
+        ];
+        assert_eq!(fit_throughput(&obs), Err(CalibrationError::DegenerateSlope));
+    }
+
+    #[test]
+    fn overhead_clamped_to_zero() {
+        // A slightly negative intercept from noise must clamp.
+        let obs = [
+            Observation {
+                flops: 1_000_000,
+                time_s: 0.9e-3,
+            },
+            Observation {
+                flops: 2_000_000,
+                time_s: 2.1e-3,
+            },
+        ];
+        let fit = fit_throughput(&obs).unwrap();
+        assert!(fit.overhead_s >= 0.0);
+    }
+
+    #[test]
+    fn link_fit_maps_parameters() {
+        let obs: Vec<(u64, f64)> = [1_000u64, 10_000, 100_000]
+            .iter()
+            .map(|&b| (b, 1e-4 + b as f64 / 1e9))
+            .collect();
+        let (latency, bw) = fit_link(&obs).unwrap();
+        assert!((latency - 1e-4).abs() < 1e-10);
+        assert!((bw - 1e9).abs() / 1e9 < 1e-9);
+    }
+
+    #[test]
+    fn fit_against_simulated_platform() {
+        // End-to-end: observe the quiet simulator, recover its device rate.
+        use crate::device::{DeviceKind, DeviceSpec};
+        use crate::executor::Platform;
+        use crate::link::LinkSpec;
+        use crate::noise::NoiseModel;
+        use crate::task::{Loc, Task};
+        use rand::prelude::*;
+
+        let platform = Platform {
+            device: DeviceSpec {
+                name: "d".into(),
+                kind: DeviceKind::EdgeCpu,
+                peak_flops: 3.0e9,
+                mem_capacity_bytes: u64::MAX,
+                mem_pressure_penalty: 0.0,
+                energy_per_flop: 0.0,
+                idle_power_watts: 0.0,
+                cost_per_second: 0.0,
+                launch_overhead_s: 0.0,
+            },
+            accelerator: DeviceSpec {
+                name: "a".into(),
+                kind: DeviceKind::Gpu,
+                peak_flops: 1e10,
+                mem_capacity_bytes: u64::MAX,
+                mem_pressure_penalty: 0.0,
+                energy_per_flop: 0.0,
+                idle_power_watts: 0.0,
+                cost_per_second: 0.0,
+                launch_overhead_s: 0.0,
+            },
+            link: LinkSpec {
+                name: "l".into(),
+                latency_s: 0.0,
+                bandwidth_bytes_per_s: 1e9,
+                energy_per_byte: 0.0,
+            },
+            context_switch_s: 0.0,
+            device_noise: NoiseModel::None,
+            accel_noise: NoiseModel::None,
+            transfer_noise: NoiseModel::None,
+        };
+        let mut rng = StdRng::seed_from_u64(171);
+        let obs: Vec<Observation> = [1_000_000u64, 10_000_000, 50_000_000]
+            .iter()
+            .map(|&f| {
+                let task = Task {
+                    name: "t".into(),
+                    iterations: 1,
+                    flops_per_iter: f,
+                    offload_bytes_per_iter: 0,
+                    return_bytes_per_iter: 0,
+                    working_set_bytes: 0,
+                    handoff_bytes: 0,
+                };
+                let rec = platform.execute(std::slice::from_ref(&task), &[Loc::Device], &mut rng);
+                Observation {
+                    flops: f,
+                    time_s: rec.total_time_s,
+                }
+            })
+            .collect();
+        let fit = fit_throughput(&obs).unwrap();
+        assert!((fit.flops_per_s - 3.0e9).abs() / 3.0e9 < 1e-9);
+    }
+}

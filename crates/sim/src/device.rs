@@ -1,0 +1,142 @@
+//! Device models: throughput, memory capacity, energy, operating cost.
+
+/// Coarse classification of a simulated device, mirroring the
+/// device/accelerator combinations the paper lists (CPU–GPU, CPU–Raspbian,
+/// Smartphone–GPU, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// A general-purpose CPU acting as the edge device `D`.
+    EdgeCpu,
+    /// A discrete accelerator (GPU-class) acting as `A`.
+    Gpu,
+    /// A Raspberry-Pi-class single-board computer.
+    RaspberryPi,
+    /// A smartphone system-on-chip.
+    Smartphone,
+    /// A remote server reachable over a slower link.
+    Server,
+}
+
+/// Static description of one simulated device.
+///
+/// Throughput is modelled as a peak rate degraded by *memory pressure*: when
+/// a task's working set exceeds [`DeviceSpec::mem_capacity_bytes`], the
+/// effective rate is divided by `1 + mem_pressure_penalty · (ws/cap − 1)`.
+/// This is the mechanism behind the paper's Fig. 1b observation that
+/// offloading the *larger* loop loses to the data-movement and memory
+/// overhead it causes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable name, e.g. `"xeon-8160-1core"`.
+    pub name: String,
+    /// Device class.
+    pub kind: DeviceKind,
+    /// Peak throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Working-set capacity in bytes before throttling starts.
+    pub mem_capacity_bytes: u64,
+    /// Dimensionless throttling slope once the working set exceeds the
+    /// capacity (0 disables throttling).
+    pub mem_pressure_penalty: f64,
+    /// Dynamic energy per floating-point operation, joules.
+    pub energy_per_flop: f64,
+    /// Idle power drawn while the device waits, watts.
+    pub idle_power_watts: f64,
+    /// Operating cost per busy second (the paper's "operating cost involved
+    /// in executing the code on the accelerator"), arbitrary currency.
+    pub cost_per_second: f64,
+    /// Fixed overhead per offloaded kernel launch, seconds. Zero for the
+    /// edge device itself (work originates there).
+    pub launch_overhead_s: f64,
+}
+
+impl DeviceSpec {
+    /// Effective throughput (FLOP/s) for a task with the given working set.
+    ///
+    /// # Panics
+    /// Panics when the spec has non-positive peak throughput.
+    pub fn effective_flops(&self, working_set_bytes: u64) -> f64 {
+        assert!(self.peak_flops > 0.0, "device {} has no throughput", self.name);
+        if working_set_bytes <= self.mem_capacity_bytes || self.mem_pressure_penalty == 0.0 {
+            return self.peak_flops;
+        }
+        let excess = working_set_bytes as f64 / self.mem_capacity_bytes as f64 - 1.0;
+        self.peak_flops / (1.0 + self.mem_pressure_penalty * excess)
+    }
+
+    /// Seconds of pure compute for `flops` floating-point operations with
+    /// the given working set.
+    pub fn compute_time(&self, flops: u64, working_set_bytes: u64) -> f64 {
+        flops as f64 / self.effective_flops(working_set_bytes)
+    }
+
+    /// Dynamic energy (joules) of executing `flops` operations.
+    pub fn compute_energy(&self, flops: u64) -> f64 {
+        flops as f64 * self.energy_per_flop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec {
+            name: "test".into(),
+            kind: DeviceKind::EdgeCpu,
+            peak_flops: 1e9,
+            mem_capacity_bytes: 1_000,
+            mem_pressure_penalty: 2.0,
+            energy_per_flop: 1e-9,
+            idle_power_watts: 1.0,
+            cost_per_second: 0.5,
+            launch_overhead_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn no_throttle_within_capacity() {
+        let d = spec();
+        assert_eq!(d.effective_flops(500), 1e9);
+        assert_eq!(d.effective_flops(1_000), 1e9);
+    }
+
+    #[test]
+    fn throttles_beyond_capacity() {
+        let d = spec();
+        // ws = 2x capacity → excess 1.0 → divisor 3.0.
+        assert!((d.effective_flops(2_000) - 1e9 / 3.0).abs() < 1.0);
+        // Monotone decreasing in working set.
+        assert!(d.effective_flops(3_000) < d.effective_flops(2_000));
+    }
+
+    #[test]
+    fn zero_penalty_disables_throttling() {
+        let mut d = spec();
+        d.mem_pressure_penalty = 0.0;
+        assert_eq!(d.effective_flops(1_000_000), 1e9);
+    }
+
+    #[test]
+    fn compute_time_scales_linearly() {
+        let d = spec();
+        let t1 = d.compute_time(1_000_000, 0);
+        let t2 = d.compute_time(2_000_000, 0);
+        assert!((t2 - 2.0 * t1).abs() < 1e-15);
+        assert!((t1 - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_energy_counts_flops() {
+        let d = spec();
+        assert!((d.compute_energy(1_000_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no throughput")]
+    fn zero_throughput_panics() {
+        let mut d = spec();
+        d.peak_flops = 0.0;
+        d.effective_flops(0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Energy and operating-cost accounting.
+
+/// Joule-level energy breakdown of one simulated execution.
+///
+/// The paper's Sec. IV decision models reason about "the number of floating
+/// point operations performed … on a particular device (which minimizes
+/// energy)"; this struct carries the per-component energy so those models
+/// can weigh device energy against accelerator and link energy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Dynamic + idle energy of the edge device, joules.
+    pub device_j: f64,
+    /// Dynamic + idle energy of the accelerator, joules.
+    pub accel_j: f64,
+    /// Transfer energy of the interconnect, joules.
+    pub link_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy across all components.
+    pub fn total(&self) -> f64 {
+        self.device_j + self.accel_j + self.link_j
+    }
+
+    /// Componentwise sum.
+    #[must_use]
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            device_j: self.device_j + other.device_j,
+            accel_j: self.accel_j + other.accel_j,
+            link_j: self.link_j + other.link_j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_components() {
+        let e = EnergyBreakdown {
+            device_j: 1.0,
+            accel_j: 2.0,
+            link_j: 0.5,
+        };
+        assert!((e.total() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let a = EnergyBreakdown {
+            device_j: 1.0,
+            accel_j: 2.0,
+            link_j: 3.0,
+        };
+        let b = EnergyBreakdown {
+            device_j: 0.5,
+            accel_j: 0.5,
+            link_j: 0.5,
+        };
+        let s = a.add(&b);
+        assert_eq!(s.device_j, 1.5);
+        assert_eq!(s.accel_j, 2.5);
+        assert_eq!(s.link_j, 3.5);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(EnergyBreakdown::default().total(), 0.0);
+    }
+}

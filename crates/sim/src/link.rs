@@ -1,0 +1,76 @@
+//! Interconnect model between the edge device and the accelerator.
+
+/// A bidirectional link (PCIe, USB, Wi-Fi, …) with fixed per-message latency
+/// and finite bandwidth. The transfer-time model is the classical
+/// `α + β·bytes` (latency + bandwidth) model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSpec {
+    /// Human-readable name, e.g. `"pcie3-x16"`.
+    pub name: String,
+    /// Per-message latency `α`, seconds.
+    pub latency_s: f64,
+    /// Sustained bandwidth, bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Energy per transferred byte, joules.
+    pub energy_per_byte: f64,
+}
+
+impl LinkSpec {
+    /// Transfer time for one message of `bytes` payload.
+    ///
+    /// Zero-byte messages still pay the latency — that is exactly the
+    /// per-iteration synchronization cost that punishes offloading small
+    /// tasks in the paper's Table I.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        assert!(
+            self.bandwidth_bytes_per_s > 0.0,
+            "link {} has no bandwidth",
+            self.name
+        );
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Transfer energy for `bytes` payload.
+    pub fn transfer_energy(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkSpec {
+        LinkSpec {
+            name: "test-link".into(),
+            latency_s: 1e-4,
+            bandwidth_bytes_per_s: 1e9,
+            energy_per_byte: 1e-9,
+        }
+    }
+
+    #[test]
+    fn latency_floor_for_empty_message() {
+        assert_eq!(link().transfer_time(0), 1e-4);
+    }
+
+    #[test]
+    fn bandwidth_term_scales() {
+        let l = link();
+        let t = l.transfer_time(1_000_000_000);
+        assert!((t - (1.0 + 1e-4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_linear_in_bytes() {
+        assert!((link().transfer_energy(1_000_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no bandwidth")]
+    fn zero_bandwidth_panics() {
+        let mut l = link();
+        l.bandwidth_bytes_per_s = 0.0;
+        l.transfer_time(1);
+    }
+}

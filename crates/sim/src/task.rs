@@ -1,0 +1,184 @@
+//! Tasks, placements, and placement enumeration.
+
+use std::fmt;
+
+/// Where a task runs: the edge device `D` or the accelerator `A`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// The edge device (paper notation `D`).
+    Device,
+    /// The accelerator (paper notation `A`).
+    Accelerator,
+}
+
+impl Loc {
+    /// Single-letter paper notation.
+    pub fn letter(self) -> char {
+        match self {
+            Loc::Device => 'D',
+            Loc::Accelerator => 'A',
+        }
+    }
+
+    /// Parses `'D'`/`'A'` (case-insensitive).
+    pub fn from_letter(c: char) -> Option<Loc> {
+        match c.to_ascii_uppercase() {
+            'D' => Some(Loc::Device),
+            'A' => Some(Loc::Accelerator),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// One loop of the scientific code (an `L_i` in the paper's Procedure 5): a
+/// sequence of identical iterations, each with a fixed FLOP count and — when
+/// placed on the accelerator — a per-iteration offload transfer.
+///
+/// The per-iteration transfer models the TensorFlow behaviour the paper
+/// observes: the loop body generates fresh input matrices on the host, so an
+/// accelerator placement ships them across the link every iteration ("the
+/// overhead caused by the larger data-movement between CPU and GPU").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Task name, e.g. `"L1"`.
+    pub name: String,
+    /// Number of loop iterations `n`.
+    pub iterations: u64,
+    /// FLOPs per iteration.
+    pub flops_per_iter: u64,
+    /// Host-to-device bytes per iteration when offloaded.
+    pub offload_bytes_per_iter: u64,
+    /// Device-to-host bytes per iteration when offloaded (the scalar
+    /// penalty in the paper's RLS task).
+    pub return_bytes_per_iter: u64,
+    /// Peak working set of one iteration, bytes (drives memory-pressure
+    /// throttling on the accelerator).
+    pub working_set_bytes: u64,
+    /// Bytes handed to the *next* task (the `penalty` scalar in Procedure
+    /// 5); crosses the link when consecutive tasks run on different devices.
+    pub handoff_bytes: u64,
+}
+
+impl Task {
+    /// Total FLOPs of the task.
+    pub fn total_flops(&self) -> u64 {
+        self.iterations * self.flops_per_iter
+    }
+
+    /// Total bytes shipped to the accelerator if the task is offloaded.
+    pub fn total_offload_bytes(&self) -> u64 {
+        self.iterations * (self.offload_bytes_per_iter + self.return_bytes_per_iter)
+    }
+}
+
+/// Human label of a placement vector in paper notation, e.g. `"DDA"`.
+pub fn placement_label(placement: &[Loc]) -> String {
+    placement.iter().map(|l| l.letter()).collect()
+}
+
+/// Parses a paper-notation label (e.g. `"DAD"`) into a placement vector.
+/// Returns `None` on any character outside `{D, A}`.
+pub fn parse_placement(label: &str) -> Option<Vec<Loc>> {
+    label.chars().map(Loc::from_letter).collect()
+}
+
+/// Enumerates all `2^n` placements of `n` tasks in a stable order:
+/// lexicographic with `D < A`, so `DD…D` comes first and `AA…A` last.
+/// This is the paper's Fig. 1a (n=2, four algorithms) and Table I (n=3,
+/// eight algorithms) enumeration.
+pub fn enumerate_placements(n: usize) -> Vec<Vec<Loc>> {
+    assert!(n < usize::BITS as usize, "placement count would overflow");
+    let mut out = Vec::with_capacity(1 << n);
+    for mask in 0..(1u64 << n) {
+        let mut p = Vec::with_capacity(n);
+        for bit in (0..n).rev() {
+            // Highest bit = first task, so the order is lexicographic.
+            if mask & (1 << bit) == 0 {
+                p.push(Loc::Device);
+            } else {
+                p.push(Loc::Accelerator);
+            }
+        }
+        out.push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_letters_roundtrip() {
+        assert_eq!(Loc::Device.letter(), 'D');
+        assert_eq!(Loc::Accelerator.letter(), 'A');
+        assert_eq!(Loc::from_letter('d'), Some(Loc::Device));
+        assert_eq!(Loc::from_letter('A'), Some(Loc::Accelerator));
+        assert_eq!(Loc::from_letter('x'), None);
+        assert_eq!(Loc::Device.to_string(), "D");
+    }
+
+    #[test]
+    fn task_totals() {
+        let t = Task {
+            name: "L1".into(),
+            iterations: 10,
+            flops_per_iter: 100,
+            offload_bytes_per_iter: 7,
+            return_bytes_per_iter: 3,
+            working_set_bytes: 0,
+            handoff_bytes: 8,
+        };
+        assert_eq!(t.total_flops(), 1_000);
+        assert_eq!(t.total_offload_bytes(), 100);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let p = vec![Loc::Device, Loc::Accelerator, Loc::Device];
+        assert_eq!(placement_label(&p), "DAD");
+        assert_eq!(parse_placement("DAD"), Some(p));
+        assert_eq!(parse_placement("DXD"), None);
+    }
+
+    #[test]
+    fn enumeration_count_and_order() {
+        let all = enumerate_placements(3);
+        assert_eq!(all.len(), 8);
+        let labels: Vec<String> = all.iter().map(|p| placement_label(p)).collect();
+        assert_eq!(
+            labels,
+            vec!["DDD", "DDA", "DAD", "DAA", "ADD", "ADA", "AAD", "AAA"]
+        );
+    }
+
+    #[test]
+    fn enumeration_two_tasks_matches_fig1a() {
+        let labels: Vec<String> = enumerate_placements(2)
+            .iter()
+            .map(|p| placement_label(p))
+            .collect();
+        assert_eq!(labels, vec!["DD", "DA", "AD", "AA"]);
+    }
+
+    #[test]
+    fn enumeration_zero_tasks() {
+        let all = enumerate_placements(0);
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_empty());
+    }
+
+    #[test]
+    fn all_placements_unique() {
+        let all = enumerate_placements(4);
+        let set: std::collections::HashSet<String> =
+            all.iter().map(|p| placement_label(p)).collect();
+        assert_eq!(set.len(), 16);
+    }
+}

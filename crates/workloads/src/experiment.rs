@@ -1,0 +1,193 @@
+//! End-to-end pipeline: measure every placement, cluster, build profiles.
+
+use rand::Rng;
+use relperf_core::cluster::{relative_scores, ClusterConfig, Clustering, ScoreTable};
+use relperf_core::decision::AlgorithmProfile;
+use relperf_measure::{Sample, ThreeWayComparator};
+use relperf_sim::{ExecutionRecord, Loc, Platform, Task};
+
+/// A fully-specified experiment: a platform, a task sequence, and the set
+/// of placements (equivalent algorithms) to rank.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// The simulated platform.
+    pub platform: Platform,
+    /// The task sequence (the scientific code's loops).
+    pub tasks: Vec<Task>,
+    /// Labelled placements — the algorithm set `A`.
+    pub placements: Vec<(String, Vec<Loc>)>,
+}
+
+impl Experiment {
+    /// The paper's Fig. 1 experiment: two-loop code on the Fig. 1 platform,
+    /// four algorithms.
+    pub fn fig1() -> Self {
+        Experiment {
+            platform: relperf_sim::presets::fig1_platform(),
+            tasks: crate::two_loop::tasks(),
+            placements: crate::two_loop::placements(),
+        }
+    }
+
+    /// The paper's Table I experiment: three `MathTask`s (sizes 50/75/300,
+    /// `iters` loop iterations each) on the Table I platform, eight
+    /// algorithms.
+    pub fn table1(iters: usize) -> Self {
+        Experiment {
+            platform: relperf_sim::presets::table1_platform(),
+            tasks: crate::scientific_code::tasks(iters),
+            placements: crate::scientific_code::placements(),
+        }
+    }
+
+    /// Labels of all placements, in order.
+    pub fn labels(&self) -> Vec<String> {
+        self.placements.iter().map(|(l, _)| l.clone()).collect()
+    }
+}
+
+/// One algorithm's measurements plus its noiseless accounting record.
+#[derive(Debug, Clone)]
+pub struct MeasuredAlgorithm {
+    /// Placement label (paper notation, e.g. `"DDA"`).
+    pub label: String,
+    /// The placement itself.
+    pub placement: Vec<Loc>,
+    /// `N` simulated execution-time measurements.
+    pub sample: Sample,
+    /// Noise-free execution record (expected time, FLOPs, energy, cost).
+    pub record: ExecutionRecord,
+}
+
+/// Measures every placement `n` times — the paper's "the execution time of
+/// every algorithm is measured N times".
+pub fn measure_all<R: Rng + ?Sized>(
+    exp: &Experiment,
+    n: usize,
+    rng: &mut R,
+) -> Vec<MeasuredAlgorithm> {
+    exp.placements
+        .iter()
+        .map(|(label, placement)| {
+            let sample = exp
+                .platform
+                .measure(&exp.tasks, placement, n, rng)
+                .expect("n > 0 and simulated times are finite");
+            let record = exp.platform.execute_noiseless(&exp.tasks, placement);
+            MeasuredAlgorithm {
+                label: label.clone(),
+                placement: placement.clone(),
+                sample,
+                record,
+            }
+        })
+        .collect()
+}
+
+/// Procedure 4 over measured algorithms: repeated shuffled three-way bubble
+/// sorts using `comparator` on the stored samples.
+pub fn cluster_measurements<R: Rng + ?Sized>(
+    measured: &[MeasuredAlgorithm],
+    comparator: &dyn ThreeWayComparator,
+    config: ClusterConfig,
+    rng: &mut R,
+) -> ScoreTable {
+    relative_scores(measured.len(), config, rng, |a, b| {
+        comparator.compare(&measured[a].sample, &measured[b].sample)
+    })
+}
+
+/// Builds decision-model profiles by joining measurements, accounting
+/// records, and the final clustering.
+pub fn profiles(measured: &[MeasuredAlgorithm], clustering: &Clustering) -> Vec<AlgorithmProfile> {
+    measured
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let a = clustering.assignment(i);
+            AlgorithmProfile {
+                label: m.label.clone(),
+                rank: a.rank,
+                score: a.score,
+                mean_time_s: m.sample.mean(),
+                device_flops: m.record.device_flops,
+                accel_flops: m.record.accel_flops,
+                operating_cost: m.record.operating_cost,
+                device_energy_j: m.record.energy.device_j,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use relperf_measure::compare::MedianComparator;
+
+    #[test]
+    fn fig1_experiment_shape() {
+        let e = Experiment::fig1();
+        assert_eq!(e.tasks.len(), 2);
+        assert_eq!(e.placements.len(), 4);
+        assert_eq!(e.labels(), vec!["DD", "DA", "AD", "AA"]);
+    }
+
+    #[test]
+    fn table1_experiment_shape() {
+        let e = Experiment::table1(10);
+        assert_eq!(e.tasks.len(), 3);
+        assert_eq!(e.placements.len(), 8);
+        assert!(e.tasks.iter().all(|t| t.iterations == 10));
+    }
+
+    #[test]
+    fn measure_all_returns_samples_and_records() {
+        let e = Experiment::table1(2);
+        let mut rng = StdRng::seed_from_u64(121);
+        let measured = measure_all(&e, 5, &mut rng);
+        assert_eq!(measured.len(), 8);
+        for m in &measured {
+            assert_eq!(m.sample.len(), 5);
+            assert!(m.record.total_time_s > 0.0);
+        }
+        // DDD must execute everything on the device.
+        let ddd = measured.iter().find(|m| m.label == "DDD").unwrap();
+        assert_eq!(ddd.record.accel_flops, 0);
+        assert_eq!(ddd.record.operating_cost, 0.0);
+        // AAA must offload everything.
+        let aaa = measured.iter().find(|m| m.label == "AAA").unwrap();
+        assert_eq!(aaa.record.device_flops, 0);
+        assert!(aaa.record.operating_cost > 0.0);
+    }
+
+    #[test]
+    fn clustering_pipeline_runs_end_to_end() {
+        let e = Experiment::table1(2);
+        let mut rng = StdRng::seed_from_u64(122);
+        let measured = measure_all(&e, 10, &mut rng);
+        let cmp = MedianComparator::new(0.02);
+        let table = cluster_measurements(
+            &measured,
+            &cmp,
+            ClusterConfig { repetitions: 20 },
+            &mut rng,
+        );
+        assert_eq!(table.num_algorithms(), 8);
+        assert!(table.num_classes() >= 2);
+        let clustering = table.final_assignment();
+        let profs = profiles(&measured, &clustering);
+        assert_eq!(profs.len(), 8);
+        assert!(profs.iter().any(|p| p.rank == 1));
+    }
+
+    #[test]
+    fn measurement_is_reproducible_from_seed() {
+        let e = Experiment::fig1();
+        let a = measure_all(&e, 4, &mut StdRng::seed_from_u64(7));
+        let b = measure_all(&e, 4, &mut StdRng::seed_from_u64(7));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sample.values(), y.sample.values());
+        }
+    }
+}

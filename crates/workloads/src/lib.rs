@@ -1,0 +1,23 @@
+//! The paper's workloads and the end-to-end experiment pipeline.
+//!
+//! * [`mathtask`] — the Regularized-Least-Squares `MathTask` (Procedure 6)
+//!   as both a *real* computation (via `relperf-linalg`) and a *simulated*
+//!   task description (for `relperf-sim`).
+//! * [`two_loop`] — the Fig. 1 workload: two matrix-multiplication loops
+//!   split between device and accelerator (4 algorithms DD/DA/AD/AA).
+//! * [`scientific_code`] — the Sec. IV workload (Procedure 5): three
+//!   `MathTask`s of sizes 50/75/300 (8 algorithms, Table I).
+//! * [`experiment`] — glue that measures every placement, clusters the
+//!   distributions, and builds decision-model profiles.
+
+#![warn(missing_docs)]
+
+pub mod digital_twin;
+pub mod experiment;
+pub mod features;
+pub mod mathtask;
+pub mod object_detection;
+pub mod scientific_code;
+pub mod two_loop;
+
+pub use experiment::{measure_all, profiles, Experiment, MeasuredAlgorithm};

@@ -1,0 +1,76 @@
+//! Quickstart: cluster four *real* (wall-clock-measured) equivalent
+//! algorithms on this machine.
+//!
+//! The four algorithms are the four GEMM variants from `relperf-linalg` —
+//! mathematically equivalent, different performance — measured with the
+//! `relperf-measure` harness and clustered with the paper's methodology.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::prelude::*;
+use relative_performance::linalg::gemm::{gemm_blocked, gemm_naive, gemm_packed, gemm_parallel};
+use relative_performance::linalg::random::random_matrix;
+use relative_performance::measure::timer::{measure, MeasureConfig};
+use relative_performance::prelude::*;
+
+fn main() {
+    let n = 192; // big enough that the variants genuinely differ
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = random_matrix(&mut rng, n, n);
+    let b = random_matrix(&mut rng, n, n);
+
+    println!("measuring 4 equivalent GEMM algorithms on {n}x{n} matrices…");
+    let cfg = MeasureConfig {
+        warmup: 2,
+        repetitions: 20,
+    };
+
+    let labels = ["naive", "blocked", "packed", "parallel"];
+    let samples: Vec<Sample> = vec![
+        measure(cfg, || {
+            std::hint::black_box(gemm_naive(&a, &b).unwrap());
+        })
+        .unwrap(),
+        measure(cfg, || {
+            std::hint::black_box(gemm_blocked(&a, &b).unwrap());
+        })
+        .unwrap(),
+        measure(cfg, || {
+            std::hint::black_box(gemm_packed(&a, &b).unwrap());
+        })
+        .unwrap(),
+        measure(cfg, || {
+            std::hint::black_box(gemm_parallel(&a, &b, 0).unwrap());
+        })
+        .unwrap(),
+    ];
+
+    for (label, s) in labels.iter().zip(&samples) {
+        println!(
+            "  {label:<9} median = {:.4} s   (cv {:.1}%)",
+            s.median(),
+            100.0 * s.coeff_of_variation()
+        );
+    }
+
+    // Pair-wise three-way comparison + clustering (Procedures 1–4).
+    let comparator = BootstrapComparator::new(42);
+    let table = relative_scores(
+        samples.len(),
+        ClusterConfig { repetitions: 50 },
+        &mut rng,
+        |i, j| comparator.compare(&samples[i], &samples[j]),
+    );
+    let clustering = table.final_assignment();
+
+    println!("\nperformance classes (1 = fastest):");
+    for rank in 1..=clustering.num_classes() {
+        let members: Vec<String> = clustering
+            .class(rank)
+            .iter()
+            .map(|asn| format!("{} ({:.2})", labels[asn.algorithm], asn.score))
+            .collect();
+        println!("  C{rank}: {}", members.join(", "));
+    }
+    println!("\nequivalent algorithms share a class; pick by any secondary criterion.");
+}

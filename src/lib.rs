@@ -1,0 +1,81 @@
+//! # relative-performance
+//!
+//! A complete, self-contained reproduction of *"Performance Comparison for
+//! Scientific Computations on the Edge via Relative Performance"* (Sankaran
+//! & Bientinesi, 2021, arXiv:2102.12740).
+//!
+//! Mathematically equivalent algorithms — here, the different ways of
+//! splitting a scientific code between an edge device and an accelerator —
+//! are clustered into *performance classes* by pair-wise, bootstrap-based
+//! three-way comparison of their execution-time distributions, and scored
+//! by how confidently they belong to each class.
+//!
+//! This facade re-exports the five workspace crates:
+//!
+//! * [`linalg`] — dense linear algebra substrate (GEMM, Cholesky/LU/QR,
+//!   the Regularized-Least-Squares `MathTask`, FLOP accounting),
+//! * [`sim`] — the edge-platform simulator (devices, links, noise,
+//!   energy/cost metering, calibrated presets),
+//! * [`measure`] — samples, bootstrap, three-way comparators,
+//! * [`core`] — three-way bubble sort, performance classes, relative
+//!   scores, decision models,
+//! * [`workloads`] — the paper's Fig. 1 and Table I experiments end to end.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use relative_performance::prelude::*;
+//! use rand::prelude::*;
+//!
+//! // The paper's Table I experiment, scaled down for the doctest.
+//! let experiment = Experiment::table1(2);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let measured = measure_all(&experiment, 30, &mut rng);
+//!
+//! let comparator = BootstrapComparator::new(42);
+//! let scores = cluster_measurements(
+//!     &measured,
+//!     &comparator,
+//!     ClusterConfig { repetitions: 20 },
+//!     &mut rng,
+//! );
+//! let clustering = scores.final_assignment();
+//! assert!(clustering.num_classes() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use relperf_core as core;
+pub use relperf_linalg as linalg;
+pub use relperf_measure as measure;
+pub use relperf_sim as sim;
+pub use relperf_workloads as workloads;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use relperf_core::cluster::{relative_scores, ClusterConfig, Clustering, ScoreTable};
+    pub use relperf_core::decision::{
+        AlgorithmProfile, CostSpeedModel, EnergyBudgetController, Mode,
+    };
+    pub use relperf_core::sort::{sort, sort_from, sort_with_trace, SortState};
+    pub use relperf_measure::compare::{BootstrapComparator, BootstrapConfig, MedianComparator};
+    pub use relperf_measure::{Outcome, Sample, ThreeWayComparator};
+    pub use relperf_sim::presets;
+    pub use relperf_sim::{Loc, Platform, Task};
+    pub use relperf_workloads::experiment::{
+        cluster_measurements, measure_all, profiles, Experiment, MeasuredAlgorithm,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        // Touch one item from each crate to keep the wiring honest.
+        let _ = crate::linalg::Matrix::identity(2);
+        let _ = crate::measure::Sample::new(vec![1.0]).unwrap();
+        let _ = crate::sim::presets::fig1_platform();
+        let _ = crate::core::sort::SortState::initial(3);
+        let _ = crate::workloads::experiment::Experiment::fig1();
+    }
+}

@@ -43,7 +43,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
                 let table = cluster_measurements(
                     &measured,
                     &paper_comparator(4),
-                    ClusterConfig { repetitions: 20 },
+                    ClusterConfig::with_repetitions(20),
                     &mut rng,
                 );
                 black_box(table.final_assignment())

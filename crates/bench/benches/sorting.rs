@@ -40,7 +40,7 @@ fn bench_relative_scores(c: &mut Criterion) {
                 let mut rng = StdRng::seed_from_u64(9);
                 relative_scores(
                     black_box(p),
-                    ClusterConfig { repetitions: 100 },
+                    ClusterConfig::with_repetitions(100),
                     &mut rng,
                     synthetic_cmp(&levels),
                 )

@@ -26,7 +26,7 @@ fn cluster(
     seed: u64,
 ) -> Clustering {
     let mut rng = StdRng::seed_from_u64(seed);
-    cluster_measurements(measured, cmp, ClusterConfig { repetitions: rep }, &mut rng)
+    cluster_measurements(measured, cmp, ClusterConfig::with_repetitions(rep), &mut rng)
         .final_assignment()
 }
 

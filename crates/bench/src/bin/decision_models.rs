@@ -21,7 +21,7 @@ fn main() {
     let table = cluster_measurements(
         &measured,
         &paper_comparator(SEED),
-        ClusterConfig { repetitions: 100 },
+        ClusterConfig::with_repetitions(100),
         &mut rng,
     );
     let clustering = table.final_assignment();

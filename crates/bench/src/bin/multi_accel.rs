@@ -88,7 +88,7 @@ fn main() {
     let comparator = paper_comparator(SEED ^ 0x51);
     let table = relative_scores(
         samples.len(),
-        ClusterConfig { repetitions: 40 },
+        ClusterConfig::with_repetitions(40),
         &mut rng,
         |a, b| {
             use relperf_measure::ThreeWayComparator;

@@ -21,7 +21,7 @@ fn evaluate(name: &str, exp: &Experiment, n: usize, k: usize) {
     let clustering = cluster_measurements(
         &measured,
         &paper_comparator(SEED),
-        ClusterConfig { repetitions: 50 },
+        ClusterConfig::with_repetitions(50),
         &mut rng,
     )
     .final_assignment();

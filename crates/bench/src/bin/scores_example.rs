@@ -33,7 +33,7 @@ fn main() {
     let table = cluster_measurements(
         &measured,
         &comparator,
-        ClusterConfig { repetitions: 100 },
+        ClusterConfig::with_repetitions(100),
         &mut rng,
     );
     print_clusters(&table, &measured);

@@ -37,7 +37,7 @@ fn campaign(n: usize, seed: u64) -> Clustering {
     cluster_measurements(
         &measured,
         &comparator,
-        ClusterConfig { repetitions: 60 },
+        ClusterConfig::with_repetitions(60),
         &mut rng,
     )
     .final_assignment()

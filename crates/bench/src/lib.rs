@@ -1,13 +1,19 @@
 //! Shared harness code for the table/figure regeneration binaries.
 //!
-//! Every binary in `src/bin/` regenerates one paper artifact (see
-//! DESIGN.md §3 for the experiment index); the helpers here keep their
-//! output formats consistent so EXPERIMENTS.md can quote them directly.
+//! Every binary in `src/bin/` regenerates one paper artifact (the
+//! top-level ARCHITECTURE.md lists which binary produces which figure or
+//! table); the helpers here keep their output formats consistent so the
+//! outputs can be quoted directly.
+
+#![warn(missing_docs)]
 
 use rand::prelude::*;
-use relperf_core::cluster::{ClusterConfig, ScoreTable};
+use relperf_core::cluster::{ClusterConfig, Parallelism, ScoreTable};
 use relperf_measure::compare::{BootstrapComparator, BootstrapConfig};
-use relperf_workloads::experiment::{cluster_measurements, measure_all, Experiment, MeasuredAlgorithm};
+use relperf_workloads::experiment::{
+    cluster_measurements, cluster_measurements_seeded, measure_all, measure_all_seeded,
+    Experiment, MeasuredAlgorithm,
+};
 
 /// Standard seed for all experiment binaries — every number in
 /// EXPERIMENTS.md is reproducible from this.
@@ -40,8 +46,34 @@ pub fn run_pipeline(
     let table = cluster_measurements(
         &measured,
         &comparator,
-        ClusterConfig { repetitions },
+        ClusterConfig::with_repetitions(repetitions),
         &mut rng,
+    );
+    (measured, table)
+}
+
+/// [`run_pipeline`] on the parallel engine: measurement fans out across
+/// placements and the clustering repetitions across threads
+/// (`measure_all_seeded` + `cluster_measurements_seeded`). The result is
+/// bit-identical for any thread count, but *not* to [`run_pipeline`],
+/// whose legacy path threads a single RNG through all stages.
+pub fn run_pipeline_seeded(
+    exp: &Experiment,
+    n_measurements: usize,
+    repetitions: usize,
+    seed: u64,
+    parallelism: Parallelism,
+) -> (Vec<MeasuredAlgorithm>, ScoreTable) {
+    let measured = measure_all_seeded(exp, n_measurements, seed, parallelism);
+    let comparator = paper_comparator(seed ^ 0xC0FF_EE);
+    let table = cluster_measurements_seeded(
+        &measured,
+        &comparator,
+        ClusterConfig {
+            repetitions,
+            parallelism,
+        },
+        seed ^ 0xC1_05_7E,
     );
     (measured, table)
 }

@@ -1,0 +1,167 @@
+//! Memoization of pairwise three-way comparisons.
+//!
+//! One shuffled repetition of Procedure 4 runs a full bubble sort, which
+//! may compare the same algorithm pair several times (a pair can become
+//! adjacent again after swaps in later passes). The paper's semantics only
+//! require a fresh stochastic comparison per *repetition* — within one
+//! repetition, re-asking the comparator about the same pair spends a full
+//! bootstrap (hundreds of resample-and-sort rounds) to re-answer a
+//! question it already answered. [`ComparisonCache`] memoizes the outcome
+//! per unordered pair for the duration of one repetition, enforcing
+//! antisymmetry (`cmp(b, a) == cmp(a, b).invert()`) as a side effect.
+//!
+//! The cache is also what makes the parallel clustering deterministic: at
+//! most one comparator call happens per (repetition, pair), always with
+//! the pair in canonical (low, high) order, so the comparator can be
+//! addressed by a pure per-pair stream id (see
+//! `relperf_measure::SeededThreeWayComparator`) and the result cannot
+//! depend on scheduling.
+
+use relperf_measure::Outcome;
+
+/// Per-repetition memo of pairwise comparison outcomes over `p` algorithms.
+///
+/// # Examples
+///
+/// ```
+/// use relperf_core::cache::ComparisonCache;
+/// use relperf_core::Outcome;
+///
+/// let mut cache = ComparisonCache::new(3);
+/// let mut calls = 0;
+/// let mut cmp = |a: usize, b: usize| { calls += 1; if a < b { Outcome::Better } else { Outcome::Worse } };
+///
+/// assert_eq!(cache.get_or_compute(0, 1, &mut cmp), Outcome::Better);
+/// // The flipped query is answered from the cache, inverted.
+/// assert_eq!(cache.get_or_compute(1, 0, &mut cmp), Outcome::Worse);
+/// assert_eq!(calls, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComparisonCache {
+    p: usize,
+    /// Outcome of `(lo, hi)` with `lo < hi`, keyed `lo * p + hi`.
+    slots: Vec<Option<Outcome>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl ComparisonCache {
+    /// An empty cache for `p` algorithms.
+    pub fn new(p: usize) -> Self {
+        ComparisonCache {
+            p,
+            slots: vec![None; p * p],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Forgets all cached outcomes while keeping the allocation and the
+    /// hit/miss tallies — for callers that reuse one cache across
+    /// clustering repetitions instead of allocating a fresh one per
+    /// repetition (the parallel engine allocates fresh: repetitions run
+    /// concurrently and cannot share a memo).
+    pub fn reset(&mut self) {
+        self.slots.fill(None);
+    }
+
+    /// The outcome of comparing `a` against `b`, computing it with
+    /// `cmp(lo, hi)` (canonical order) on a miss. Queries with `a > b`
+    /// return the inverted cached outcome.
+    ///
+    /// # Panics
+    /// Panics when `a == b` or either index is out of range.
+    pub fn get_or_compute(
+        &mut self,
+        a: usize,
+        b: usize,
+        cmp: &mut impl FnMut(usize, usize) -> Outcome,
+    ) -> Outcome {
+        assert!(a != b, "an algorithm is not compared against itself");
+        assert!(a < self.p && b < self.p, "algorithm index out of range");
+        let (lo, hi, flipped) = if a < b { (a, b, false) } else { (b, a, true) };
+        let slot = lo * self.p + hi;
+        let outcome = match self.slots[slot] {
+            Some(outcome) => {
+                self.hits += 1;
+                outcome
+            }
+            None => {
+                self.misses += 1;
+                let outcome = cmp(lo, hi);
+                self.slots[slot] = Some(outcome);
+                outcome
+            }
+        };
+        if flipped {
+            outcome.invert()
+        } else {
+            outcome
+        }
+    }
+
+    /// Number of queries answered from the cache since construction.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of queries that invoked the comparator since construction.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Outcome::{Better, Equivalent, Worse};
+
+    #[test]
+    fn caches_within_and_counts() {
+        let mut cache = ComparisonCache::new(4);
+        let mut calls = 0usize;
+        let mut cmp = |a: usize, b: usize| {
+            calls += 1;
+            assert!(a < b, "cache must canonicalize the pair order");
+            Equivalent
+        };
+        for _ in 0..5 {
+            assert_eq!(cache.get_or_compute(2, 3, &mut cmp), Equivalent);
+            assert_eq!(cache.get_or_compute(3, 2, &mut cmp), Equivalent);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 9);
+    }
+
+    #[test]
+    fn antisymmetry_is_enforced() {
+        let mut cache = ComparisonCache::new(2);
+        let mut cmp = |_: usize, _: usize| Better;
+        assert_eq!(cache.get_or_compute(0, 1, &mut cmp), Better);
+        assert_eq!(cache.get_or_compute(1, 0, &mut cmp), Worse);
+    }
+
+    #[test]
+    fn reset_forgets_outcomes() {
+        let mut cache = ComparisonCache::new(2);
+        assert_eq!(cache.get_or_compute(0, 1, &mut |_, _| Better), Better);
+        cache.reset();
+        assert_eq!(cache.get_or_compute(0, 1, &mut |_, _| Worse), Worse);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not compared against itself")]
+    fn self_comparison_panics() {
+        let mut cache = ComparisonCache::new(2);
+        cache.get_or_compute(1, 1, &mut |_, _| Equivalent);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut cache = ComparisonCache::new(2);
+        cache.get_or_compute(0, 5, &mut |_, _| Equivalent);
+    }
+}

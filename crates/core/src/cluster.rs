@@ -7,21 +7,43 @@
 //! class `r` is the fraction of `Rep` shuffled clustering repetitions in
 //! which `j` received rank `r`, i.e. the confidence of that membership.
 
+use crate::cache::ComparisonCache;
 use crate::sort::{sort_from, SortState};
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
-use relperf_measure::Outcome;
+use rand::{Rng, SeedableRng};
+use relperf_measure::{stream_seed, Outcome};
+
+pub use relperf_parallel::Parallelism;
 
 /// Configuration of the repeated clustering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterConfig {
     /// Number of shuffled sort repetitions (`Rep` in Procedure 4).
     pub repetitions: usize,
+    /// How to spread the repetitions across threads. Only
+    /// [`relative_scores_seeded`] honours it (the repetitions there are
+    /// index-addressable, so any setting yields bit-identical scores); the
+    /// rng-threaded [`relative_scores`] is inherently serial.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { repetitions: 100 }
+        ClusterConfig {
+            repetitions: 100,
+            parallelism: Parallelism::auto(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A config with `repetitions` shuffled sorts and automatic parallelism.
+    pub fn with_repetitions(repetitions: usize) -> Self {
+        ClusterConfig {
+            repetitions,
+            ..Default::default()
+        }
     }
 }
 
@@ -229,10 +251,110 @@ pub fn relative_scores<R: Rng + ?Sized>(
     }
 }
 
+/// Procedure 4 with explicit seeding and parallel repetitions — the
+/// production entry point of the clustering engine.
+///
+/// Differences from [`relative_scores`]:
+///
+/// * **Addressable randomness.** Each repetition derives its shuffle RNG
+///   from `(seed, repetition index)` and each pairwise comparison is
+///   identified by a stream id derived from `(seed, repetition, pair)`;
+///   `cmp(stream, a, b)` receives that id (`a < b` always) and must be a
+///   pure function of it (see
+///   `relperf_measure::SeededThreeWayComparator::compare_seeded`).
+///   Repetitions are therefore independent, and the score table is
+///   **bit-identical** for any [`Parallelism`] in `config` — including the
+///   serial fallback build.
+/// * **Memoized comparisons.** Within one repetition a [`ComparisonCache`]
+///   answers repeated queries about the same pair (bubble-sort passes
+///   revisit pairs after swaps) and enforces antisymmetry, cutting the
+///   number of bootstrap invocations per repetition to at most `p(p-1)/2`.
+///   Across repetitions the cache is reset, preserving the stochastic
+///   flips that relative scores exist to measure.
+///
+/// # Examples
+///
+/// ```
+/// use relperf_core::cluster::{relative_scores_seeded, ClusterConfig, Parallelism};
+/// use relperf_core::Outcome;
+///
+/// let cost = [2.0, 1.0, 2.0];
+/// let cmp = |_stream: u64, a: usize, b: usize| {
+///     match cost[a].partial_cmp(&cost[b]).unwrap() {
+///         std::cmp::Ordering::Less => Outcome::Better,
+///         std::cmp::Ordering::Greater => Outcome::Worse,
+///         std::cmp::Ordering::Equal => Outcome::Equivalent,
+///     }
+/// };
+/// let serial = ClusterConfig { parallelism: Parallelism::serial(), ..Default::default() };
+/// let threaded = ClusterConfig { parallelism: Parallelism::auto(), ..Default::default() };
+/// let a = relative_scores_seeded(3, serial, 7, cmp);
+/// let b = relative_scores_seeded(3, threaded, 7, cmp);
+/// assert_eq!(a, b); // bit-identical, whatever the thread count
+/// assert_eq!(a.score(1, 1), 1.0);
+/// ```
+pub fn relative_scores_seeded(
+    p: usize,
+    config: ClusterConfig,
+    seed: u64,
+    cmp: impl Fn(u64, usize, usize) -> Outcome + Sync,
+) -> ScoreTable {
+    assert!(config.repetitions > 0, "need at least one repetition");
+
+    // One repetition: shuffle with the repetition's own RNG, then sort with
+    // memoized, stream-addressed comparisons. Returns the (algorithm →
+    // rank) tally contribution as a per-rep count matrix.
+    let run_repetition = |rep: usize| -> (Vec<usize>, usize) {
+        let rep_seed = stream_seed(seed, rep as u64);
+        let mut rng = StdRng::seed_from_u64(rep_seed);
+        let mut seq: Vec<usize> = (0..p).collect();
+        seq.shuffle(&mut rng);
+        let mut cache = ComparisonCache::new(p);
+        let state = sort_from(SortState::from_sequence(seq), |a, b| {
+            cache.get_or_compute(a, b, &mut |lo, hi| {
+                let stream = stream_seed(rep_seed, (lo * p + hi) as u64);
+                cmp(stream, lo, hi)
+            })
+        });
+        let mut ranks_of = vec![0usize; p];
+        let mut max_rank = 0usize;
+        for (pos, &alg) in state.sequence.iter().enumerate() {
+            ranks_of[alg] = state.ranks[pos];
+            max_rank = max_rank.max(state.ranks[pos]);
+        }
+        (ranks_of, max_rank)
+    };
+
+    let per_rep = relperf_parallel::parallel_map_indexed(
+        config.repetitions,
+        config.parallelism,
+        run_repetition,
+    );
+
+    let mut counts = vec![vec![0usize; p.max(1)]; p];
+    let mut max_rank = 0usize;
+    for (ranks_of, rep_max) in per_rep {
+        for (alg, &rank) in ranks_of.iter().enumerate() {
+            counts[alg][rank - 1] += 1;
+        }
+        max_rank = max_rank.max(rep_max);
+    }
+
+    let rep = config.repetitions as f64;
+    let scores = counts
+        .into_iter()
+        .map(|row| row.into_iter().map(|c| c as f64 / rep).collect())
+        .collect();
+    ScoreTable {
+        p,
+        scores,
+        max_rank,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
     use Outcome::{Better, Equivalent, Worse};
 
     fn level_cmp(levels: &'static [usize]) -> impl FnMut(usize, usize) -> Outcome {
@@ -247,7 +369,7 @@ mod tests {
     fn deterministic_comparator_gives_unit_scores() {
         static LEVELS: [usize; 4] = [1, 0, 2, 1];
         let mut rng = StdRng::seed_from_u64(81);
-        let table = relative_scores(4, ClusterConfig { repetitions: 50 }, &mut rng, level_cmp(&LEVELS));
+        let table = relative_scores(4, ClusterConfig::with_repetitions(50), &mut rng, level_cmp(&LEVELS));
         assert_eq!(table.num_classes(), 3);
         assert_eq!(table.score(1, 1), 1.0);
         assert_eq!(table.score(0, 2), 1.0);
@@ -295,7 +417,7 @@ mod tests {
             }
         };
         let mut rng = StdRng::seed_from_u64(83);
-        let table = relative_scores(2, ClusterConfig { repetitions: 300 }, &mut rng, cmp);
+        let table = relative_scores(2, ClusterConfig::with_repetitions(300), &mut rng, cmp);
         let s11 = table.score(1, 1);
         let s12 = table.score(1, 2);
         assert!(s11 > 0.05, "score(1,1) = {s11}");
@@ -309,7 +431,7 @@ mod tests {
     fn cluster_view_sorted_by_score() {
         static LEVELS: [usize; 3] = [0, 0, 1];
         let mut rng = StdRng::seed_from_u64(84);
-        let table = relative_scores(3, ClusterConfig { repetitions: 20 }, &mut rng, level_cmp(&LEVELS));
+        let table = relative_scores(3, ClusterConfig::with_repetitions(20), &mut rng, level_cmp(&LEVELS));
         let c1 = table.cluster(1);
         assert_eq!(c1.len(), 2);
         assert!(c1.iter().all(|&(_, s)| s == 1.0));
@@ -385,13 +507,13 @@ mod tests {
     #[should_panic(expected = "at least one repetition")]
     fn zero_repetitions_panics() {
         let mut rng = StdRng::seed_from_u64(85);
-        relative_scores(2, ClusterConfig { repetitions: 0 }, &mut rng, |_, _| Equivalent);
+        relative_scores(2, ClusterConfig::with_repetitions(0), &mut rng, |_, _| Equivalent);
     }
 
     #[test]
     fn single_algorithm() {
         let mut rng = StdRng::seed_from_u64(86);
-        let table = relative_scores(1, ClusterConfig { repetitions: 5 }, &mut rng, |_, _| {
+        let table = relative_scores(1, ClusterConfig::with_repetitions(5), &mut rng, |_, _| {
             unreachable!("no comparisons for p = 1")
         });
         assert_eq!(table.num_classes(), 1);
@@ -408,5 +530,112 @@ mod tests {
             relative_scores(4, ClusterConfig::default(), &mut rng, level_cmp(&LEVELS))
         };
         assert_eq!(run(42), run(42));
+    }
+
+    /// Stream-addressed stochastic comparator for the seeded tests: the
+    /// outcome of a pair is a pure function of (stream, a, b), flipping
+    /// between equivalent and decided — a stand-in for a borderline
+    /// bootstrap comparison.
+    fn stochastic_seeded_cmp(stream: u64, a: usize, b: usize) -> Outcome {
+        let h = stream ^ ((a as u64) << 32) ^ b as u64;
+        match h % 3 {
+            0 => Outcome::Equivalent,
+            _ => {
+                if a < b {
+                    Outcome::Better
+                } else {
+                    Outcome::Worse
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_scores_are_parallelism_invariant() {
+        let config = |par: Parallelism| ClusterConfig {
+            repetitions: 60,
+            parallelism: par,
+        };
+        let reference =
+            relative_scores_seeded(6, config(Parallelism::serial()), 7, stochastic_seeded_cmp);
+        for threads in [0usize, 2, 3, 8] {
+            for chunk in [0usize, 1, 5, 100] {
+                let par = relative_scores_seeded(
+                    6,
+                    config(Parallelism { threads, chunk }),
+                    7,
+                    stochastic_seeded_cmp,
+                );
+                assert_eq!(par, reference, "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_scores_depend_on_seed_and_rows_sum_to_one() {
+        let cfg = ClusterConfig::with_repetitions(80);
+        let a = relative_scores_seeded(5, cfg, 1, stochastic_seeded_cmp);
+        let b = relative_scores_seeded(5, cfg, 2, stochastic_seeded_cmp);
+        assert_ne!(a, b, "different seeds must explore different shuffles");
+        for table in [&a, &b] {
+            for alg in 0..5 {
+                let total: f64 = (1..=table.num_classes()).map(|r| table.score(alg, r)).sum();
+                assert!((total - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_matches_deterministic_comparator_semantics() {
+        static LEVELS: [usize; 4] = [1, 0, 2, 1];
+        let table = relative_scores_seeded(
+            4,
+            ClusterConfig::with_repetitions(50),
+            81,
+            |_stream, a, b| match LEVELS[a].cmp(&LEVELS[b]) {
+                std::cmp::Ordering::Less => Better,
+                std::cmp::Ordering::Greater => Worse,
+                std::cmp::Ordering::Equal => Equivalent,
+            },
+        );
+        assert_eq!(table.num_classes(), 3);
+        assert_eq!(table.score(1, 1), 1.0);
+        assert_eq!(table.score(0, 2), 1.0);
+        assert_eq!(table.score(3, 2), 1.0);
+        assert_eq!(table.score(2, 3), 1.0);
+    }
+
+    #[test]
+    fn seeded_comparator_sees_canonical_pairs_once_per_repetition() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<(u64, usize, usize)>> = Mutex::new(HashSet::new());
+        let table = relative_scores_seeded(
+            5,
+            ClusterConfig::with_repetitions(30),
+            3,
+            |stream, a, b| {
+                assert!(a < b, "comparator must receive the canonical order");
+                let fresh = seen.lock().unwrap().insert((stream, a, b));
+                assert!(fresh, "pair ({a}, {b}) re-queried on stream {stream}");
+                Equivalent
+            },
+        );
+        assert_eq!(table.num_classes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn seeded_zero_repetitions_panics() {
+        relative_scores_seeded(2, ClusterConfig::with_repetitions(0), 0, |_, _, _| Equivalent);
+    }
+
+    #[test]
+    fn seeded_single_algorithm() {
+        let table = relative_scores_seeded(1, ClusterConfig::with_repetitions(5), 4, |_, _, _| {
+            unreachable!("no comparisons for p = 1")
+        });
+        assert_eq!(table.num_classes(), 1);
+        assert_eq!(table.score(0, 1), 1.0);
     }
 }

@@ -5,7 +5,7 @@
 //!
 //! 1. sorts the algorithms with a **three-way bubble sort** whose rank
 //!    update rules merge equivalent algorithms into the same performance
-//!    class ([`sort`], Procedures 1–3 of the paper),
+//!    class ([`sort`](mod@sort), Procedures 1–3 of the paper),
 //! 2. repeats the clustering over shuffled inputs to compute **relative
 //!    scores** — the confidence of each algorithm's membership in each
 //!    class ([`cluster`], Procedure 4),
@@ -14,9 +14,17 @@
 //!    ([`decision`], Sec. IV), and
 //! 4. renders the tables and figures of the paper from those results
 //!    ([`report`]).
+//!
+//! The clustering engine has two entry points: the legacy, strictly serial
+//! [`relative_scores`] (one RNG threaded through all repetitions) and the
+//! production [`relative_scores_seeded`] (per-repetition seed streams, a
+//! per-repetition [`cache::ComparisonCache`], and repetitions fanned out
+//! across threads via [`cluster::Parallelism`] — bit-identical for any
+//! thread count).
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cluster;
 pub mod decision;
 pub mod predict;
@@ -26,6 +34,9 @@ pub mod similarity;
 pub mod sort;
 pub mod triplet;
 
-pub use cluster::{relative_scores, ClusterConfig, Clustering, ScoreTable};
+pub use cache::ComparisonCache;
+pub use cluster::{
+    relative_scores, relative_scores_seeded, ClusterConfig, Clustering, Parallelism, ScoreTable,
+};
 pub use relperf_measure::Outcome;
 pub use sort::{sort, sort_with_trace, SortState, SortStep};

@@ -1,6 +1,7 @@
 //! Execution-less prediction of relative performance.
 //!
-//! The paper's future work: "these clusters can be used as ground truth to
+//! The future work named in the paper's conclusions (the section after the
+//! Sec. IV decision models): "these clusters can be used as ground truth to
 //! train performance models that can automatically identify the algorithm
 //! of required performance without executing them." This module provides a
 //! reference implementation of exactly that loop:

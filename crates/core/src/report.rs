@@ -1,5 +1,6 @@
 //! Report rendering: Markdown and CSV emitters for the paper's tables and
-//! figures.
+//! figures — the relative-score layout of Table I, the sort walkthrough of
+//! Fig. 2, and ASCII histogram panels in the style of Fig. 1b.
 
 use crate::cluster::{Clustering, ScoreTable};
 
@@ -127,7 +128,7 @@ mod tests {
             std::cmp::Ordering::Equal => Outcome::Equivalent,
         };
         let mut rng = StdRng::seed_from_u64(91);
-        let t = relative_scores(3, ClusterConfig { repetitions: 10 }, &mut rng, cmp);
+        let t = relative_scores(3, ClusterConfig::with_repetitions(10), &mut rng, cmp);
         let labels = vec!["DD".to_string(), "AD".to_string(), "DA".to_string()];
         (t, labels)
     }

@@ -1,6 +1,6 @@
 //! Guided search over large algorithm spaces.
 //!
-//! The paper's conclusion: "in case of exponential explosion of the search
+//! From the paper's conclusions (following the Sec. IV decision models): "in case of exponential explosion of the search
 //! space, our methodology can still be applied on a subset of possible
 //! solutions and the resulting clusters with relative scores can be used
 //! as a ground truth to guide the search of algorithm". This module
@@ -100,9 +100,7 @@ pub fn tournament_search<R: Rng + ?Sized>(
 
         let table = relative_scores(
             pool.len(),
-            ClusterConfig {
-                repetitions: config.repetitions,
-            },
+            ClusterConfig::with_repetitions(config.repetitions),
             rng,
             |a, b| {
                 comparisons_used += 1;

@@ -1,7 +1,8 @@
 //! Clustering-similarity metrics (pair-counting Rand and adjusted Rand
 //! indices).
 //!
-//! Used by the stability experiments: the paper notes that the clustering
+//! Used by the stability experiments around Procedure 4 (Sec. III): the
+//! paper notes that the clustering
 //! "is not deterministic, especially when the fluctuations in the
 //! performance measurements are large" — these metrics quantify *how*
 //! different two clusterings of the same algorithm set are, e.g. between
@@ -94,7 +95,7 @@ mod tests {
             std::cmp::Ordering::Equal => Outcome::Equivalent,
         };
         let mut rng = StdRng::seed_from_u64(seed);
-        relative_scores(levels.len(), ClusterConfig { repetitions: 20 }, &mut rng, cmp)
+        relative_scores(levels.len(), ClusterConfig::with_repetitions(20), &mut rng, cmp)
             .final_assignment()
     }
 

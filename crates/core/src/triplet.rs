@@ -1,6 +1,6 @@
 //! Triplet sampling from performance clusterings.
 //!
-//! The paper motivates keeping *all* performance classes (not just the
+//! In its conclusions, the paper motivates keeping *all* performance classes (not just the
 //! fastest) because "performance models for automatic algorithm selection
 //! can obtain better accuracy when trained with … Triplet loss, where both
 //! positive (fast algorithm) and negative (worst algorithm) example are
@@ -96,7 +96,7 @@ mod tests {
             std::cmp::Ordering::Equal => Outcome::Equivalent,
         };
         let mut rng = StdRng::seed_from_u64(161);
-        relative_scores(levels.len(), ClusterConfig { repetitions: 20 }, &mut rng, cmp)
+        relative_scores(levels.len(), ClusterConfig::with_repetitions(20), &mut rng, cmp)
             .final_assignment()
     }
 

@@ -111,7 +111,7 @@ proptest! {
             std::cmp::Ordering::Equal => Outcome::Equivalent,
         };
         let mut rng = StdRng::seed_from_u64(seed);
-        let table = relative_scores(p, ClusterConfig { repetitions: 30 }, &mut rng, cmp);
+        let table = relative_scores(p, ClusterConfig::with_repetitions(30), &mut rng, cmp);
         for alg in 0..p {
             let total: f64 = (1..=table.num_classes()).map(|r| table.score(alg, r)).sum();
             prop_assert!((total - 1.0).abs() < 1e-9, "alg {alg} scores sum to {total}");
@@ -142,8 +142,8 @@ proptest! {
             std::cmp::Ordering::Equal => Outcome::Equivalent,
         };
         let mut rng = StdRng::seed_from_u64(seed);
-        let c1 = relative_scores(p, ClusterConfig { repetitions: 10 }, &mut rng, cmp).final_assignment();
-        let c2 = relative_scores(p, ClusterConfig { repetitions: 10 }, &mut rng, cmp).final_assignment();
+        let c1 = relative_scores(p, ClusterConfig::with_repetitions(10), &mut rng, cmp).final_assignment();
+        let c2 = relative_scores(p, ClusterConfig::with_repetitions(10), &mut rng, cmp).final_assignment();
         let ri = rand_index(&c1, &c2);
         prop_assert!((0.0..=1.0).contains(&ri));
         prop_assert_eq!(rand_index(&c1, &c1), 1.0);
@@ -164,7 +164,7 @@ proptest! {
             std::cmp::Ordering::Equal => Outcome::Equivalent,
         };
         let mut rng = StdRng::seed_from_u64(seed);
-        let clustering = relative_scores(p, ClusterConfig { repetitions: 10 }, &mut rng, cmp)
+        let clustering = relative_scores(p, ClusterConfig::with_repetitions(10), &mut rng, cmp)
             .final_assignment();
         for t in enumerate_triplets(&clustering) {
             prop_assert_ne!(t.anchor, t.positive);

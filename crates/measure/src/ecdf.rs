@@ -1,6 +1,6 @@
 //! Empirical cumulative distribution functions and distribution distances.
 //!
-//! The paper's comparison strategy quantifies the *overlap* of two
+//! The paper's comparison strategy (Sec. III) quantifies the *overlap* of two
 //! measurement distributions. The bootstrap comparator is the primary
 //! mechanism; the ECDF utilities here provide the classical
 //! (Kolmogorov–Smirnov) view used by the ablation experiments to check

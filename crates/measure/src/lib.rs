@@ -15,8 +15,14 @@
 //! * [`sample`] — the `Sample` type with quantiles, moments, histograms.
 //! * [`bootstrap`] — resampling engine and percentile confidence intervals.
 //! * [`compare`] — three-way comparators (bootstrap quantile-dominance,
-//!   mean-CI/TOST, deterministic scripted comparators for tests).
+//!   mean-CI/TOST, deterministic scripted comparators for tests), the
+//!   [`compare::SeededThreeWayComparator`] contract for order-independent
+//!   stochastic comparison, and the batched parallel
+//!   [`compare::BootstrapComparator::compare_batch`].
+//! * [`ecdf`] — empirical CDFs and distribution distances (KS, overlap).
+//! * [`ranksum`] — the Mann–Whitney U comparator for ablations.
 //! * [`timer`] — wall-clock measurement harness with warmup control.
+//! * [`transform`] — sample cleaning (trim, winsorize, warmup removal).
 
 #![warn(missing_docs)]
 
@@ -28,5 +34,8 @@ pub mod sample;
 pub mod timer;
 pub mod transform;
 
-pub use compare::{BootstrapComparator, Outcome, ThreeWayComparator};
+pub use compare::{
+    stream_seed, BootstrapComparator, Outcome, Parallelism, SeededThreeWayComparator,
+    ThreeWayComparator,
+};
 pub use sample::Sample;

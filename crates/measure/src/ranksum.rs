@@ -1,6 +1,7 @@
 //! Mann–Whitney U (Wilcoxon rank-sum) three-way comparator.
 //!
-//! A classical nonparametric alternative to the bootstrap comparator,
+//! A classical nonparametric alternative to the bootstrap comparator of
+//! the paper's Sec. III,
 //! used by the ablation experiments: two samples are "equivalent" unless
 //! the rank-sum statistic rejects equality *and* the median shift exceeds
 //! a practical-significance margin (a pure significance test would call
@@ -111,6 +112,13 @@ impl ThreeWayComparator for MannWhitneyComparator {
     }
 }
 
+impl crate::compare::SeededThreeWayComparator for MannWhitneyComparator {
+    /// Deterministic comparator: the stream id is irrelevant.
+    fn compare_seeded(&self, a: &Sample, b: &Sample, _stream: u64) -> Outcome {
+        self.compare(a, b)
+    }
+}
+
 /// Inverse of the standard normal CDF (Acklam's algorithm, |ε| < 1.15e-9).
 pub fn inverse_normal_cdf(p: f64) -> f64 {
     assert!((0.0..1.0).contains(&p) && p > 0.0, "p must be in (0, 1)");
@@ -165,7 +173,6 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
 mod tests {
     use super::*;
     use rand::prelude::*;
-    use rand::RngExt;
 
     fn noisy(center: f64, spread: f64, n: usize, seed: u64) -> Sample {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -1,4 +1,9 @@
 //! The [`Sample`] type: a set of repeated performance measurements.
+//!
+//! This is the unit of data in the paper's methodology (Sec. III): every
+//! algorithm is measured `N` times and kept as the full distribution —
+//! quantiles, moments, and histograms are views over it, never a
+//! replacement for it.
 
 use std::fmt;
 

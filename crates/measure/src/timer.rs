@@ -1,7 +1,7 @@
 //! Wall-clock measurement harness.
 //!
 //! The paper measures each algorithm `N` times and keeps the whole
-//! distribution. [`measure`] does exactly that for a real closure; the
+//! distribution (Sec. III). [`measure`] does exactly that for a real closure; the
 //! simulated counterpart lives in `relperf-sim` and produces the same
 //! [`Sample`] type, so everything downstream (comparison, clustering,
 //! reports) is agnostic to where the numbers came from.

@@ -1,5 +1,6 @@
 //! Sample transforms: trimming, winsorizing, warmup removal.
 //!
+//! Companions to the measurement collection of the paper's Sec. III.
 //! Timing data is contaminated in predictable ways — cold-cache warmup at
 //! the head (the caching influence of the paper's ref. \[2\]) and
 //! interference spikes in the tail. These transforms produce cleaned

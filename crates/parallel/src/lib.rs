@@ -1,0 +1,244 @@
+//! Deterministic fork/join engine for the measure → compare → cluster hot
+//! path.
+//!
+//! The paper's pipeline is embarrassingly parallel in three places: the
+//! bootstrap rounds of every comparison (Sec. III), the O(p²) pairwise
+//! comparisons, and the `Rep` shuffled clustering repetitions of
+//! Procedure 4. All three are *index-addressable*: the work for item `i`
+//! depends only on `i` (callers derive per-index RNG streams), so running
+//! items on any number of threads in any order and writing results back by
+//! index is **bit-identical** to the serial loop. That property is what
+//! lets the workspace guarantee "same seed → same clustering" regardless
+//! of `--no-default-features`, thread count, or scheduling.
+//!
+//! With the `threads` cargo feature disabled (the consumers' serial
+//! fallback), [`parallel_map_indexed`] degrades to a plain ordered loop and
+//! this crate has zero runtime dependencies beyond `std`.
+
+#![warn(missing_docs)]
+
+/// How much parallelism to apply to an index-addressable loop.
+///
+/// Threaded through [`ClusterConfig`](https://docs.rs/relperf-core)
+/// and the facade prelude so one knob controls the whole pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    /// Worker threads to use. `0` means "ask the OS"
+    /// (`std::thread::available_parallelism`); `1` forces the serial path.
+    pub threads: usize,
+    /// Consecutive indices handed to a worker at a time. `0` picks a chunk
+    /// size that yields ~4 chunks per worker (good load balance for the
+    /// mildly uneven cost of bootstrap comparisons).
+    pub chunk: usize,
+}
+
+impl Default for Parallelism {
+    /// Auto threads, auto chunking.
+    fn default() -> Self {
+        Parallelism { threads: 0, chunk: 0 }
+    }
+}
+
+impl Parallelism {
+    /// Explicitly serial execution (one thread).
+    pub fn serial() -> Self {
+        Parallelism { threads: 1, chunk: 0 }
+    }
+
+    /// Auto-detected thread count, auto chunking. Same as `default()`.
+    pub fn auto() -> Self {
+        Parallelism::default()
+    }
+
+    /// A fixed thread count with auto chunking.
+    pub fn with_threads(threads: usize) -> Self {
+        Parallelism { threads, chunk: 0 }
+    }
+
+    /// The number of worker threads that will actually run for `n` items:
+    /// resolves `threads == 0` against the OS and never exceeds `n`.
+    pub fn effective_threads(&self, n: usize) -> usize {
+        let hw = || {
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+        };
+        let t = if self.threads == 0 { hw() } else { self.threads };
+        t.clamp(1, n.max(1))
+    }
+
+    /// The chunk size that will actually be used for `n` items on
+    /// `threads` workers.
+    pub fn effective_chunk(&self, n: usize, threads: usize) -> usize {
+        if self.chunk > 0 {
+            return self.chunk;
+        }
+        // ~4 chunks per worker, at least 1 index per chunk.
+        (n / (threads * 4).max(1)).max(1)
+    }
+}
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// `f(i)` must depend only on `i` (and captured shared state) — under the
+/// `threads` feature the indices are evaluated concurrently in unspecified
+/// order, and the output is reassembled by index, so the result is
+/// bit-identical to the serial loop for any [`Parallelism`].
+///
+/// A panic inside `f` propagates to the caller (the scope re-raises it).
+///
+/// # Examples
+///
+/// ```
+/// use relperf_parallel::{parallel_map_indexed, Parallelism};
+///
+/// let squares = parallel_map_indexed(5, Parallelism::auto(), |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// assert_eq!(
+///     squares,
+///     parallel_map_indexed(5, Parallelism::serial(), |i| i * i),
+/// );
+/// ```
+pub fn parallel_map_indexed<T, F>(n: usize, parallelism: Parallelism, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = parallelism.effective_threads(n);
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || !threads_enabled() {
+        return (0..n).map(f).collect();
+    }
+    threaded::map_indexed(n, threads, parallelism.effective_chunk(n, threads), f)
+}
+
+/// `true` when this build can actually spawn worker threads (the `threads`
+/// cargo feature; consumers expose it as their `parallel` feature).
+pub const fn threads_enabled() -> bool {
+    cfg!(feature = "threads")
+}
+
+#[cfg(feature = "threads")]
+mod threaded {
+    use std::sync::Mutex;
+
+    pub fn map_indexed<T, F>(n: usize, threads: usize, chunk: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        {
+            // Job list: disjoint output chunks tagged with their start
+            // index, popped by workers until drained (simple work sharing —
+            // chunks are contiguous so reassembly is free).
+            let mut jobs: Vec<(usize, &mut [Option<T>])> = Vec::new();
+            let mut start = 0usize;
+            for slot in out.chunks_mut(chunk) {
+                let len = slot.len();
+                jobs.push((start, slot));
+                start += len;
+            }
+            // Pop from the back so low indices run first on average.
+            jobs.reverse();
+            let queue = Mutex::new(jobs);
+            let f = &f;
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let job = queue.lock().expect("queue poisoned").pop();
+                        let Some((start, slot)) = job else { break };
+                        for (offset, cell) in slot.iter_mut().enumerate() {
+                            *cell = Some(f(start + offset));
+                        }
+                    });
+                }
+            });
+        }
+        out.into_iter()
+            .map(|cell| cell.expect("all chunks processed"))
+            .collect()
+    }
+}
+
+#[cfg(not(feature = "threads"))]
+mod threaded {
+    pub fn map_indexed<T, F>(n: usize, _threads: usize, _chunk: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        (0..n).map(f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_and_identical_across_configs() {
+        let serial = parallel_map_indexed(1000, Parallelism::serial(), |i| i * 3 + 1);
+        for threads in [0usize, 2, 3, 8] {
+            for chunk in [0usize, 1, 7, 1000, 5000] {
+                let par = parallel_map_indexed(1000, Parallelism { threads, chunk }, |i| i * 3 + 1);
+                assert_eq!(par, serial, "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(
+            parallel_map_indexed(0, Parallelism::auto(), |i| i),
+            Vec::<usize>::new()
+        );
+        assert_eq!(parallel_map_indexed(1, Parallelism::auto(), |i| i + 9), vec![9]);
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto_and_clamps() {
+        let p = Parallelism::auto();
+        assert!(p.effective_threads(100) >= 1);
+        assert_eq!(p.effective_threads(0), 1);
+        assert_eq!(Parallelism::with_threads(16).effective_threads(3), 3);
+        assert_eq!(Parallelism::serial().effective_threads(100), 1);
+    }
+
+    #[test]
+    fn effective_chunk_explicit_and_auto() {
+        let p = Parallelism { threads: 4, chunk: 10 };
+        assert_eq!(p.effective_chunk(100, 4), 10);
+        let auto = Parallelism::with_threads(4);
+        assert_eq!(auto.effective_chunk(100, 4), 6); // 100 / 16
+        assert_eq!(auto.effective_chunk(3, 4), 1);
+    }
+
+    #[cfg(feature = "threads")]
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_indexed(64, Parallelism::with_threads(4), |i| {
+                assert!(i != 40, "boom at {i}");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn results_are_pure_functions_of_index() {
+        // Per-index seeding pattern used by the pipeline: derive a value
+        // from the index only, so any schedule agrees.
+        let f = |i: usize| {
+            let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z ^= z >> 31;
+            z
+        };
+        let a = parallel_map_indexed(257, Parallelism { threads: 5, chunk: 3 }, f);
+        let b = parallel_map_indexed(257, Parallelism::serial(), f);
+        assert_eq!(a, b);
+    }
+}

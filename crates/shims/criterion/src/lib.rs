@@ -1,0 +1,235 @@
+//! Offline stand-in for the parts of the `criterion` API this workspace
+//! uses. Benchmarks register through [`criterion_group!`] /
+//! [`criterion_main!`] exactly as with real criterion; the runner here is a
+//! simple adaptive timing loop (warmup, then batched timed iterations until
+//! a time budget is spent) that prints mean / median / min per-iteration
+//! times. It has no statistical regression machinery, but it is plenty to
+//! compare configurations (e.g. serial vs. parallel) on one machine.
+//!
+//! Set `CRITERION_SHIM_QUICK=1` to run each benchmark for a single
+//! iteration (used to smoke-test bench targets).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, e.g. `resample/100`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id with no function name, rendered as the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            return;
+        }
+        // Warmup and calibration: time a single iteration.
+        let t = Instant::now();
+        black_box(routine());
+        let first = t.elapsed().max(Duration::from_nanos(1));
+        // Spend roughly the budget, between 10 and 10_000 further samples.
+        let n = (self.budget.as_nanos() / first.as_nanos()).clamp(10, 10_000) as usize;
+        for _ in 0..n {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(label: &str, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let quick = std::env::var_os("CRITERION_SHIM_QUICK").is_some();
+    let mut b = Bencher {
+        samples: Vec::new(),
+        budget,
+        quick,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let n = b.samples.len();
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / n as u32;
+    let median = b.samples[n / 2];
+    let min = b.samples[0];
+    println!(
+        "{label:<50} mean {:>12}   median {:>12}   min {:>12}   ({n} iters)",
+        fmt_duration(mean),
+        fmt_duration(median),
+        fmt_duration(min),
+    );
+}
+
+/// A named collection of related benchmarks, printed under one heading.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes sampling by time
+    /// budget rather than sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<ID, F>(&mut self, id: ID, mut routine: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.budget, &mut routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut routine: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.budget, &mut |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name}");
+        let budget = self.budget;
+        BenchmarkGroup {
+            name: name.to_string(),
+            budget,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.budget, &mut routine);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -10,7 +10,7 @@
 //! All samplers are built directly on a [`rand::Rng`]: Gaussian via
 //! Box–Muller, log-normal via `exp(Gaussian)`, Pareto via inverse-CDF.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A multiplicative noise model for execution times.
 ///

@@ -1,9 +1,12 @@
 //! End-to-end pipeline: measure every placement, cluster, build profiles.
 
-use rand::Rng;
-use relperf_core::cluster::{relative_scores, ClusterConfig, Clustering, ScoreTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relperf_core::cluster::{
+    relative_scores, relative_scores_seeded, ClusterConfig, Clustering, Parallelism, ScoreTable,
+};
 use relperf_core::decision::AlgorithmProfile;
-use relperf_measure::{Sample, ThreeWayComparator};
+use relperf_measure::{stream_seed, Sample, SeededThreeWayComparator, ThreeWayComparator};
 use relperf_sim::{ExecutionRecord, Loc, Platform, Task};
 
 /// A fully-specified experiment: a platform, a task sequence, and the set
@@ -84,6 +87,37 @@ pub fn measure_all<R: Rng + ?Sized>(
         .collect()
 }
 
+/// Like [`measure_all`], but with explicit seeding and the measurement of
+/// different placements fanned out across threads.
+///
+/// Placement `i` draws its measurements from an RNG derived from
+/// `(seed, i)`, so the result does not depend on `parallelism` — the
+/// serial fallback build and any thread count produce identical samples.
+/// (The sequential [`measure_all`] threads one RNG through all placements
+/// and therefore produces a *different* — equally valid — stream.)
+pub fn measure_all_seeded(
+    exp: &Experiment,
+    n: usize,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Vec<MeasuredAlgorithm> {
+    relperf_parallel::parallel_map_indexed(exp.placements.len(), parallelism, |i| {
+        let (label, placement) = &exp.placements[i];
+        let mut rng = StdRng::seed_from_u64(stream_seed(seed, i as u64));
+        let sample = exp
+            .platform
+            .measure(&exp.tasks, placement, n, &mut rng)
+            .expect("n > 0 and simulated times are finite");
+        let record = exp.platform.execute_noiseless(&exp.tasks, placement);
+        MeasuredAlgorithm {
+            label: label.clone(),
+            placement: placement.clone(),
+            sample,
+            record,
+        }
+    })
+}
+
 /// Procedure 4 over measured algorithms: repeated shuffled three-way bubble
 /// sorts using `comparator` on the stored samples.
 pub fn cluster_measurements<R: Rng + ?Sized>(
@@ -94,6 +128,24 @@ pub fn cluster_measurements<R: Rng + ?Sized>(
 ) -> ScoreTable {
     relative_scores(measured.len(), config, rng, |a, b| {
         comparator.compare(&measured[a].sample, &measured[b].sample)
+    })
+}
+
+/// Procedure 4 with parallel repetitions: clusters measured algorithms via
+/// [`relative_scores_seeded`], addressing every comparison by an explicit
+/// stream id so any [`Parallelism`] in `config` yields a bit-identical
+/// score table.
+pub fn cluster_measurements_seeded<C>(
+    measured: &[MeasuredAlgorithm],
+    comparator: &C,
+    config: ClusterConfig,
+    seed: u64,
+) -> ScoreTable
+where
+    C: SeededThreeWayComparator + Sync,
+{
+    relative_scores_seeded(measured.len(), config, seed, |stream, a, b| {
+        comparator.compare_seeded(&measured[a].sample, &measured[b].sample, stream)
     })
 }
 
@@ -122,7 +174,6 @@ pub fn profiles(measured: &[MeasuredAlgorithm], clustering: &Clustering) -> Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
     use relperf_measure::compare::MedianComparator;
 
     #[test]
@@ -170,7 +221,7 @@ mod tests {
         let table = cluster_measurements(
             &measured,
             &cmp,
-            ClusterConfig { repetitions: 20 },
+            ClusterConfig::with_repetitions(20),
             &mut rng,
         );
         assert_eq!(table.num_algorithms(), 8);
@@ -189,5 +240,83 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.sample.values(), y.sample.values());
         }
+    }
+
+    #[test]
+    fn measure_all_seeded_is_parallelism_invariant() {
+        let e = Experiment::table1(2);
+        let serial = measure_all_seeded(&e, 20, 9, Parallelism::serial());
+        for threads in [0usize, 2, 5] {
+            let par = measure_all_seeded(&e, 20, 9, Parallelism::with_threads(threads));
+            assert_eq!(par.len(), serial.len());
+            for (x, y) in par.iter().zip(&serial) {
+                assert_eq!(x.label, y.label);
+                assert_eq!(x.sample.values(), y.sample.values(), "label {}", x.label);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_pipeline_is_bit_identical_across_parallelism() {
+        use relperf_measure::compare::{BootstrapComparator, BootstrapConfig};
+        let e = Experiment::table1(2);
+        let measured = measure_all_seeded(&e, 15, 31, Parallelism::auto());
+        let comparator = BootstrapComparator::with_config(
+            7,
+            BootstrapConfig {
+                reps: 10,
+                ..Default::default()
+            },
+        );
+        let config = |par: Parallelism| ClusterConfig {
+            repetitions: 40,
+            parallelism: par,
+        };
+        let reference =
+            cluster_measurements_seeded(&measured, &comparator, config(Parallelism::serial()), 3);
+        for threads in [0usize, 2, 7] {
+            let par = cluster_measurements_seeded(
+                &measured,
+                &comparator,
+                config(Parallelism::with_threads(threads)),
+                3,
+            );
+            assert_eq!(par, reference, "threads = {threads}");
+        }
+        // And the scores are sane: every row sums to 1.
+        for alg in 0..reference.num_algorithms() {
+            let total: f64 = (1..=reference.num_classes())
+                .map(|r| reference.score(alg, r))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn seeded_clustering_matches_paper_structure() {
+        // The parallel path must reproduce the same qualitative Fig. 1
+        // structure as the serial pipeline: AD best, AA second, DD ~ DA.
+        use relperf_measure::compare::{BootstrapComparator, BootstrapConfig};
+        let e = Experiment::fig1();
+        let measured = measure_all_seeded(&e, 100, 11, Parallelism::auto());
+        let idx = |l: &str| measured.iter().position(|m| m.label == l).unwrap();
+        let comparator = BootstrapComparator::with_config(
+            5,
+            BootstrapConfig {
+                reps: 30,
+                ..Default::default()
+            },
+        );
+        let table = cluster_measurements_seeded(
+            &measured,
+            &comparator,
+            ClusterConfig::with_repetitions(50),
+            13,
+        );
+        let clustering = table.final_assignment();
+        let rank = |l: &str| clustering.assignment(idx(l)).rank;
+        assert_eq!(rank("AD"), 1);
+        assert_eq!(rank("AA"), 2);
+        assert_eq!(rank("DD"), rank("DA"));
     }
 }

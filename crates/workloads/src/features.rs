@@ -138,7 +138,7 @@ mod tests {
         let clustering = cluster_measurements(
             &measured,
             &cmp,
-            ClusterConfig { repetitions: 20 },
+            ClusterConfig::with_repetitions(20),
             &mut rng,
         )
         .final_assignment();

@@ -4,6 +4,10 @@
 //! architecture — exactly the paper's point that "the subsets Cᵢ are
 //! specific to a given computing architecture".
 //!
+//! Expected output: three platform blocks (`── edge CPU + GPU … ──`), each
+//! with the four placement means and its own `C1:`/`C2:`/… clustering —
+//! the class of a given placement changes from platform to platform.
+//!
 //! Run with: `cargo run --release --example algorithm_ranking`
 
 use rand::prelude::*;
@@ -21,7 +25,7 @@ fn rank_on(platform: Platform, name: &str, rng: &mut StdRng) {
     let table = cluster_measurements(
         &measured,
         &comparator,
-        ClusterConfig { repetitions: 50 },
+        ClusterConfig::with_repetitions(50),
         rng,
     );
     let clustering = table.final_assignment();

@@ -4,6 +4,11 @@
 //! accelerator. Clusters the 8 splits and shows where the winning split
 //! spends its time.
 //!
+//! Expected output: the per-stage MFLOP/offload table, per-placement batch
+//! latencies (DDD … AAA), the performance classes with relative scores,
+//! and the hi-fi correction lag of each split — placements offloading the
+//! hi-fi stage (..A) dominate C1.
+//!
 //! Run with: `cargo run --release --example detection_pipeline`
 
 use rand::prelude::*;
@@ -39,7 +44,7 @@ fn main() {
     let table = cluster_measurements(
         &measured,
         &comparator,
-        ClusterConfig { repetitions: 60 },
+        ClusterConfig::with_repetitions(60),
         &mut rng,
     );
     let clustering = table.final_assignment();

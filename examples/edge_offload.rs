@@ -1,6 +1,11 @@
 //! Edge-offloading scenario: which parts of a three-task scientific code
 //! should move to the accelerator?
 //!
+//! Expected output: a mean/MFLOPs/cost line for each of the 8 placements
+//! (algDDD … algAAA), the performance classes `C1: algDDA (1.00)` …, the
+//! decision-model picks at several cost weights, and a short switching
+//! timeline. DDA leads, the all-accelerator AAA trails.
+//!
 //! Reproduces the paper's Table I workflow end to end on the simulated
 //! Xeon+accelerator platform: measure all 8 placements, cluster them, then
 //! let the cost/speed decision model pick an algorithm under different
@@ -37,7 +42,7 @@ fn main() {
     let table = cluster_measurements(
         &measured,
         &comparator,
-        ClusterConfig { repetitions: 100 },
+        ClusterConfig::with_repetitions(100),
         &mut rng,
     );
     let clustering = table.final_assignment();

@@ -3,6 +3,11 @@
 //! reservoir fills up, switch to alg_DAA (which offloads most device
 //! FLOPs), and switch back once the device has cooled down.
 //!
+//! Expected output: the per-run device energy of both algorithms, the
+//! hysteresis thresholds, then a `run N [DDD|DAA] █… J` bar timeline
+//! showing the reservoir saw-toothing between the switch-down and
+//! switch-up levels.
+//!
 //! Run with: `cargo run --release --example energy_switching`
 
 use rand::prelude::*;
@@ -17,7 +22,7 @@ fn main() {
     let table = cluster_measurements(
         &measured,
         &comparator,
-        ClusterConfig { repetitions: 50 },
+        ClusterConfig::with_repetitions(50),
         &mut rng,
     );
     let profs = profiles(&measured, &table.final_assignment());

@@ -8,6 +8,11 @@
 //! ~84 million comparisons; the tournament search below finds a
 //! top-class placement with a few thousand, measuring candidates lazily.
 //!
+//! Expected output: the search-space size, a `search finished: … rounds,
+//! … comparisons, … placements measured` summary, the champion placements
+//! with their means, and the gap to the noiseless optimum (typically a
+//! few percent, from a few hundred of the 4096 placements measured).
+//!
 //! Run with: `cargo run --release --example guided_search`
 
 use rand::prelude::*;

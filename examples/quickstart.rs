@@ -5,6 +5,11 @@
 //! mathematically equivalent, different performance — measured with the
 //! `relperf-measure` harness and clustered with the paper's methodology.
 //!
+//! Expected output: a per-variant `median = … s (cv …%)` line for naive /
+//! blocked / packed / parallel GEMM, then the performance classes
+//! `C1: … (score)` … `Ck` (class structure is machine-dependent — on a
+//! single-core container the "parallel" variant usually loses).
+//!
 //! Run with: `cargo run --release --example quickstart`
 
 use rand::prelude::*;
@@ -57,7 +62,7 @@ fn main() {
     let comparator = BootstrapComparator::new(42);
     let table = relative_scores(
         samples.len(),
-        ClusterConfig { repetitions: 50 },
+        ClusterConfig::with_repetitions(50),
         &mut rng,
         |i, j| comparator.compare(&samples[i], &samples[j]),
     );

@@ -36,7 +36,7 @@
 //! let scores = cluster_measurements(
 //!     &measured,
 //!     &comparator,
-//!     ClusterConfig { repetitions: 20 },
+//!     ClusterConfig::with_repetitions(20),
 //!     &mut rng,
 //! );
 //! let clustering = scores.final_assignment();
@@ -48,22 +48,28 @@
 pub use relperf_core as core;
 pub use relperf_linalg as linalg;
 pub use relperf_measure as measure;
+pub use relperf_parallel as parallel;
 pub use relperf_sim as sim;
 pub use relperf_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use relperf_core::cluster::{relative_scores, ClusterConfig, Clustering, ScoreTable};
+    pub use relperf_core::cache::ComparisonCache;
+    pub use relperf_core::cluster::{
+        relative_scores, relative_scores_seeded, ClusterConfig, Clustering, ScoreTable,
+    };
     pub use relperf_core::decision::{
         AlgorithmProfile, CostSpeedModel, EnergyBudgetController, Mode,
     };
     pub use relperf_core::sort::{sort, sort_from, sort_with_trace, SortState};
     pub use relperf_measure::compare::{BootstrapComparator, BootstrapConfig, MedianComparator};
-    pub use relperf_measure::{Outcome, Sample, ThreeWayComparator};
+    pub use relperf_measure::{Outcome, Sample, SeededThreeWayComparator, ThreeWayComparator};
+    pub use relperf_parallel::{parallel_map_indexed, Parallelism};
     pub use relperf_sim::presets;
     pub use relperf_sim::{Loc, Platform, Task};
     pub use relperf_workloads::experiment::{
-        cluster_measurements, measure_all, profiles, Experiment, MeasuredAlgorithm,
+        cluster_measurements, cluster_measurements_seeded, measure_all, measure_all_seeded,
+        profiles, Experiment, MeasuredAlgorithm,
     };
 }
 

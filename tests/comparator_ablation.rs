@@ -20,7 +20,7 @@ fn clustering_with(
     cluster_measurements(
         measured,
         comparator,
-        ClusterConfig { repetitions: 40 },
+        ClusterConfig::with_repetitions(40),
         &mut rng,
     )
     .final_assignment()

@@ -15,7 +15,7 @@ fn paper_pipeline_fig1() {
     let table = cluster_measurements(
         &measured,
         &comparator,
-        ClusterConfig { repetitions: 50 },
+        ClusterConfig::with_repetitions(50),
         &mut rng,
     );
     let clustering = table.final_assignment();
@@ -39,7 +39,7 @@ fn paper_pipeline_table1_with_decisions() {
     let table = cluster_measurements(
         &measured,
         &comparator,
-        ClusterConfig { repetitions: 60 },
+        ClusterConfig::with_repetitions(60),
         &mut rng,
     );
     let clustering = table.final_assignment();
@@ -109,7 +109,7 @@ fn clustering_survives_measurement_replacement() {
         cluster_measurements(
             &measured,
             &comparator,
-            ClusterConfig { repetitions: 30 },
+            ClusterConfig::with_repetitions(30),
             &mut rng,
         )
         .final_assignment()
@@ -130,7 +130,7 @@ fn triplets_from_paper_clusters_feed_model_training() {
     let clustering = cluster_measurements(
         &measured,
         &comparator,
-        ClusterConfig { repetitions: 50 },
+        ClusterConfig::with_repetitions(50),
         &mut rng,
     )
     .final_assignment();

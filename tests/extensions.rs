@@ -54,7 +54,7 @@ fn multi_accelerator_clustering_puts_pi_placements_last() {
     let comparator = BootstrapComparator::new(42);
     let clustering = relative_scores(
         samples.len(),
-        ClusterConfig { repetitions: 30 },
+        ClusterConfig::with_repetitions(30),
         &mut rng,
         |a, b| comparator.compare(&samples[a].1, &samples[b].1),
     )
@@ -132,7 +132,7 @@ fn prediction_generalizes_to_unmeasured_placements() {
     let clustering = cluster_measurements(
         &measured,
         &comparator,
-        ClusterConfig { repetitions: 20 },
+        ClusterConfig::with_repetitions(20),
         &mut rng,
     )
     .final_assignment();

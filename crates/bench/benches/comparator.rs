@@ -1,12 +1,13 @@
 //! B2 — Criterion benchmarks of the measurement layer: bootstrap
-//! resampling, the three-way comparators, and the sensitivity of comparator
-//! cost to sample size and bootstrap rounds.
+//! resampling, the three-way comparators (count-based fast path vs. the
+//! sort-based reference oracle), and the sensitivity of comparator cost
+//! to sample size and bootstrap rounds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::prelude::*;
 use relperf_measure::bootstrap::{mean_ci, resample};
-use relperf_measure::compare::{BootstrapComparator, BootstrapConfig, MedianComparator};
-use relperf_measure::{Sample, ThreeWayComparator};
+use relperf_measure::compare::{BootstrapComparator, BootstrapConfig, MedianComparator, Scratch};
+use relperf_measure::{Sample, ScratchThreeWayComparator, SeededThreeWayComparator, ThreeWayComparator};
 use std::hint::black_box;
 
 fn noisy_sample(center: f64, n: usize, seed: u64) -> Sample {
@@ -58,5 +59,47 @@ fn bench_comparators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bootstrap, bench_comparators);
+fn bench_fast_vs_reference(c: &mut Criterion) {
+    // The tentpole measurement: count-based allocation-free rounds
+    // (scratch-reusing production path) vs. the sort-based reference
+    // oracle, across sample sizes.
+    let mut group = c.benchmark_group("bootstrap-round-engine");
+    for &n in &[30usize, 100, 500] {
+        let a = noisy_sample(1.00, n, 4);
+        let b = noisy_sample(1.05, n, 5);
+        let cmp = BootstrapComparator::with_config(
+            6,
+            BootstrapConfig {
+                reps: 100,
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("reference-sort", n), &n, |bench, _| {
+            let mut stream = 0u64;
+            bench.iter(|| {
+                stream += 1;
+                cmp.compare_seeded_reference(black_box(&a), black_box(&b), stream)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fast-counted", n), &n, |bench, _| {
+            let mut scratch = Scratch::new();
+            let mut stream = 0u64;
+            bench.iter(|| {
+                stream += 1;
+                cmp.compare_seeded_scratch(&mut scratch, black_box(&a), black_box(&b), stream)
+            })
+        });
+        // Fast path without scratch reuse, for the allocation-cost share.
+        group.bench_with_input(BenchmarkId::new("fast-fresh-scratch", n), &n, |bench, _| {
+            let mut stream = 0u64;
+            bench.iter(|| {
+                stream += 1;
+                cmp.compare_seeded(black_box(&a), black_box(&b), stream)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bootstrap, bench_comparators, bench_fast_vs_reference);
 criterion_main!(benches);

@@ -72,6 +72,7 @@ pub fn run_pipeline_seeded(
         ClusterConfig {
             repetitions,
             parallelism,
+            ..Default::default()
         },
         seed ^ 0xC1_05_7E,
     );

@@ -57,10 +57,12 @@ impl ComparisonCache {
     }
 
     /// Forgets all cached outcomes while keeping the allocation and the
-    /// hit/miss tallies — for callers that reuse one cache across
-    /// clustering repetitions instead of allocating a fresh one per
-    /// repetition (the parallel engine allocates fresh: repetitions run
-    /// concurrently and cannot share a memo).
+    /// hit/miss tallies — so one cache serves many clustering repetitions
+    /// in turn. This is how the parallel engine uses it: each worker owns
+    /// one cache as part of its per-worker state
+    /// (`relative_scores_seeded_with`) and resets it between the
+    /// repetitions it runs; a memo is never shared *across* workers, which
+    /// is what keeps concurrent repetitions independent.
     pub fn reset(&mut self) {
         self.slots.fill(None);
     }

@@ -17,10 +17,11 @@
 //!
 //! The clustering engine has two entry points: the legacy, strictly serial
 //! [`relative_scores`] (one RNG threaded through all repetitions) and the
-//! production [`relative_scores_seeded`] (per-repetition seed streams, a
-//! per-repetition [`cache::ComparisonCache`], and repetitions fanned out
-//! across threads via [`cluster::Parallelism`] — bit-identical for any
-//! thread count).
+//! production [`relative_scores_seeded`] / [`relative_scores_seeded_with`]
+//! (per-repetition seed streams, per-worker [`cache::ComparisonCache`] and
+//! scratch arenas, and work fanned out across threads via
+//! [`cluster::Parallelism`] — bit-identical for any thread count and
+//! either [`cluster::PairSchedule`]).
 
 #![warn(missing_docs)]
 
@@ -36,7 +37,8 @@ pub mod triplet;
 
 pub use cache::ComparisonCache;
 pub use cluster::{
-    relative_scores, relative_scores_seeded, ClusterConfig, Clustering, Parallelism, ScoreTable,
+    relative_scores, relative_scores_seeded, relative_scores_seeded_with, ClusterConfig,
+    Clustering, PairSchedule, Parallelism, ScoreTable,
 };
 pub use relperf_measure::Outcome;
 pub use sort::{sort, sort_with_trace, SortState, SortStep};

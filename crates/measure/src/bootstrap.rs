@@ -27,6 +27,28 @@ pub fn resample<R: Rng + ?Sized>(rng: &mut R, sample: &Sample) -> Vec<f64> {
     buf
 }
 
+/// Draws one bootstrap resample as a *count vector over sorted positions*:
+/// after the call, `counts[k]` is how many times `sample.sorted()[k]` was
+/// drawn, with `counts.iter().sum::<u32>() == n`.
+///
+/// This consumes **exactly the same RNG draw sequence** as
+/// [`resample_into`] (`n` uniform index draws into insertion order), so a
+/// seeded resample and its count-vector form describe the identical
+/// multiset — the count form just arrives pre-sorted, which is what makes
+/// the comparator's allocation-free O(n) round possible (no buffer, no
+/// `O(n log n)` sort; quantiles are read by a cumulative walk, see
+/// [`QuantilePlan`]).
+pub fn resample_counts_into<R: Rng + ?Sized>(rng: &mut R, sample: &Sample, counts: &mut Vec<u32>) {
+    let n = sample.len();
+    debug_assert!(n <= u32::MAX as usize, "count vector uses u32 tallies");
+    let pos = sample.sorted_positions();
+    counts.clear();
+    counts.resize(n, 0);
+    for _ in 0..n {
+        counts[pos[rng.random_range(0..n)]] += 1;
+    }
+}
+
 /// The bootstrap distribution of a statistic: applies `stat` to `reps`
 /// independent resamples and returns the resulting values (unsorted).
 pub fn bootstrap_statistic<R, F>(rng: &mut R, sample: &Sample, reps: usize, mut stat: F) -> Vec<f64>
@@ -88,12 +110,21 @@ where
 {
     assert!(reps > 0, "need at least one bootstrap repetition");
     assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0, 1)");
-    let stats = bootstrap_statistic(rng, sample, reps, stat);
-    let dist = Sample::new(stats).expect("reps > 0 and stat of finite data");
+    // Sort the bootstrap distribution in place and read the endpoints with
+    // quantile_sorted — same math as Sample::quantile without cloning the
+    // stats into a Sample (which would re-sort a second copy). The
+    // finiteness guard Sample::new used to provide stays: an overflowing
+    // statistic must fail loudly, not leak an infinite CI downstream.
+    let mut stats = bootstrap_statistic(rng, sample, reps, stat);
+    assert!(
+        stats.iter().all(|v| v.is_finite()),
+        "statistic of finite data must be finite"
+    );
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite by the check above"));
     let alpha = (1.0 - level) / 2.0;
     ConfidenceInterval {
-        lo: dist.quantile(alpha),
-        hi: dist.quantile(1.0 - alpha),
+        lo: quantile_sorted(&stats, alpha),
+        hi: quantile_sorted(&stats, 1.0 - alpha),
         level,
     }
 }
@@ -134,29 +165,200 @@ pub fn median_of(xs: &[f64]) -> f64 {
 }
 
 /// Linear-interpolation quantile of an unsorted slice.
+///
+/// # Panics
+/// Panics when `xs` is empty or `q` lies outside `[0, 1]` (this cold
+/// convenience entry point validates; the hot-path [`quantile_sorted`]
+/// leaves validation to the caller).
 pub fn quantile_of(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     quantile_sorted(&v, q)
 }
 
 /// Linear-interpolation quantile of an already-sorted slice.
+///
+/// Bounds are checked with `debug_assert!` only — this sits on the
+/// bootstrap comparator's hot path (called per quantile per round), so
+/// callers must validate `q` up front (in-tree callers do, via
+/// `BootstrapConfig::validate`, [`quantile_of`], or derived constants).
+/// In a release build an unvalidated `q < 0` silently clamps to the
+/// minimum; `q > 1` panics on the index bound.
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "quantile of empty slice");
-    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
-    let n = sorted.len();
-    if n == 1 {
-        return sorted[0];
-    }
+    debug_assert!(!sorted.is_empty(), "quantile of empty slice");
+    debug_assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    let (lo, hi, frac) = quantile_interp(q, sorted.len());
+    interp_value(sorted[lo], sorted[hi], lo, hi, frac)
+}
+
+/// The type-7 interpolation triple `(lo, hi, frac)` every quantile reader
+/// in this crate shares ([`quantile_sorted`], `Sample::quantile`,
+/// [`QuantilePlan`]): position `q·(n−1)` splits into the bracketing order
+/// statistics and the interpolation fraction. A single definition keeps
+/// the count-based fast path bit-identical to the sort-based readers by
+/// construction. Requires `n ≥ 1` (for `n == 1` the triple degenerates to
+/// `(0, 0, 0.0)`).
+pub(crate) fn quantile_interp(q: f64, n: usize) -> (usize, usize, f64) {
     let pos = q * (n - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
+    (lo, hi, pos - lo as f64)
+}
+
+/// Combines the two bracketing order statistics of [`quantile_interp`],
+/// skipping the arithmetic entirely when the position is integral.
+pub(crate) fn interp_value(vlo: f64, vhi: f64, lo: usize, hi: usize, frac: f64) -> f64 {
     if lo == hi {
-        sorted[lo]
+        vlo
     } else {
-        let frac = pos - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        vlo * (1.0 - frac) + vhi * frac
     }
+}
+
+/// Precomputed order-statistic schedule for reading a fixed list of
+/// quantiles out of a count-vector resample in **one cumulative pass**.
+///
+/// [`quantile_sorted`] on a materialized resample of size `n` reads at
+/// most two order statistics per quantile (the floor and ceiling of the
+/// interpolation position). A `QuantilePlan` computes those positions
+/// once per `(quantiles, n)` pair; [`extract_into`](Self::extract_into)
+/// then walks the cumulative counts a single time, picking every needed
+/// element on the way — O(n + q) per bootstrap round, no allocation, no
+/// sort, and **bit-identical** to sorting the resample and calling
+/// [`quantile_sorted`] (the interpolation arithmetic is replicated
+/// exactly; the count vector describes the same sorted multiset).
+///
+/// # Examples
+///
+/// ```
+/// use relperf_measure::bootstrap::{quantile_sorted, quantiles_from_counts};
+///
+/// let sorted = [1.0, 2.0, 4.0, 8.0];
+/// let counts = [1, 0, 2, 1]; // the resample {1.0, 4.0, 4.0, 8.0}
+/// let expanded = [1.0, 4.0, 4.0, 8.0];
+/// for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+///     assert_eq!(
+///         quantiles_from_counts(&sorted, &counts, &[q])[0],
+///         quantile_sorted(&expanded, q),
+///     );
+/// }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuantilePlan {
+    /// Resample size the positions are computed for (`counts` must sum to
+    /// this, not necessarily `sorted.len()`).
+    n: usize,
+    quantiles: Vec<f64>,
+    /// `(lo, hi, frac)` per quantile, in input order — the exact
+    /// interpolation triple [`quantile_sorted`] derives from `q` and `n`.
+    interp: Vec<(usize, usize, f64)>,
+    /// `(order-statistic position, stats slot)` ascending by position;
+    /// slot `2i` holds quantile `i`'s `lo` element, `2i + 1` its `hi`.
+    walk: Vec<(usize, usize)>,
+}
+
+impl QuantilePlan {
+    /// Builds a plan for reading `quantiles` from resamples of size `n`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or any quantile lies outside `[0, 1]`.
+    pub fn new(quantiles: &[f64], n: usize) -> Self {
+        let mut plan = QuantilePlan::default();
+        plan.prepare(quantiles, n);
+        plan
+    }
+
+    /// (Re)targets the plan at `(quantiles, n)`, reusing its allocations.
+    /// A no-op when the plan already matches — callers comparing many
+    /// same-sized samples pay the position math once.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or any quantile lies outside `[0, 1]`.
+    pub fn prepare(&mut self, quantiles: &[f64], n: usize) {
+        // Validate before the no-op short-circuit: a fresh/default plan
+        // has n == 0 and would otherwise match prepare(&[], 0) silently.
+        assert!(n > 0, "quantile plan over an empty resample");
+        assert!(
+            quantiles.iter().all(|q| (0.0..=1.0).contains(q)),
+            "quantiles must lie in [0, 1]"
+        );
+        if self.n == n && self.quantiles == quantiles {
+            return;
+        }
+        self.n = n;
+        self.quantiles.clear();
+        self.quantiles.extend_from_slice(quantiles);
+        self.interp.clear();
+        self.walk.clear();
+        for (i, &q) in quantiles.iter().enumerate() {
+            let (lo, hi, frac) = quantile_interp(q, n);
+            self.interp.push((lo, hi, frac));
+            self.walk.push((lo, 2 * i));
+            self.walk.push((hi, 2 * i + 1));
+        }
+        self.walk.sort_unstable_by_key(|&(pos, _)| pos);
+    }
+
+    /// The resample size this plan is targeted at.
+    pub fn resample_size(&self) -> usize {
+        self.n
+    }
+
+    /// Reads all planned quantiles from the resample described by
+    /// `(sorted, counts)` into `out` (input quantile order), using
+    /// `stats` as scratch. One cumulative pass over `counts`; both
+    /// buffers are cleared and refilled, never reallocated at steady
+    /// state.
+    ///
+    /// `counts[k]` is the multiplicity of `sorted[k]` and must sum to the
+    /// plan's resample size (checked with `debug_assert!` — hot path).
+    pub fn extract_into(
+        &self,
+        sorted: &[f64],
+        counts: &[u32],
+        stats: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(sorted.len(), counts.len());
+        debug_assert_eq!(
+            counts.iter().map(|&c| c as usize).sum::<usize>(),
+            self.n,
+            "counts must describe a resample of the planned size"
+        );
+        stats.clear();
+        stats.resize(self.interp.len() * 2, 0.0);
+        let mut cum = 0usize;
+        let mut k = 0usize;
+        for &(target, slot) in &self.walk {
+            while cum + counts[k] as usize <= target {
+                cum += counts[k] as usize;
+                k += 1;
+            }
+            stats[slot] = sorted[k];
+        }
+        out.clear();
+        for (i, &(lo, hi, frac)) in self.interp.iter().enumerate() {
+            out.push(interp_value(stats[2 * i], stats[2 * i + 1], lo, hi, frac));
+        }
+    }
+}
+
+/// Convenience wrapper around [`QuantilePlan`]: quantiles of the resample
+/// described by `(sorted, counts)` — `counts[k]` copies of `sorted[k]` —
+/// equal to expanding the counts and calling [`quantile_sorted`] on the
+/// expansion, without materializing it.
+///
+/// # Panics
+/// Panics when the counts sum to zero or a quantile is outside `[0, 1]`.
+pub fn quantiles_from_counts(sorted: &[f64], counts: &[u32], quantiles: &[f64]) -> Vec<f64> {
+    let m: usize = counts.iter().map(|&c| c as usize).sum();
+    let plan = QuantilePlan::new(quantiles, m);
+    let mut stats = Vec::new();
+    let mut out = Vec::new();
+    plan.extract_into(sorted, counts, &mut stats, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -255,5 +457,62 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn quantile_sorted_empty_panics() {
         quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn counted_resample_matches_sorted_buffer_resample() {
+        // Same seed → the count vector must describe exactly the multiset
+        // resample_into draws, and its quantiles must be bit-identical to
+        // sorting the buffer.
+        let x = s(&[5.0, 1.0, 3.0, 3.0, 9.0, 2.0, 7.0]);
+        for seed in 0..20u64 {
+            let mut buf = Vec::new();
+            resample_into(&mut StdRng::seed_from_u64(seed), &x, &mut buf);
+            buf.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+            let mut counts = Vec::new();
+            resample_counts_into(&mut StdRng::seed_from_u64(seed), &x, &mut counts);
+            let expanded: Vec<f64> = x
+                .sorted()
+                .iter()
+                .zip(&counts)
+                .flat_map(|(&v, &c)| std::iter::repeat(v).take(c as usize))
+                .collect();
+            assert_eq!(expanded, buf, "seed {seed}");
+
+            let qs = [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0];
+            let fast = quantiles_from_counts(x.sorted(), &counts, &qs);
+            for (i, &q) in qs.iter().enumerate() {
+                assert_eq!(fast[i], quantile_sorted(&buf, q), "seed {seed} q {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_plan_reuses_and_retargets() {
+        let mut plan = QuantilePlan::new(&[0.5], 4);
+        assert_eq!(plan.resample_size(), 4);
+        plan.prepare(&[0.5], 4); // no-op
+        plan.prepare(&[0.25, 0.75], 8); // retarget
+        assert_eq!(plan.resample_size(), 8);
+        let sorted = [1.0, 2.0];
+        let counts = [4, 4];
+        let (mut stats, mut out) = (Vec::new(), Vec::new());
+        plan.extract_into(&sorted, &counts, &mut stats, &mut out);
+        let expanded = [1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0];
+        assert_eq!(out[0], quantile_sorted(&expanded, 0.25));
+        assert_eq!(out[1], quantile_sorted(&expanded, 0.75));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty resample")]
+    fn quantile_plan_rejects_empty() {
+        QuantilePlan::new(&[0.5], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in")]
+    fn quantile_plan_rejects_bad_quantile() {
+        QuantilePlan::new(&[1.5], 3);
     }
 }

@@ -9,7 +9,7 @@
 //! set of quantile statistics per draw, and declare a significant difference
 //! only when one side dominates a large fraction of the draws.
 
-use crate::bootstrap::quantile_sorted;
+use crate::bootstrap::{quantile_sorted, resample_counts_into, QuantilePlan};
 use crate::sample::Sample;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,6 +101,68 @@ pub trait SeededThreeWayComparator: ThreeWayComparator {
     fn compare_seeded(&self, a: &Sample, b: &Sample, stream: u64) -> Outcome;
 }
 
+/// A seeded comparator that can run against caller-provided scratch
+/// memory, so a worker thread evaluating many comparisons reuses one
+/// arena instead of allocating per call.
+///
+/// `compare_seeded_scratch(&mut scratch, a, b, stream)` must return
+/// exactly what [`compare_seeded`](SeededThreeWayComparator::compare_seeded)
+/// returns — scratch is working memory, never carried state. The parallel
+/// clustering engine creates one scratch per worker
+/// (`relperf_parallel::parallel_map_indexed_with`) and threads it through
+/// every repetition that worker runs.
+///
+/// Comparators without working memory (e.g. [`MedianComparator`]) use
+/// `Scratch = ()` and delegate.
+pub trait ScratchThreeWayComparator: SeededThreeWayComparator {
+    /// The reusable per-worker working memory.
+    type Scratch: Send;
+
+    /// Creates a scratch arena sized for this comparator.
+    fn new_scratch(&self) -> Self::Scratch;
+
+    /// Like [`compare_seeded`](SeededThreeWayComparator::compare_seeded),
+    /// reusing `scratch` instead of allocating.
+    fn compare_seeded_scratch(
+        &self,
+        scratch: &mut Self::Scratch,
+        a: &Sample,
+        b: &Sample,
+        stream: u64,
+    ) -> Outcome;
+}
+
+/// Reusable working memory for the [`BootstrapComparator`] fast path: the
+/// count-vector buffer, the order-statistic scratch, the per-side quantile
+/// values, and the cached [`QuantilePlan`]s.
+///
+/// One `Scratch` serves any number of comparisons sequentially — buffers
+/// are cleared and refilled, and the plans only recompute when the sample
+/// size or quantile list changes. At steady state (equal-sized samples, a
+/// fixed comparator config — the common case of a clustering run) a
+/// bootstrap round performs **zero** heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Resample tallies over sorted positions (shared by both sides —
+    /// side A is fully drawn and read before side B is drawn).
+    counts: Vec<u32>,
+    /// Order statistics picked by the cumulative walk (2 per quantile).
+    stats: Vec<f64>,
+    /// Side A's quantile values for the current round.
+    q_a: Vec<f64>,
+    /// Side B's quantile values for the current round.
+    q_b: Vec<f64>,
+    plan_a: QuantilePlan,
+    plan_b: QuantilePlan,
+}
+
+impl Scratch {
+    /// An empty scratch arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
+
 /// Configuration of the [`BootstrapComparator`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct BootstrapConfig {
@@ -159,6 +221,18 @@ impl BootstrapConfig {
 /// seed while successive comparisons of the same pair may still disagree,
 /// which is what the relative scores of Sec. III quantify.
 ///
+/// # Fast path
+///
+/// A bootstrap round never materializes or sorts a resample: because
+/// [`Sample`] caches its sorted order, each resample is drawn as a count
+/// vector over sorted positions (same RNG draw sequence, so seeded
+/// outcomes are **bit-identical** to the sort-based reference — see
+/// [`compare_seeded_reference`](BootstrapComparator::compare_seeded_reference))
+/// and quantiles are read by one cumulative walk: O(n) per round with
+/// zero allocations at steady state, given a reused [`Scratch`]. The
+/// dominance vote and the repetition loop both exit as soon as the
+/// outcome is decided.
+///
 /// # Examples
 ///
 /// ```
@@ -213,26 +287,55 @@ impl BootstrapComparator {
         self.rng_for_counter(c)
     }
 
-    /// The full bootstrap comparison driven by an explicit generator.
-    fn compare_with_rng(&self, rng: &mut StdRng, a: &Sample, b: &Sample) -> Outcome {
+    /// The full bootstrap comparison driven by an explicit generator —
+    /// the allocation-free O(n)-per-round fast path.
+    ///
+    /// The repetition loop locks in early: once the round-win lead is
+    /// large enough (or the gap small enough) that no allocation of the
+    /// remaining rounds can change which side of the threshold the final
+    /// frequencies land on, the answer is already decided and the
+    /// remaining rounds are skipped. The lock-in conditions use the
+    /// *identical* float expressions as the final decision, and each
+    /// per-round win count only moves monotonically, so the outcome is
+    /// bit-identical to running every round (each comparison owns its
+    /// RNG, so the skipped draws are observable to nobody).
+    fn compare_with_rng(
+        &self,
+        rng: &mut StdRng,
+        a: &Sample,
+        b: &Sample,
+        scratch: &mut Scratch,
+    ) -> Outcome {
+        scratch.plan_a.prepare(&self.config.quantiles, a.len());
+        scratch.plan_b.prepare(&self.config.quantiles, b.len());
+        let reps = self.config.reps;
+        let threshold = self.config.threshold;
+        let decide = |wa: usize, wb: usize| -> Outcome {
+            let pa = wa as f64 / reps as f64;
+            let pb = wb as f64 / reps as f64;
+            if pa - pb > threshold {
+                Outcome::Better
+            } else if pb - pa > threshold {
+                Outcome::Worse
+            } else {
+                Outcome::Equivalent
+            }
+        };
         let mut wins_a = 0usize;
         let mut wins_b = 0usize;
-        for _ in 0..self.config.reps {
-            match self.round(rng, a, b) {
+        for done in 1..=reps {
+            match self.round(rng, a, b, scratch) {
                 RoundResult::A => wins_a += 1,
                 RoundResult::B => wins_b += 1,
                 RoundResult::Tie => {}
             }
+            let rem = reps - done;
+            // Decided iff the best and worst remaining allocations agree.
+            if decide(wins_a, wins_b + rem) == decide(wins_a + rem, wins_b) {
+                break;
+            }
         }
-        let pa = wins_a as f64 / self.config.reps as f64;
-        let pb = wins_b as f64 / self.config.reps as f64;
-        if pa - pb > self.config.threshold {
-            Outcome::Better
-        } else if pb - pa > self.config.threshold {
-            Outcome::Worse
-        } else {
-            Outcome::Equivalent
-        }
+        decide(wins_a, wins_b)
     }
 
     /// Compares many pairs as one batch, fanning the bootstrap work out
@@ -271,16 +374,85 @@ impl BootstrapComparator {
         let start = self
             .counter
             .fetch_add(pairs.len() as u64, Ordering::Relaxed);
-        relperf_parallel::parallel_map_indexed(pairs.len(), parallelism, |i| {
-            let (a, b) = pairs[i];
-            let mut rng = self.rng_for_counter(start + i as u64);
-            self.compare_with_rng(&mut rng, a, b)
-        })
+        relperf_parallel::parallel_map_indexed_with(
+            pairs.len(),
+            parallelism,
+            Scratch::new,
+            |scratch, i| {
+                let (a, b) = pairs[i];
+                let mut rng = self.rng_for_counter(start + i as u64);
+                self.compare_with_rng(&mut rng, a, b, scratch)
+            },
+        )
     }
 
-    /// One bootstrap round: resample both sides, compare all configured
-    /// quantiles, and score the round for `a`, `b`, or a tie.
-    fn round<R: Rng + ?Sized>(&self, rng: &mut R, a: &Sample, b: &Sample) -> RoundResult {
+    /// One bootstrap round, allocation-free and O(n): draw each resample
+    /// as a count vector over the sample's cached sorted order (same RNG
+    /// draw sequence as materializing the buffer — `n` uniform index
+    /// draws per side), read the configured quantiles by one cumulative
+    /// walk, and score the quantile-dominance vote for `a`, `b`, or a tie.
+    ///
+    /// The vote exits early as soon as a win is locked in (one side
+    /// reached the needed count) or unreachable for both sides; the vote
+    /// consumes no randomness, so early exit cannot perturb seeding.
+    ///
+    /// `scratch.plan_a` / `plan_b` must already be prepared for the two
+    /// sample sizes (done once per comparison in `compare_with_rng`).
+    fn round<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        a: &Sample,
+        b: &Sample,
+        scratch: &mut Scratch,
+    ) -> RoundResult {
+        resample_counts_into(rng, a, &mut scratch.counts);
+        scratch
+            .plan_a
+            .extract_into(a.sorted(), &scratch.counts, &mut scratch.stats, &mut scratch.q_a);
+        resample_counts_into(rng, b, &mut scratch.counts);
+        scratch
+            .plan_b
+            .extract_into(b.sorted(), &scratch.counts, &mut scratch.stats, &mut scratch.q_b);
+
+        let q = self.config.quantiles.len();
+        let needed = (self.config.dominance * q as f64).ceil() as usize;
+        let needed = needed.max(1);
+        let mut wins_a = 0usize;
+        let mut wins_b = 0usize;
+        for i in 0..q {
+            let qa = scratch.q_a[i];
+            let qb = scratch.q_b[i];
+            let scale = qa.abs().min(qb.abs());
+            let gap = self.config.margin * scale;
+            if qa < qb - gap {
+                wins_a += 1;
+            } else if qb < qa - gap {
+                wins_b += 1;
+            }
+            // `a` is checked first, mirroring the reference's post-loop
+            // priority; `b` or a tie only lock in once `a` is out.
+            if wins_a >= needed {
+                return RoundResult::A;
+            }
+            let rem = q - i - 1;
+            if wins_a + rem < needed {
+                if wins_b >= needed {
+                    return RoundResult::B;
+                }
+                if wins_b + rem < needed {
+                    return RoundResult::Tie;
+                }
+            }
+        }
+        unreachable!("the vote decides at the last quantile (rem == 0)")
+    }
+
+    /// Sort-based **reference oracle** for one bootstrap round — the
+    /// original O(n log n) implementation (materialize both resamples,
+    /// sort, read quantiles, full vote). Kept so tests can pin the
+    /// count-based fast path ([`round`](Self::round)) bit-identical to it
+    /// for any seed; not used on any production path.
+    fn round_reference<R: Rng + ?Sized>(&self, rng: &mut R, a: &Sample, b: &Sample) -> RoundResult {
         let mut buf_a = Vec::with_capacity(a.len());
         let mut buf_b = Vec::with_capacity(b.len());
         crate::bootstrap::resample_into(rng, a, &mut buf_a);
@@ -311,6 +483,35 @@ impl BootstrapComparator {
             RoundResult::Tie
         }
     }
+
+    /// Sort-based reference implementation of
+    /// [`compare_seeded`](SeededThreeWayComparator::compare_seeded): every
+    /// round materializes, sorts, and fully votes, and every repetition
+    /// runs. This is the **test oracle** the allocation-free fast path is
+    /// pinned against (golden and property tests assert bit-identical
+    /// outcomes for any stream); production callers should use
+    /// `compare_seeded`.
+    pub fn compare_seeded_reference(&self, a: &Sample, b: &Sample, stream: u64) -> Outcome {
+        let mut rng = StdRng::seed_from_u64(stream_seed(self.base_seed, stream));
+        let mut wins_a = 0usize;
+        let mut wins_b = 0usize;
+        for _ in 0..self.config.reps {
+            match self.round_reference(&mut rng, a, b) {
+                RoundResult::A => wins_a += 1,
+                RoundResult::B => wins_b += 1,
+                RoundResult::Tie => {}
+            }
+        }
+        let pa = wins_a as f64 / self.config.reps as f64;
+        let pb = wins_b as f64 / self.config.reps as f64;
+        if pa - pb > self.config.threshold {
+            Outcome::Better
+        } else if pb - pa > self.config.threshold {
+            Outcome::Worse
+        } else {
+            Outcome::Equivalent
+        }
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -323,7 +524,8 @@ enum RoundResult {
 impl ThreeWayComparator for BootstrapComparator {
     fn compare(&self, a: &Sample, b: &Sample) -> Outcome {
         let mut rng = self.next_rng();
-        self.compare_with_rng(&mut rng, a, b)
+        let mut scratch = Scratch::new();
+        self.compare_with_rng(&mut rng, a, b, &mut scratch)
     }
 }
 
@@ -332,8 +534,27 @@ impl SeededThreeWayComparator for BootstrapComparator {
     /// seed and `stream` only, leaving the internal sequence counter
     /// untouched.
     fn compare_seeded(&self, a: &Sample, b: &Sample, stream: u64) -> Outcome {
+        let mut scratch = Scratch::new();
+        self.compare_seeded_scratch(&mut scratch, a, b, stream)
+    }
+}
+
+impl ScratchThreeWayComparator for BootstrapComparator {
+    type Scratch = Scratch;
+
+    fn new_scratch(&self) -> Scratch {
+        Scratch::new()
+    }
+
+    fn compare_seeded_scratch(
+        &self,
+        scratch: &mut Scratch,
+        a: &Sample,
+        b: &Sample,
+        stream: u64,
+    ) -> Outcome {
         let mut rng = StdRng::seed_from_u64(stream_seed(self.base_seed, stream));
-        self.compare_with_rng(&mut rng, a, b)
+        self.compare_with_rng(&mut rng, a, b, scratch)
     }
 }
 
@@ -400,6 +621,24 @@ impl SeededThreeWayComparator for MeanCiComparator {
     }
 }
 
+impl ScratchThreeWayComparator for MeanCiComparator {
+    /// No reusable working memory (the bootstrap CI allocates its own
+    /// stats vector per call).
+    type Scratch = ();
+
+    fn new_scratch(&self) {}
+
+    fn compare_seeded_scratch(
+        &self,
+        (): &mut (),
+        a: &Sample,
+        b: &Sample,
+        stream: u64,
+    ) -> Outcome {
+        self.compare_seeded(a, b, stream)
+    }
+}
+
 /// Deterministic comparator on medians with a relative equivalence band —
 /// useful in tests and for noise-free simulated measurements.
 #[derive(Debug, Clone)]
@@ -435,6 +674,23 @@ impl SeededThreeWayComparator for MedianComparator {
     /// Deterministic comparator: the stream id is irrelevant.
     fn compare_seeded(&self, a: &Sample, b: &Sample, _stream: u64) -> Outcome {
         self.compare(a, b)
+    }
+}
+
+impl ScratchThreeWayComparator for MedianComparator {
+    /// Deterministic and O(1) — no working memory.
+    type Scratch = ();
+
+    fn new_scratch(&self) {}
+
+    fn compare_seeded_scratch(
+        &self,
+        (): &mut (),
+        a: &Sample,
+        b: &Sample,
+        stream: u64,
+    ) -> Outcome {
+        self.compare_seeded(a, b, stream)
     }
 }
 
@@ -655,6 +911,88 @@ mod tests {
         // regression that ignored the stream id would collapse them.
         let distinct: std::collections::HashSet<_> = forward.iter().copied().collect();
         assert!(distinct.len() >= 2, "streams collapsed to {distinct:?}");
+    }
+
+    #[test]
+    fn fast_path_is_bit_identical_to_sort_based_reference() {
+        // The count-based O(n) round vs. the materializing O(n log n)
+        // oracle: same streams, same outcomes — across separated,
+        // borderline, and identical pairs, odd/even sizes, and unequal
+        // sample lengths.
+        let pairs = [
+            (noisy(1.0, 0.05, 50, 1), noisy(2.0, 0.05, 50, 2)),
+            (noisy(1.000, 0.10, 30, 9), noisy(1.050, 0.10, 30, 10)),
+            (noisy(1.0, 0.1, 31, 3), noisy(1.0, 0.1, 47, 4)),
+            (noisy(1.0, 0.3, 7, 5), noisy(1.01, 0.3, 7, 6)),
+        ];
+        for (reps, seed) in [(20usize, 74u64), (100, 42)] {
+            let cfg = BootstrapConfig {
+                reps,
+                ..Default::default()
+            };
+            let cmp = BootstrapComparator::with_config(seed, cfg);
+            let mut scratch = Scratch::new();
+            for (a, b) in &pairs {
+                for stream in 0..40u64 {
+                    let reference = cmp.compare_seeded_reference(a, b, stream);
+                    assert_eq!(
+                        cmp.compare_seeded(a, b, stream),
+                        reference,
+                        "seed {seed} stream {stream}"
+                    );
+                    // The scratch-reusing entry point agrees too, with one
+                    // arena shared across all pairs and streams.
+                    assert_eq!(
+                        cmp.compare_seeded_scratch(&mut scratch, a, b, stream),
+                        reference,
+                        "scratch path, seed {seed} stream {stream}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_handles_single_element_and_tied_samples() {
+        let cmp = BootstrapComparator::new(7);
+        let one = Sample::new(vec![1.0]).unwrap();
+        let two = Sample::new(vec![2.0]).unwrap();
+        let tied = Sample::new(vec![3.0; 12]).unwrap();
+        for (a, b) in [(&one, &two), (&two, &one), (&one, &one), (&tied, &tied)] {
+            for stream in 0..10 {
+                assert_eq!(
+                    cmp.compare_seeded(a, b, stream),
+                    cmp.compare_seeded_reference(a, b, stream)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_dominance_and_threshold_configs_match_reference() {
+        // Stress the early-exit logic: dominance 0 (one quantile win
+        // decides a round), dominance 1 (all must win), threshold 0
+        // (any lead decides), threshold 1 (nothing ever decides).
+        let a = noisy(1.00, 0.10, 25, 31);
+        let b = noisy(1.03, 0.10, 25, 32);
+        for dominance in [0.0, 0.4, 1.0] {
+            for threshold in [0.0, 0.5, 1.0] {
+                let cfg = BootstrapConfig {
+                    reps: 30,
+                    dominance,
+                    threshold,
+                    ..Default::default()
+                };
+                let cmp = BootstrapComparator::with_config(9, cfg);
+                for stream in 0..20 {
+                    assert_eq!(
+                        cmp.compare_seeded(&a, &b, stream),
+                        cmp.compare_seeded_reference(&a, &b, stream),
+                        "dominance {dominance} threshold {threshold} stream {stream}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

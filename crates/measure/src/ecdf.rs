@@ -47,12 +47,31 @@ impl Ecdf {
 }
 
 /// Two-sample Kolmogorov–Smirnov distance `sup_x |F_a(x) − F_b(x)|`.
+///
+/// Walks the two cached sorted views ([`Sample::sorted`]) in one merge
+/// pass — O(nₐ + n_b) with zero allocations, evaluating the gap at every
+/// distinct observation (the only points where either ECDF steps).
 pub fn ks_distance(a: &Sample, b: &Sample) -> f64 {
-    let fa = Ecdf::new(a);
-    let fb = Ecdf::new(b);
+    let (sa, sb) = (a.sorted(), b.sorted());
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
     let mut d = 0.0_f64;
-    for &x in fa.support().iter().chain(fb.support()) {
-        d = d.max((fa.eval(x) - fb.eval(x)).abs());
+    while i < sa.len() || j < sb.len() {
+        // The next distinct observation value, ascending across both sides.
+        let x = match (sa.get(i), sb.get(j)) {
+            (Some(&u), Some(&v)) => u.min(v),
+            (Some(&u), None) => u,
+            (None, Some(&v)) => v,
+            (None, None) => unreachable!("loop condition"),
+        };
+        while i < sa.len() && sa[i] == x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] == x {
+            j += 1;
+        }
+        // i and j now count observations ≤ x, i.e. Fₐ(x) and F_b(x).
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
     }
     d
 }

@@ -12,12 +12,17 @@
 //!
 //! Modules:
 //!
-//! * [`sample`] — the `Sample` type with quantiles, moments, histograms.
-//! * [`bootstrap`] — resampling engine and percentile confidence intervals.
+//! * [`sample`] — the `Sample` type with quantiles, moments, histograms,
+//!   and the cached sorted order the comparator fast path rides on.
+//! * [`bootstrap`] — resampling engine (buffer- and count-vector forms),
+//!   percentile confidence intervals, and the [`bootstrap::QuantilePlan`]
+//!   one-pass quantile reader.
 //! * [`compare`] — three-way comparators (bootstrap quantile-dominance,
 //!   mean-CI/TOST, deterministic scripted comparators for tests), the
 //!   [`compare::SeededThreeWayComparator`] contract for order-independent
-//!   stochastic comparison, and the batched parallel
+//!   stochastic comparison, the [`compare::Scratch`] arena threaded
+//!   through the allocation-free O(n) bootstrap round
+//!   ([`compare::ScratchThreeWayComparator`]), and the batched parallel
 //!   [`compare::BootstrapComparator::compare_batch`].
 //! * [`ecdf`] — empirical CDFs and distribution distances (KS, overlap).
 //! * [`ranksum`] — the Mann–Whitney U comparator for ablations.
@@ -35,7 +40,7 @@ pub mod timer;
 pub mod transform;
 
 pub use compare::{
-    stream_seed, BootstrapComparator, Outcome, Parallelism, SeededThreeWayComparator,
-    ThreeWayComparator,
+    stream_seed, BootstrapComparator, Outcome, Parallelism, Scratch,
+    ScratchThreeWayComparator, SeededThreeWayComparator, ThreeWayComparator,
 };
 pub use sample::Sample;

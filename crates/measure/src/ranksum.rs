@@ -45,14 +45,24 @@ impl MannWhitneyComparator {
 pub fn mann_whitney_u(a: &Sample, b: &Sample) -> (f64, usize, usize, f64) {
     let na = a.len();
     let nb = b.len();
-    // Pool and rank with average ranks for ties.
-    let mut pooled: Vec<(f64, bool)> = a
-        .values()
-        .iter()
-        .map(|&v| (v, true))
-        .chain(b.values().iter().map(|&v| (v, false)))
-        .collect();
-    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite measurements"));
+    // Merge the two cached sorted views ([`Sample::sorted`]) instead of
+    // re-sorting a pooled copy — O(na + nb) with no comparison sort; tie
+    // groups use average ranks, so the merge order within ties is
+    // irrelevant.
+    let (sa, sb) = (a.sorted(), b.sorted());
+    let mut pooled: Vec<(f64, bool)> = Vec::with_capacity(na + nb);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < na && j < nb {
+        if sa[i] <= sb[j] {
+            pooled.push((sa[i], true));
+            i += 1;
+        } else {
+            pooled.push((sb[j], false));
+            j += 1;
+        }
+    }
+    pooled.extend(sa[i..].iter().map(|&v| (v, true)));
+    pooled.extend(sb[j..].iter().map(|&v| (v, false)));
 
     let n = pooled.len();
     let mut rank_sum_a = 0.0;
@@ -116,6 +126,25 @@ impl crate::compare::SeededThreeWayComparator for MannWhitneyComparator {
     /// Deterministic comparator: the stream id is irrelevant.
     fn compare_seeded(&self, a: &Sample, b: &Sample, _stream: u64) -> Outcome {
         self.compare(a, b)
+    }
+}
+
+impl crate::compare::ScratchThreeWayComparator for MannWhitneyComparator {
+    /// Deterministic — the pooled-rank walk allocates its own merge
+    /// buffer per call.
+    type Scratch = ();
+
+    fn new_scratch(&self) {}
+
+    fn compare_seeded_scratch(
+        &self,
+        (): &mut (),
+        a: &Sample,
+        b: &Sample,
+        stream: u64,
+    ) -> Outcome {
+        use crate::compare::SeededThreeWayComparator;
+        self.compare_seeded(a, b, stream)
     }
 }
 

@@ -14,7 +14,11 @@ use std::fmt;
 /// Invariants maintained by construction:
 /// * at least one measurement,
 /// * every measurement is finite,
-/// * an internally cached sorted copy for O(1) quantile queries.
+/// * an internally cached sorted copy for O(1) quantile queries,
+/// * a cached insertion-order → sorted-order position map
+///   ([`sorted_positions`](Sample::sorted_positions)) so bootstrap
+///   resamples can be drawn as count vectors over sorted positions
+///   without re-sorting (the allocation-free comparator fast path).
 ///
 /// # Examples
 ///
@@ -30,6 +34,10 @@ use std::fmt;
 pub struct Sample {
     values: Vec<f64>,
     sorted: Vec<f64>,
+    /// `sorted_pos[i]` is the index of `values[i]` in `sorted` (ties
+    /// assigned stably by insertion order — any assignment yields the
+    /// same multiset semantics since tied values are bit-equal).
+    sorted_pos: Vec<usize>,
 }
 
 /// Error constructing a [`Sample`].
@@ -64,9 +72,24 @@ impl Sample {
         if let Some(i) = values.iter().position(|v| !v.is_finite()) {
             return Err(SampleError::NonFinite(i));
         }
-        let mut sorted = values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
-        Ok(Sample { values, sorted })
+        // Argsort once; derive both the sorted copy and the inverse
+        // permutation from it so the two views are always consistent.
+        let mut order: Vec<usize> = (0..values.len()).collect();
+        order.sort_by(|&i, &j| {
+            values[i]
+                .partial_cmp(&values[j])
+                .expect("finite by construction")
+        });
+        let sorted: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+        let mut sorted_pos = vec![0usize; values.len()];
+        for (rank, &i) in order.iter().enumerate() {
+            sorted_pos[i] = rank;
+        }
+        Ok(Sample {
+            values,
+            sorted,
+            sorted_pos,
+        })
     }
 
     /// Number of measurements `N`.
@@ -91,6 +114,16 @@ impl Sample {
     #[inline]
     pub fn sorted(&self) -> &[f64] {
         &self.sorted
+    }
+
+    /// For each insertion-order index `i`, the position of `values[i]` in
+    /// [`sorted`](Sample::sorted): `sorted()[sorted_positions()[i]] ==
+    /// values()[i]`. This is the permutation that lets a bootstrap
+    /// resample be drawn directly as a count vector over sorted positions
+    /// (see `relperf_measure::bootstrap::resample_counts_into`).
+    #[inline]
+    pub fn sorted_positions(&self) -> &[usize] {
+        &self.sorted_pos
     }
 
     /// Smallest measurement.
@@ -140,19 +173,8 @@ impl Sample {
     /// Panics unless `0.0 <= q <= 1.0`.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
-        let n = self.sorted.len();
-        if n == 1 {
-            return self.sorted[0];
-        }
-        let pos = q * (n - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        if lo == hi {
-            self.sorted[lo]
-        } else {
-            let frac = pos - lo as f64;
-            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
-        }
+        let (lo, hi, frac) = crate::bootstrap::quantile_interp(q, self.sorted.len());
+        crate::bootstrap::interp_value(self.sorted[lo], self.sorted[hi], lo, hi, frac)
     }
 
     /// Median (the 0.5 quantile).
@@ -379,6 +401,17 @@ mod tests {
         let x = s(&[3.0, 1.0, 2.0]);
         assert_eq!(x.values(), &[3.0, 1.0, 2.0]);
         assert_eq!(x.sorted(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sorted_positions_is_the_inverse_argsort() {
+        let x = s(&[3.0, 1.0, 2.0, 1.0]);
+        assert_eq!(x.sorted(), &[1.0, 1.0, 2.0, 3.0]);
+        // Ties broken stably: the first 1.0 gets the earlier position.
+        assert_eq!(x.sorted_positions(), &[3, 0, 2, 1]);
+        for (i, &v) in x.values().iter().enumerate() {
+            assert_eq!(x.sorted()[x.sorted_positions()[i]], v);
+        }
     }
 
     #[test]

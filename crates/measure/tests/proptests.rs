@@ -3,8 +3,14 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use rand::prelude::*;
-use relperf_measure::bootstrap::{mean_ci, median_ci, resample};
-use relperf_measure::compare::{BootstrapComparator, MedianComparator, Outcome, ThreeWayComparator};
+use relperf_measure::bootstrap::{
+    mean_ci, median_ci, quantile_sorted, quantiles_from_counts, resample, resample_counts_into,
+    resample_into,
+};
+use relperf_measure::compare::{
+    BootstrapComparator, BootstrapConfig, MedianComparator, Outcome, SeededThreeWayComparator,
+    ThreeWayComparator,
+};
 use relperf_measure::ecdf::{ks_distance, overlap_coefficient, Ecdf};
 use relperf_measure::ranksum::MannWhitneyComparator;
 use relperf_measure::Sample;
@@ -146,5 +152,55 @@ proptest! {
         let o = overlap_coefficient(&sa, &sb, bins);
         prop_assert!((0.0..=1.0 + 1e-12).contains(&o));
         prop_assert!((o - overlap_coefficient(&sb, &sa, bins)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_based_quantiles_equal_sort_based_reference(
+        values in finite_values(),
+        seed in 0u64..1_000,
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        // The comparator fast path in one property: drawing a resample as
+        // a count vector over sorted positions and reading quantiles by
+        // cumulative walk must be BIT-identical (== on f64, no epsilon)
+        // to materializing the same seeded resample, sorting it, and
+        // calling quantile_sorted — for arbitrary samples and quantiles.
+        let s = Sample::new(values).unwrap();
+
+        let mut buf = Vec::new();
+        resample_into(&mut StdRng::seed_from_u64(seed), &s, &mut buf);
+        buf.sort_by(|x, y| x.partial_cmp(y).unwrap());
+
+        let mut counts = Vec::new();
+        resample_counts_into(&mut StdRng::seed_from_u64(seed), &s, &mut counts);
+        prop_assert_eq!(counts.iter().map(|&c| c as usize).sum::<usize>(), s.len());
+
+        let quantiles = [qa, qb, 0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0];
+        let fast = quantiles_from_counts(s.sorted(), &counts, &quantiles);
+        for (i, &q) in quantiles.iter().enumerate() {
+            prop_assert_eq!(fast[i], quantile_sorted(&buf, q), "q = {}", q);
+        }
+    }
+
+    #[test]
+    fn fast_comparator_equals_reference_oracle(
+        a in finite_values(),
+        b in finite_values(),
+        stream in 0u64..500,
+        reps in 1usize..40,
+    ) {
+        // End-to-end per-comparison property: the allocation-free O(n)
+        // bootstrap path must reproduce the sort-based oracle exactly.
+        let sa = Sample::new(a).unwrap();
+        let sb = Sample::new(b).unwrap();
+        let cmp = BootstrapComparator::with_config(99, BootstrapConfig {
+            reps,
+            ..Default::default()
+        });
+        prop_assert_eq!(
+            cmp.compare_seeded(&sa, &sb, stream),
+            cmp.compare_seeded_reference(&sa, &sb, stream)
+        );
     }
 }

@@ -104,14 +104,63 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_indexed_with(n, parallelism, || (), |(), i| f(i))
+}
+
+/// Like [`parallel_map_indexed`], but with reusable **per-worker state**:
+/// each worker thread calls `init()` exactly once and passes the resulting
+/// value to every `f(&mut state, i)` it runs (the serial path uses a
+/// single state for the whole loop).
+///
+/// This is the hook for scratch arenas: a worker's state lives across all
+/// the chunks it processes, so buffers (resample count vectors, comparison
+/// caches, …) are allocated once per thread instead of once per index —
+/// with no locking, since no state is ever shared between workers.
+///
+/// The determinism contract is unchanged: `f(&mut s, i)`'s *result* must
+/// depend only on `i` (and captured shared state), never on which worker
+/// ran it or what the state saw before — state is for reusable working
+/// memory, not for carrying information between indices. Under that
+/// contract the output is bit-identical for any [`Parallelism`].
+///
+/// # Examples
+///
+/// ```
+/// use relperf_parallel::{parallel_map_indexed_with, Parallelism};
+///
+/// // Reuse a per-worker buffer across indices.
+/// let sums = parallel_map_indexed_with(
+///     4,
+///     Parallelism::auto(),
+///     Vec::<u64>::new,
+///     |buf, i| {
+///         buf.clear();
+///         buf.extend(0..=i as u64);
+///         buf.iter().sum::<u64>()
+///     },
+/// );
+/// assert_eq!(sums, vec![0, 1, 3, 6]);
+/// ```
+pub fn parallel_map_indexed_with<T, S, I, F>(
+    n: usize,
+    parallelism: Parallelism,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = parallelism.effective_threads(n);
     if n == 0 {
         return Vec::new();
     }
     if threads <= 1 || !threads_enabled() {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
-    threaded::map_indexed(n, threads, parallelism.effective_chunk(n, threads), f)
+    threaded::map_indexed_with(n, threads, parallelism.effective_chunk(n, threads), &init, &f)
 }
 
 /// `true` when this build can actually spawn worker threads (the `threads`
@@ -124,10 +173,17 @@ pub const fn threads_enabled() -> bool {
 mod threaded {
     use std::sync::Mutex;
 
-    pub fn map_indexed<T, F>(n: usize, threads: usize, chunk: usize, f: F) -> Vec<T>
+    pub fn map_indexed_with<T, S, I, F>(
+        n: usize,
+        threads: usize,
+        chunk: usize,
+        init: &I,
+        f: &F,
+    ) -> Vec<T>
     where
         T: Send,
-        F: Fn(usize) -> T + Sync,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
     {
         let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
         {
@@ -144,14 +200,18 @@ mod threaded {
             // Pop from the back so low indices run first on average.
             jobs.reverse();
             let queue = Mutex::new(jobs);
-            let f = &f;
             std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let job = queue.lock().expect("queue poisoned").pop();
-                        let Some((start, slot)) = job else { break };
-                        for (offset, cell) in slot.iter_mut().enumerate() {
-                            *cell = Some(f(start + offset));
+                    scope.spawn(|| {
+                        // One state per worker, reused across every chunk
+                        // this worker pops — never shared, never locked.
+                        let mut state = init();
+                        loop {
+                            let job = queue.lock().expect("queue poisoned").pop();
+                            let Some((start, slot)) = job else { break };
+                            for (offset, cell) in slot.iter_mut().enumerate() {
+                                *cell = Some(f(&mut state, start + offset));
+                            }
                         }
                     });
                 }
@@ -165,12 +225,20 @@ mod threaded {
 
 #[cfg(not(feature = "threads"))]
 mod threaded {
-    pub fn map_indexed<T, F>(n: usize, _threads: usize, _chunk: usize, f: F) -> Vec<T>
+    pub fn map_indexed_with<T, S, I, F>(
+        n: usize,
+        _threads: usize,
+        _chunk: usize,
+        init: &I,
+        f: &F,
+    ) -> Vec<T>
     where
         T: Send,
-        F: Fn(usize) -> T + Sync,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
     {
-        (0..n).map(f).collect()
+        let mut state = init();
+        (0..n).map(|i| f(&mut state, i)).collect()
     }
 }
 
@@ -226,6 +294,42 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn with_state_matches_plain_map_for_any_parallelism() {
+        let reference: Vec<usize> = (0..500).map(|i| i * 7).collect();
+        for threads in [0usize, 1, 2, 5] {
+            for chunk in [0usize, 1, 13] {
+                let got = parallel_map_indexed_with(
+                    500,
+                    Parallelism { threads, chunk },
+                    || Vec::<usize>::with_capacity(8),
+                    |scratch, i| {
+                        // Scratch is working memory only; the result is a
+                        // pure function of the index.
+                        scratch.clear();
+                        scratch.extend(std::iter::repeat(i).take(7));
+                        scratch.iter().sum::<usize>()
+                    },
+                );
+                assert_eq!(got, reference, "threads={threads} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_path_reuses_one_state() {
+        // On the serial path a single state must serve the whole loop —
+        // observable through an allocation-counting init.
+        let inits = std::sync::atomic::AtomicUsize::new(0);
+        let _ = parallel_map_indexed_with(
+            100,
+            Parallelism::serial(),
+            || inits.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            |_, i| i,
+        );
+        assert_eq!(inits.load(std::sync::atomic::Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -102,6 +102,9 @@ macro_rules! impl_int_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for Range<$t> {
             fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                // Kept a hard assert (upstream rand panics here too): the
+                // branch is perfectly predicted and an empty range must
+                // not silently fabricate an in-range value.
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
                 // Widening-multiply range reduction; bias is ≤ 2⁻⁶⁴ per draw.

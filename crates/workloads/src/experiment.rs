@@ -3,10 +3,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use relperf_core::cluster::{
-    relative_scores, relative_scores_seeded, ClusterConfig, Clustering, Parallelism, ScoreTable,
+    relative_scores, relative_scores_seeded_with, ClusterConfig, Clustering, Parallelism,
+    ScoreTable,
 };
 use relperf_core::decision::AlgorithmProfile;
-use relperf_measure::{stream_seed, Sample, SeededThreeWayComparator, ThreeWayComparator};
+use relperf_measure::{stream_seed, Sample, ScratchThreeWayComparator, ThreeWayComparator};
 use relperf_sim::{ExecutionRecord, Loc, Platform, Task};
 
 /// A fully-specified experiment: a platform, a task sequence, and the set
@@ -132,9 +133,16 @@ pub fn cluster_measurements<R: Rng + ?Sized>(
 }
 
 /// Procedure 4 with parallel repetitions: clusters measured algorithms via
-/// [`relative_scores_seeded`], addressing every comparison by an explicit
-/// stream id so any [`Parallelism`] in `config` yields a bit-identical
-/// score table.
+/// [`relative_scores_seeded_with`], addressing every comparison by an
+/// explicit stream id so any [`Parallelism`] (and either
+/// [`PairSchedule`](relperf_core::cluster::PairSchedule)) in `config`
+/// yields a bit-identical score table.
+///
+/// Each worker thread gets one scratch arena from the comparator
+/// ([`ScratchThreeWayComparator::new_scratch`]) and reuses it across every
+/// repetition and pair it evaluates — for the default
+/// [`BootstrapComparator`](relperf_measure::BootstrapComparator) that
+/// makes the whole clustering allocation-free per bootstrap round.
 pub fn cluster_measurements_seeded<C>(
     measured: &[MeasuredAlgorithm],
     comparator: &C,
@@ -142,11 +150,22 @@ pub fn cluster_measurements_seeded<C>(
     seed: u64,
 ) -> ScoreTable
 where
-    C: SeededThreeWayComparator + Sync,
+    C: ScratchThreeWayComparator + Sync,
 {
-    relative_scores_seeded(measured.len(), config, seed, |stream, a, b| {
-        comparator.compare_seeded(&measured[a].sample, &measured[b].sample, stream)
-    })
+    relative_scores_seeded_with(
+        measured.len(),
+        config,
+        seed,
+        || comparator.new_scratch(),
+        |scratch, stream, a, b| {
+            comparator.compare_seeded_scratch(
+                scratch,
+                &measured[a].sample,
+                &measured[b].sample,
+                stream,
+            )
+        },
+    )
 }
 
 /// Builds decision-model profiles by joining measurements, accounting
@@ -271,6 +290,7 @@ mod tests {
         let config = |par: Parallelism| ClusterConfig {
             repetitions: 40,
             parallelism: par,
+            ..Default::default()
         };
         let reference =
             cluster_measurements_seeded(&measured, &comparator, config(Parallelism::serial()), 3);

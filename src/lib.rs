@@ -56,15 +56,19 @@ pub use relperf_workloads as workloads;
 pub mod prelude {
     pub use relperf_core::cache::ComparisonCache;
     pub use relperf_core::cluster::{
-        relative_scores, relative_scores_seeded, ClusterConfig, Clustering, ScoreTable,
+        relative_scores, relative_scores_seeded, relative_scores_seeded_with, ClusterConfig,
+        Clustering, PairSchedule, ScoreTable,
     };
     pub use relperf_core::decision::{
         AlgorithmProfile, CostSpeedModel, EnergyBudgetController, Mode,
     };
     pub use relperf_core::sort::{sort, sort_from, sort_with_trace, SortState};
     pub use relperf_measure::compare::{BootstrapComparator, BootstrapConfig, MedianComparator};
-    pub use relperf_measure::{Outcome, Sample, SeededThreeWayComparator, ThreeWayComparator};
-    pub use relperf_parallel::{parallel_map_indexed, Parallelism};
+    pub use relperf_measure::{
+        Outcome, Sample, Scratch, ScratchThreeWayComparator, SeededThreeWayComparator,
+        ThreeWayComparator,
+    };
+    pub use relperf_parallel::{parallel_map_indexed, parallel_map_indexed_with, Parallelism};
     pub use relperf_sim::presets;
     pub use relperf_sim::{Loc, Platform, Task};
     pub use relperf_workloads::experiment::{

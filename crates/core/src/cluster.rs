@@ -128,6 +128,30 @@ impl ScoreTable {
         (1..=self.max_rank).map(|r| self.cluster(r)).collect()
     }
 
+    /// Largest absolute difference between any `(algorithm, class)` score
+    /// of `self` and `other` — the distance the session engine's
+    /// convergence criterion
+    /// ([`ConvergenceCriterion`](crate::session::ConvergenceCriterion))
+    /// thresholds between consecutive measurement waves. Classes beyond
+    /// either table's `num_classes` count as score 0.
+    ///
+    /// # Panics
+    /// Panics when the tables cover different algorithm counts.
+    pub fn max_abs_diff(&self, other: &ScoreTable) -> f64 {
+        assert_eq!(
+            self.p, other.p,
+            "score tables over different algorithm sets are incomparable"
+        );
+        let ranks = self.max_rank.max(other.max_rank);
+        let mut d = 0.0_f64;
+        for alg in 0..self.p {
+            for rank in 1..=ranks {
+                d = d.max((self.score(alg, rank) - other.score(alg, rank)).abs());
+            }
+        }
+        d
+    }
+
     /// The paper's final single-cluster assignment: each algorithm goes to
     /// the class with its maximum relative score (ties resolved towards the
     /// better class), and its final score cumulates the scores of that class
@@ -365,7 +389,48 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, u64, usize, usize) -> Outcome + Sync,
 {
+    scored_wave(p, config, seed, None, &init, &cmp)
+}
+
+/// The wave engine both batch and streaming entry points share: one full
+/// pass of Procedure 4 (all `config.repetitions` shuffled sorts) over
+/// whatever samples back `cmp`.
+///
+/// * `warm == None` — the batch path ([`relative_scores_seeded_with`]):
+///   comparisons are memoized per repetition in transient per-worker
+///   caches and forgotten afterwards.
+/// * `warm == Some(caches)` — the session path
+///   ([`ClusterSession`](crate::session::ClusterSession)): `caches[rep]`
+///   is repetition `rep`'s [`ComparisonCache`], carried **across waves**.
+///   Cached outcomes are answered without calling `cmp`; misses are
+///   computed and written back. The caller invalidates the pairs whose
+///   samples changed between waves.
+///
+/// Because every outcome is a pure function of `(samples, stream)` — the
+/// seeded-comparator contract — a warm cache can only replay what `cmp`
+/// would return, so for any cache state that is consistent with the
+/// current samples the result is **bit-identical** to the cold batch path
+/// on those samples, for any [`Parallelism`] and either [`PairSchedule`].
+pub(crate) fn scored_wave<S, I, F>(
+    p: usize,
+    config: ClusterConfig,
+    seed: u64,
+    warm: Option<&mut [ComparisonCache]>,
+    init: &I,
+    cmp: &F,
+) -> ScoreTable
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u64, usize, usize) -> Outcome + Sync,
+{
     assert!(config.repetitions > 0, "need at least one repetition");
+    if let Some(caches) = &warm {
+        assert_eq!(
+            caches.len(),
+            config.repetitions,
+            "one warm cache per repetition"
+        );
+    }
 
     // Tally of one finished repetition: algorithm → rank, plus the
     // largest rank observed.
@@ -379,29 +444,56 @@ where
         (ranks_of, max_rank)
     };
 
-    let per_rep: Vec<(Vec<usize>, usize)> = match config.schedule {
-        PairSchedule::OnDemand => relperf_parallel::parallel_map_indexed_with(
+    // One repetition: shuffle with the repetition's own RNG, then sort
+    // with memoized, stream-addressed comparisons out of `cache`.
+    let run_rep = |cache: &mut ComparisonCache, scratch: &mut S, rep: usize| {
+        let rep_seed = stream_seed(seed, rep as u64);
+        let mut rng = StdRng::seed_from_u64(rep_seed);
+        let mut seq: Vec<usize> = (0..p).collect();
+        seq.shuffle(&mut rng);
+        let state = sort_from(SortState::from_sequence(seq), |a, b| {
+            cache.get_or_compute(a, b, &mut |lo, hi| {
+                let stream = stream_seed(rep_seed, (lo * p + hi) as u64);
+                cmp(scratch, stream, lo, hi)
+            })
+        });
+        tally(&state)
+    };
+
+    let per_rep: Vec<(Vec<usize>, usize)> = match (config.schedule, warm) {
+        (PairSchedule::OnDemand, None) => relperf_parallel::parallel_map_indexed_with(
             config.repetitions,
             config.parallelism,
             || (ComparisonCache::new(p), init()),
             |(cache, scratch), rep| {
-                // One repetition: shuffle with the repetition's own RNG,
-                // then sort with memoized, stream-addressed comparisons.
                 cache.reset();
-                let rep_seed = stream_seed(seed, rep as u64);
-                let mut rng = StdRng::seed_from_u64(rep_seed);
-                let mut seq: Vec<usize> = (0..p).collect();
-                seq.shuffle(&mut rng);
-                let state = sort_from(SortState::from_sequence(seq), |a, b| {
-                    cache.get_or_compute(a, b, &mut |lo, hi| {
-                        let stream = stream_seed(rep_seed, (lo * p + hi) as u64);
-                        cmp(scratch, stream, lo, hi)
-                    })
-                });
-                tally(&state)
+                run_rep(cache, scratch, rep)
             },
         ),
-        PairSchedule::Batched => {
+        (PairSchedule::OnDemand, Some(caches)) => {
+            // Warm path: each worker continues the repetition's persistent
+            // cache (cloned in, written back by index afterwards — the
+            // clone is p² option-bytes, negligible next to one bootstrap).
+            let caches_view: &[ComparisonCache] = caches;
+            let results: Vec<((Vec<usize>, usize), ComparisonCache)> =
+                relperf_parallel::parallel_map_indexed_with(
+                    config.repetitions,
+                    config.parallelism,
+                    init,
+                    |scratch, rep| {
+                        let mut cache = caches_view[rep].clone();
+                        let t = run_rep(&mut cache, scratch, rep);
+                        (t, cache)
+                    },
+                );
+            let mut per_rep = Vec::with_capacity(config.repetitions);
+            for (rep, (t, cache)) in results.into_iter().enumerate() {
+                caches[rep] = cache;
+                per_rep.push(t);
+            }
+            per_rep
+        }
+        (PairSchedule::Batched, warm) => {
             // Unordered pairs in row-major order; `pair_index` is its
             // closed-form inverse.
             let pairs: Vec<(usize, usize)> = (0..p)
@@ -414,19 +506,33 @@ where
             // over the flattened (repetition × pair) index space — each
             // outcome is a pure function of its index, so this is
             // bit-identical to per-repetition fan-outs while spawning the
-            // worker set (and its scratch arenas) exactly once.
+            // worker set (and its scratch arenas) exactly once. Warm
+            // entries short-circuit to the cached outcome.
             let np = pairs.len();
+            let warm_view: Option<&[ComparisonCache]> = warm.as_deref();
             let all_outcomes = relperf_parallel::parallel_map_indexed_with(
                 config.repetitions * np,
                 config.parallelism,
                 init,
                 |scratch, k| {
-                    let rep_seed = stream_seed(seed, (k / np) as u64);
                     let (lo, hi) = pairs[k % np];
+                    if let Some(caches) = warm_view {
+                        if let Some(outcome) = caches[k / np].peek(lo, hi) {
+                            return outcome;
+                        }
+                    }
+                    let rep_seed = stream_seed(seed, (k / np) as u64);
                     let stream = stream_seed(rep_seed, (lo * p + hi) as u64);
                     cmp(scratch, stream, lo, hi)
                 },
             );
+            if let Some(caches) = warm {
+                for (rep, cache) in caches.iter_mut().enumerate() {
+                    for (idx, &(lo, hi)) in pairs.iter().enumerate() {
+                        cache.insert(lo, hi, all_outcomes[rep * np + idx]);
+                    }
+                }
+            }
             (0..config.repetitions)
                 .map(|rep| {
                     let outcomes = &all_outcomes[rep * np..(rep + 1) * np];

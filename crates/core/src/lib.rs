@@ -22,6 +22,13 @@
 //! scratch arenas, and work fanned out across threads via
 //! [`cluster::Parallelism`] — bit-identical for any thread count and
 //! either [`cluster::PairSchedule`]).
+//!
+//! On top of the batch engine, [`session::ClusterSession`] streams the
+//! same computation: measurements arrive in waves, every repetition's
+//! comparison cache stays warm across waves (only pairs touching updated
+//! samples are invalidated), and a [`session::ConvergenceCriterion`]
+//! answers "have we measured enough?" — the adaptive-stopping layer the
+//! batch entry points are thin one-wave wrappers over.
 
 #![warn(missing_docs)]
 
@@ -31,6 +38,7 @@ pub mod decision;
 pub mod predict;
 pub mod report;
 pub mod search;
+pub mod session;
 pub mod similarity;
 pub mod sort;
 pub mod triplet;
@@ -40,5 +48,6 @@ pub use cluster::{
     relative_scores, relative_scores_seeded, relative_scores_seeded_with, ClusterConfig,
     Clustering, PairSchedule, Parallelism, ScoreTable,
 };
+pub use session::{ClusterSession, ConvergenceCriterion};
 pub use relperf_measure::Outcome;
 pub use sort::{sort, sort_with_trace, SortState, SortStep};

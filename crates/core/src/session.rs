@@ -1,0 +1,711 @@
+//! Streaming clustering sessions with warm caches and adaptive stopping.
+//!
+//! The paper's Procedures 1–4 assume a fixed, pre-chosen number of
+//! measurements `N` per algorithm — but never say how large `N` must be.
+//! In a live system measurements arrive one at a time and wasting them is
+//! the dominant cost, so the natural question is the inverse one: *have we
+//! measured enough for the classes to be trustworthy?*
+//!
+//! A [`ClusterSession`] answers it by turning the batch pipeline into a
+//! loop: ingest a wave of measurements ([`push`](ClusterSession::push) /
+//! [`extend`](ClusterSession::extend), riding `Sample`'s incremental
+//! binary-insert), re-score ([`score`](ClusterSession::score)) with
+//! **warm caches** — each of the `Rep` repetitions keeps its
+//! [`ComparisonCache`] across waves, and only the pairs touching updated
+//! samples are invalidated — and check a [`ConvergenceCriterion`]: stop
+//! once the [`ScoreTable`] and final [`Clustering`] have been stable for
+//! `stable_waves` consecutive waves within `score_tol`.
+//!
+//! Determinism is inherited wholesale from the seeded batch engine: every
+//! comparison outcome is a pure function of `(samples, stream)`, so a
+//! session wave is **bit-identical** to running the batch
+//! [`relative_scores_seeded_with`](crate::cluster::relative_scores_seeded_with)
+//! on the session's current samples — for any
+//! [`Parallelism`](crate::cluster::Parallelism), either
+//! [`PairSchedule`](crate::cluster::PairSchedule), and regardless of how
+//! the measurements were split into waves. The batch entry points are in
+//! fact thin wrappers over a one-wave session (see
+//! `relperf_workloads::experiment::cluster_measurements_seeded`).
+
+use crate::cache::ComparisonCache;
+use crate::cluster::{scored_wave, ClusterConfig, Clustering, ScoreTable};
+use relperf_measure::sample::SampleError;
+use relperf_measure::{Sample, ScratchThreeWayComparator};
+use std::sync::Mutex;
+
+/// When is a streamed clustering "measured enough"?
+///
+/// After each scored wave the session compares the new [`ScoreTable`]
+/// against the previous wave's: the wave is *stable* when every
+/// `(algorithm, class)` relative score moved by at most `score_tol`
+/// **and** the final [`Clustering`] assigns every algorithm to the same
+/// class as before. The session is converged once `stable_waves`
+/// consecutive waves were stable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceCriterion {
+    /// Consecutive stable waves required to declare convergence (≥ 1).
+    pub stable_waves: usize,
+    /// Largest tolerated per-score movement between consecutive waves.
+    pub score_tol: f64,
+}
+
+impl Default for ConvergenceCriterion {
+    /// Two consecutive stable waves within a 0.05 score tolerance — tight
+    /// enough that borderline classes must stop flapping, loose enough
+    /// that the `1/Rep` score quantization doesn't block convergence.
+    fn default() -> Self {
+        ConvergenceCriterion {
+            stable_waves: 2,
+            score_tol: 0.05,
+        }
+    }
+}
+
+impl ConvergenceCriterion {
+    /// Validates the criterion, panicking with a descriptive message on
+    /// nonsensical values.
+    pub fn validate(&self) {
+        assert!(self.stable_waves >= 1, "need at least one stable wave");
+        assert!(
+            self.score_tol >= 0.0 && self.score_tol.is_finite(),
+            "score tolerance must be finite and non-negative"
+        );
+    }
+}
+
+/// A streaming measure → compare → cluster session (see the [module
+/// docs](self) for the design).
+///
+/// Owns the comparator, the per-repetition [`ComparisonCache`]s (warm
+/// across waves), and a pool of comparator scratch arenas reused by the
+/// worker threads of every wave.
+///
+/// # Examples
+///
+/// ```
+/// use relperf_core::session::{ClusterSession, ConvergenceCriterion};
+/// use relperf_core::cluster::ClusterConfig;
+/// use relperf_measure::compare::MedianComparator;
+///
+/// // Two clearly separated algorithms, measured three values at a time.
+/// let mut session = ClusterSession::new(
+///     2,
+///     MedianComparator::new(0.05),
+///     ClusterConfig::with_repetitions(20),
+///     7,
+/// );
+/// let mut wave = 0;
+/// while !session.converged() && wave < 10 {
+///     session.extend(0, &[1.0, 1.1, 0.9]).unwrap();
+///     session.extend(1, &[2.0, 2.1, 1.9]).unwrap();
+///     session.score();
+///     wave += 1;
+/// }
+/// assert!(session.converged());
+/// let clustering = session.clustering().unwrap();
+/// assert_eq!(clustering.assignment(0).rank, 1);
+/// assert_eq!(clustering.assignment(1).rank, 2);
+/// ```
+pub struct ClusterSession<C: ScratchThreeWayComparator + Sync> {
+    comparator: C,
+    config: ClusterConfig,
+    seed: u64,
+    criterion: ConvergenceCriterion,
+    samples: Vec<Option<Sample>>,
+    /// Algorithms whose sample changed since the last scored wave.
+    dirty: Vec<bool>,
+    /// Whether anything was ingested since the last scored wave — an
+    /// evidence-free re-score must not advance the convergence state.
+    ingested: bool,
+    /// Repetition `r`'s memo of pairwise outcomes, valid for the current
+    /// samples of all non-dirty pairs. Persisted across waves.
+    caches: Vec<ComparisonCache>,
+    /// Scratch arenas returned by workers after each wave and handed back
+    /// out on the next — allocation amortized across the whole session.
+    pool: Mutex<Vec<C::Scratch>>,
+    table: Option<ScoreTable>,
+    waves: usize,
+    stable_run: usize,
+    converged: bool,
+}
+
+impl<C: ScratchThreeWayComparator + Sync> ClusterSession<C> {
+    /// A session over `p` algorithms with the default
+    /// [`ConvergenceCriterion`]. `config` and `seed` mean exactly what
+    /// they mean for
+    /// [`relative_scores_seeded_with`](crate::cluster::relative_scores_seeded_with);
+    /// the comparator may be owned or borrowed (`&C` is a comparator too).
+    ///
+    /// # Panics
+    /// Panics when `p == 0` or `config.repetitions == 0`.
+    pub fn new(p: usize, comparator: C, config: ClusterConfig, seed: u64) -> Self {
+        Self::with_criterion(p, comparator, config, seed, ConvergenceCriterion::default())
+    }
+
+    /// A session with an explicit [`ConvergenceCriterion`].
+    ///
+    /// # Panics
+    /// Panics when `p == 0`, `config.repetitions == 0`, or the criterion
+    /// is invalid.
+    pub fn with_criterion(
+        p: usize,
+        comparator: C,
+        config: ClusterConfig,
+        seed: u64,
+        criterion: ConvergenceCriterion,
+    ) -> Self {
+        assert!(p > 0, "need at least one algorithm");
+        assert!(config.repetitions > 0, "need at least one repetition");
+        criterion.validate();
+        ClusterSession {
+            comparator,
+            config,
+            seed,
+            criterion,
+            samples: (0..p).map(|_| None).collect(),
+            dirty: vec![false; p],
+            ingested: false,
+            caches: (0..config.repetitions).map(|_| ComparisonCache::new(p)).collect(),
+            pool: Mutex::new(Vec::new()),
+            table: None,
+            waves: 0,
+            stable_run: 0,
+            converged: false,
+        }
+    }
+
+    /// Number of algorithms `p`.
+    pub fn num_algorithms(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Borrow the comparator.
+    pub fn comparator(&self) -> &C {
+        &self.comparator
+    }
+
+    /// The session's convergence criterion.
+    pub fn criterion(&self) -> ConvergenceCriterion {
+        self.criterion
+    }
+
+    /// Ingests one measurement for algorithm `alg`, invalidating the
+    /// cached comparisons that touch it at the next
+    /// [`score`](ClusterSession::score).
+    ///
+    /// # Panics
+    /// Panics when `alg` is out of range.
+    pub fn push(&mut self, alg: usize, value: f64) -> Result<(), SampleError> {
+        match &mut self.samples[alg] {
+            Some(sample) => sample.push(value)?,
+            slot @ None => *slot = Some(Sample::new(vec![value])?),
+        }
+        self.dirty[alg] = true;
+        self.ingested = true;
+        Ok(())
+    }
+
+    /// Ingests a wave of measurements for algorithm `alg`; on the first
+    /// non-finite value the error is returned and the remaining values are
+    /// not ingested.
+    ///
+    /// # Panics
+    /// Panics when `alg` is out of range.
+    pub fn extend(&mut self, alg: usize, values: &[f64]) -> Result<(), SampleError> {
+        for &v in values {
+            self.push(alg, v)?;
+        }
+        Ok(())
+    }
+
+    /// Replaces algorithm `alg`'s sample wholesale (the batch-wrapper
+    /// path: all measurements already exist as a [`Sample`]).
+    ///
+    /// # Panics
+    /// Panics when `alg` is out of range.
+    pub fn set_sample(&mut self, alg: usize, sample: Sample) {
+        self.samples[alg] = Some(sample);
+        self.dirty[alg] = true;
+        self.ingested = true;
+    }
+
+    /// Algorithm `alg`'s current sample, if it has any measurements yet.
+    pub fn sample(&self, alg: usize) -> Option<&Sample> {
+        self.samples[alg].as_ref()
+    }
+
+    /// Measurements ingested so far for algorithm `alg`.
+    pub fn measurements(&self, alg: usize) -> usize {
+        self.samples[alg].as_ref().map_or(0, Sample::len)
+    }
+
+    /// Measurements ingested so far across all algorithms — the budget an
+    /// adaptive experiment is trying to minimize.
+    pub fn total_measurements(&self) -> usize {
+        (0..self.samples.len()).map(|i| self.measurements(i)).sum()
+    }
+
+    /// Runs one scored wave: invalidates the cached comparisons of every
+    /// algorithm whose sample changed, recomputes the [`ScoreTable`] with
+    /// warm caches, and updates the convergence state.
+    ///
+    /// The returned table is **bit-identical** to
+    /// [`relative_scores_seeded_with`](crate::cluster::relative_scores_seeded_with)
+    /// over the session's current samples with the same `config` and
+    /// `seed`, for any `Parallelism` and either `PairSchedule` — no matter
+    /// how the measurements were split into waves.
+    ///
+    /// A `score()` with **no new measurements** since the previous one is
+    /// a no-op: it returns the previous table and leaves the wave count
+    /// and convergence state untouched. Stability is only ever assessed
+    /// between waves that added evidence — re-scoring on a timer (or any
+    /// other ingest-free call pattern) cannot talk the session into
+    /// converging.
+    ///
+    /// # Panics
+    /// Panics unless every algorithm has at least one measurement.
+    pub fn score(&mut self) -> &ScoreTable {
+        let p = self.samples.len();
+        assert!(
+            self.samples.iter().all(Option::is_some),
+            "every algorithm needs at least one measurement before scoring"
+        );
+        if !std::mem::take(&mut self.ingested) && self.table.is_some() {
+            // Nothing changed: the wave would replay the previous table
+            // from warm caches. Don't let it count as evidence.
+            return self.table.as_ref().expect("checked above");
+        }
+        for alg in 0..p {
+            if std::mem::take(&mut self.dirty[alg]) {
+                for cache in &mut self.caches {
+                    cache.invalidate_algorithm(alg);
+                }
+            }
+        }
+
+        // Disjoint field borrows: workers read comparator/samples/pool,
+        // the engine writes the caches back.
+        let comparator = &self.comparator;
+        let samples = &self.samples;
+        let pool = &self.pool;
+        let table = scored_wave(
+            p,
+            self.config,
+            self.seed,
+            Some(&mut self.caches),
+            &|| PoolGuard::checkout(pool, || comparator.new_scratch()),
+            &|guard: &mut PoolGuard<'_, C::Scratch>, stream, a, b| {
+                let sa = samples[a].as_ref().expect("checked above");
+                let sb = samples[b].as_ref().expect("checked above");
+                comparator.compare_seeded_scratch(guard.scratch(), sa, sb, stream)
+            },
+        );
+
+        // Convergence bookkeeping against the previous wave.
+        if let Some(prev) = &self.table {
+            let scores_stable = prev.max_abs_diff(&table) <= self.criterion.score_tol;
+            let classes_stable = same_classes(&prev.final_assignment(), &table.final_assignment());
+            if scores_stable && classes_stable {
+                self.stable_run += 1;
+            } else {
+                self.stable_run = 0;
+            }
+            if self.stable_run >= self.criterion.stable_waves {
+                self.converged = true;
+            }
+        }
+        self.waves += 1;
+        self.table = Some(table);
+        self.table.as_ref().expect("just stored")
+    }
+
+    /// The most recent [`ScoreTable`], if a wave has been scored.
+    pub fn table(&self) -> Option<&ScoreTable> {
+        self.table.as_ref()
+    }
+
+    /// The final clustering of the most recent wave.
+    pub fn clustering(&self) -> Option<Clustering> {
+        self.table.as_ref().map(ScoreTable::final_assignment)
+    }
+
+    /// `true` once the criterion has been met. Convergence latches: more
+    /// waves may still be scored, but the flag never goes back down.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Number of scored waves so far.
+    pub fn waves(&self) -> usize {
+        self.waves
+    }
+
+    /// Length of the current run of consecutive stable waves.
+    pub fn stable_run(&self) -> usize {
+        self.stable_run
+    }
+}
+
+impl<C: ScratchThreeWayComparator + Sync> std::fmt::Debug for ClusterSession<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSession")
+            .field("p", &self.samples.len())
+            .field("waves", &self.waves)
+            .field("total_measurements", &self.total_measurements())
+            .field("stable_run", &self.stable_run)
+            .field("converged", &self.converged)
+            .finish_non_exhaustive()
+    }
+}
+
+/// `true` when the two clusterings assign every algorithm the same class.
+fn same_classes(a: &Clustering, b: &Clustering) -> bool {
+    a.assignments()
+        .iter()
+        .zip(b.assignments())
+        .all(|(x, y)| x.rank == y.rank)
+}
+
+/// A scratch arena checked out of the session's pool for the duration of
+/// one worker's share of a wave; returned on drop. This is how arenas
+/// survive *across* waves even though the parallel engine creates fresh
+/// per-worker state each call.
+struct PoolGuard<'a, S> {
+    pool: &'a Mutex<Vec<S>>,
+    scratch: Option<S>,
+}
+
+impl<'a, S> PoolGuard<'a, S> {
+    fn checkout(pool: &'a Mutex<Vec<S>>, make: impl FnOnce() -> S) -> Self {
+        let recycled = pool.lock().expect("scratch pool poisoned").pop();
+        PoolGuard {
+            pool,
+            scratch: Some(recycled.unwrap_or_else(make)),
+        }
+    }
+
+    fn scratch(&mut self) -> &mut S {
+        self.scratch.as_mut().expect("present until drop")
+    }
+}
+
+impl<S> Drop for PoolGuard<'_, S> {
+    fn drop(&mut self) {
+        if let Some(s) = self.scratch.take() {
+            // Ignore a poisoned pool: losing an arena during a panic
+            // unwind only costs a future allocation.
+            if let Ok(mut pool) = self.pool.lock() {
+                pool.push(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{relative_scores_seeded, PairSchedule, Parallelism};
+    use rand::prelude::*;
+    use relperf_measure::compare::{BootstrapComparator, BootstrapConfig, MedianComparator};
+    use relperf_measure::{SeededThreeWayComparator, ThreeWayComparator};
+
+    fn noisy(center: f64, spread: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| center + rng.random_range(-spread..spread))
+            .collect()
+    }
+
+    fn comparator() -> BootstrapComparator {
+        BootstrapComparator::with_config(
+            5,
+            BootstrapConfig {
+                reps: 20,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn config(threads: usize, schedule: PairSchedule) -> ClusterConfig {
+        ClusterConfig {
+            repetitions: 30,
+            parallelism: Parallelism::with_threads(threads),
+            schedule,
+        }
+    }
+
+    /// The key streaming invariant: after any sequence of ingest waves,
+    /// a session's table equals the cold batch engine over the same
+    /// samples — warm caches and all.
+    #[test]
+    fn warm_waves_match_cold_batch_for_any_schedule_and_parallelism() {
+        let waves: [Vec<Vec<f64>>; 3] = [
+            vec![noisy(1.00, 0.1, 10, 1), noisy(1.05, 0.1, 10, 2), noisy(2.0, 0.1, 10, 3)],
+            vec![noisy(1.00, 0.1, 7, 4), noisy(1.05, 0.1, 7, 5), noisy(2.0, 0.1, 7, 6)],
+            vec![noisy(1.00, 0.1, 12, 7), noisy(1.05, 0.1, 12, 8), noisy(2.0, 0.1, 12, 9)],
+        ];
+        for threads in [1usize, 0, 3] {
+            for schedule in [PairSchedule::OnDemand, PairSchedule::Batched] {
+                let cmp = comparator();
+                let mut session =
+                    ClusterSession::new(3, &cmp, config(threads, schedule), 11);
+                let mut accumulated: Vec<Vec<f64>> = vec![Vec::new(); 3];
+                for wave in &waves {
+                    for (alg, values) in wave.iter().enumerate() {
+                        session.extend(alg, values).unwrap();
+                        accumulated[alg].extend_from_slice(values);
+                    }
+                    let got = session.score().clone();
+                    // Cold reference over the accumulated samples.
+                    let samples: Vec<Sample> = accumulated
+                        .iter()
+                        .map(|v| Sample::new(v.clone()).unwrap())
+                        .collect();
+                    let reference = relative_scores_seeded(
+                        3,
+                        config(threads, schedule),
+                        11,
+                        |stream, a, b| cmp.compare_seeded(&samples[a], &samples[b], stream),
+                    );
+                    assert_eq!(got, reference, "threads={threads} {schedule:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_caches_skip_clean_pair_recomputation() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        // A deterministic 3-level comparator that counts invocations.
+        #[derive(Debug)]
+        struct Counting<'a>(&'a AtomicUsize);
+        impl relperf_measure::ThreeWayComparator for Counting<'_> {
+            fn compare(&self, a: &Sample, b: &Sample) -> relperf_measure::Outcome {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                MedianComparator::new(0.05).compare(a, b)
+            }
+        }
+        impl relperf_measure::SeededThreeWayComparator for Counting<'_> {
+            fn compare_seeded(
+                &self,
+                a: &Sample,
+                b: &Sample,
+                _stream: u64,
+            ) -> relperf_measure::Outcome {
+                self.compare(a, b)
+            }
+        }
+        impl relperf_measure::ScratchThreeWayComparator for Counting<'_> {
+            type Scratch = ();
+            fn new_scratch(&self) {}
+            fn compare_seeded_scratch(
+                &self,
+                (): &mut (),
+                a: &Sample,
+                b: &Sample,
+                stream: u64,
+            ) -> relperf_measure::Outcome {
+                use relperf_measure::SeededThreeWayComparator as _;
+                self.compare_seeded(a, b, stream)
+            }
+        }
+
+        let reps = 10;
+        let mut session = ClusterSession::new(
+            3,
+            Counting(&calls),
+            ClusterConfig {
+                repetitions: reps,
+                parallelism: Parallelism::serial(),
+                schedule: PairSchedule::Batched,
+            },
+            3,
+        );
+        for alg in 0..3 {
+            session.extend(alg, &[alg as f64 + 1.0; 4]).unwrap();
+        }
+        session.score();
+        let after_first = calls.load(Ordering::Relaxed);
+        assert_eq!(after_first, reps * 3, "full matrix on the cold wave");
+
+        // Update only algorithm 2: exactly the two pairs touching it are
+        // recomputed, per repetition.
+        session.extend(2, &[3.5; 2]).unwrap();
+        session.score();
+        let after_second = calls.load(Ordering::Relaxed);
+        assert_eq!(after_second - after_first, reps * 2, "only dirty pairs");
+
+        // No updates at all: a re-score computes nothing.
+        session.score();
+        assert_eq!(calls.load(Ordering::Relaxed), after_second);
+    }
+
+    #[test]
+    fn converges_after_stable_evidence_waves() {
+        let mut session = ClusterSession::new(
+            2,
+            MedianComparator::new(0.05),
+            ClusterConfig::with_repetitions(10),
+            1,
+        );
+        session.extend(0, &[1.0, 1.0]).unwrap();
+        session.extend(1, &[2.0, 2.0]).unwrap();
+        session.score();
+        assert!(!session.converged(), "one wave has nothing to compare to");
+        session.extend(0, &[1.0]).unwrap();
+        session.extend(1, &[2.0]).unwrap();
+        session.score();
+        assert_eq!(session.stable_run(), 1);
+        assert!(!session.converged());
+        session.extend(0, &[1.0]).unwrap();
+        session.extend(1, &[2.0]).unwrap();
+        session.score();
+        assert!(session.converged(), "two stable waves hit the default k");
+        assert_eq!(session.waves(), 3);
+        assert_eq!(session.total_measurements(), 8);
+    }
+
+    #[test]
+    fn evidence_free_rescores_do_not_advance_convergence() {
+        // Re-scoring on a timer (no ingest in between) must not talk the
+        // session into converging: the table is replayed, the wave count
+        // and stable run stay put.
+        let mut session = ClusterSession::new(
+            2,
+            MedianComparator::new(0.05),
+            ClusterConfig::with_repetitions(10),
+            1,
+        );
+        session.extend(0, &[1.0, 1.0]).unwrap();
+        session.extend(1, &[2.0, 2.0]).unwrap();
+        let first = session.score().clone();
+        for _ in 0..5 {
+            assert_eq!(session.score(), &first);
+        }
+        assert_eq!(session.waves(), 1);
+        assert_eq!(session.stable_run(), 0);
+        assert!(!session.converged());
+        // Ingesting again re-arms scoring.
+        session.extend(0, &[1.0]).unwrap();
+        session.extend(1, &[2.0]).unwrap();
+        session.score();
+        assert_eq!(session.waves(), 2);
+        assert_eq!(session.stable_run(), 1);
+    }
+
+    #[test]
+    fn unstable_waves_reset_the_stable_run() {
+        // A comparator whose verdict flips when sample sizes cross a
+        // threshold — convergence must not trigger across the flip.
+        #[derive(Debug)]
+        struct SizeGate;
+        impl relperf_measure::ThreeWayComparator for SizeGate {
+            fn compare(&self, a: &Sample, b: &Sample) -> relperf_measure::Outcome {
+                if a.len() + b.len() < 8 {
+                    relperf_measure::Outcome::Equivalent
+                } else {
+                    MedianComparator::new(0.05).compare(a, b)
+                }
+            }
+        }
+        impl relperf_measure::SeededThreeWayComparator for SizeGate {
+            fn compare_seeded(
+                &self,
+                a: &Sample,
+                b: &Sample,
+                _stream: u64,
+            ) -> relperf_measure::Outcome {
+                self.compare(a, b)
+            }
+        }
+        impl relperf_measure::ScratchThreeWayComparator for SizeGate {
+            type Scratch = ();
+            fn new_scratch(&self) {}
+            fn compare_seeded_scratch(
+                &self,
+                (): &mut (),
+                a: &Sample,
+                b: &Sample,
+                stream: u64,
+            ) -> relperf_measure::Outcome {
+                use relperf_measure::SeededThreeWayComparator as _;
+                self.compare_seeded(a, b, stream)
+            }
+        }
+
+        let mut session = ClusterSession::with_criterion(
+            2,
+            SizeGate,
+            ClusterConfig::with_repetitions(10),
+            1,
+            ConvergenceCriterion {
+                stable_waves: 2,
+                score_tol: 0.0,
+            },
+        );
+        // Waves 1–2: both tiny → everything equivalent, stable once.
+        session.extend(0, &[1.0]).unwrap();
+        session.extend(1, &[2.0]).unwrap();
+        session.score();
+        session.extend(0, &[1.0]).unwrap();
+        session.extend(1, &[2.0]).unwrap();
+        session.score();
+        assert_eq!(session.stable_run(), 1);
+        // Wave 3 crosses the gate: classes split, run resets.
+        session.extend(0, &[1.0, 1.0]).unwrap();
+        session.extend(1, &[2.0, 2.0]).unwrap();
+        session.score();
+        assert_eq!(session.stable_run(), 0);
+        assert!(!session.converged());
+        // Two more stable evidence waves now converge.
+        for _ in 0..2 {
+            session.extend(0, &[1.0]).unwrap();
+            session.extend(1, &[2.0]).unwrap();
+            session.score();
+        }
+        assert!(session.converged());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measurement")]
+    fn scoring_without_measurements_panics() {
+        let mut session = ClusterSession::new(
+            2,
+            MedianComparator::new(0.05),
+            ClusterConfig::with_repetitions(5),
+            0,
+        );
+        session.push(0, 1.0).unwrap();
+        session.score();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stable wave")]
+    fn zero_stable_waves_rejected() {
+        ClusterSession::with_criterion(
+            1,
+            MedianComparator::new(0.05),
+            ClusterConfig::with_repetitions(5),
+            0,
+            ConvergenceCriterion {
+                stable_waves: 0,
+                score_tol: 0.1,
+            },
+        );
+    }
+
+    #[test]
+    fn set_sample_replaces_and_dirties() {
+        let cmp = comparator();
+        let mut session = ClusterSession::new(2, &cmp, config(1, PairSchedule::OnDemand), 9);
+        session.set_sample(0, Sample::new(noisy(1.0, 0.05, 20, 21)).unwrap());
+        session.set_sample(1, Sample::new(noisy(2.0, 0.05, 20, 22)).unwrap());
+        let first = session.score().clone();
+        assert_eq!(first.final_assignment().num_classes(), 2);
+        // Replace one side with an equivalent distribution → classes merge.
+        session.set_sample(1, Sample::new(noisy(1.0, 0.05, 20, 23)).unwrap());
+        let second = session.score().clone();
+        assert_eq!(second.final_assignment().num_classes(), 1);
+    }
+}

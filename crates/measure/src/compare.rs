@@ -132,6 +132,40 @@ pub trait ScratchThreeWayComparator: SeededThreeWayComparator {
     ) -> Outcome;
 }
 
+// A comparator reference is a comparator: all three traits take `&self`,
+// so `&C` delegates transparently. This is what lets owning contexts
+// (e.g. `relperf_core`'s `ClusterSession`) be generic over "owned or
+// borrowed" without a separate lifetime-infected API.
+impl<T: ThreeWayComparator + ?Sized> ThreeWayComparator for &T {
+    fn compare(&self, a: &Sample, b: &Sample) -> Outcome {
+        (**self).compare(a, b)
+    }
+}
+
+impl<T: SeededThreeWayComparator + ?Sized> SeededThreeWayComparator for &T {
+    fn compare_seeded(&self, a: &Sample, b: &Sample, stream: u64) -> Outcome {
+        (**self).compare_seeded(a, b, stream)
+    }
+}
+
+impl<T: ScratchThreeWayComparator> ScratchThreeWayComparator for &T {
+    type Scratch = T::Scratch;
+
+    fn new_scratch(&self) -> T::Scratch {
+        (**self).new_scratch()
+    }
+
+    fn compare_seeded_scratch(
+        &self,
+        scratch: &mut T::Scratch,
+        a: &Sample,
+        b: &Sample,
+        stream: u64,
+    ) -> Outcome {
+        (**self).compare_seeded_scratch(scratch, a, b, stream)
+    }
+}
+
 /// Reusable working memory for the [`BootstrapComparator`] fast path: the
 /// count-vector buffer, the order-statistic scratch, the per-side quantile
 /// values, and the cached [`QuantilePlan`]s.

@@ -48,31 +48,17 @@ impl Ecdf {
 
 /// Two-sample Kolmogorov–Smirnov distance `sup_x |F_a(x) − F_b(x)|`.
 ///
-/// Walks the two cached sorted views ([`Sample::sorted`]) in one merge
-/// pass — O(nₐ + n_b) with zero allocations, evaluating the gap at every
-/// distinct observation (the only points where either ECDF steps).
+/// Walks the two cached sorted views ([`Sample::sorted`]) with the shared
+/// merge cursor ([`merge_tie_groups`](crate::merge::merge_tie_groups)) —
+/// O(nₐ + n_b) with zero allocations, evaluating the gap at every distinct
+/// observation (the only points where either ECDF steps, with the
+/// cumulative counts of each tie group being exactly `n·F(x)`).
 pub fn ks_distance(a: &Sample, b: &Sample) -> f64 {
-    let (sa, sb) = (a.sorted(), b.sorted());
-    let (na, nb) = (sa.len() as f64, sb.len() as f64);
-    let (mut i, mut j) = (0usize, 0usize);
+    let (na, nb) = (a.len() as f64, b.len() as f64);
     let mut d = 0.0_f64;
-    while i < sa.len() || j < sb.len() {
-        // The next distinct observation value, ascending across both sides.
-        let x = match (sa.get(i), sb.get(j)) {
-            (Some(&u), Some(&v)) => u.min(v),
-            (Some(&u), None) => u,
-            (None, Some(&v)) => v,
-            (None, None) => unreachable!("loop condition"),
-        };
-        while i < sa.len() && sa[i] == x {
-            i += 1;
-        }
-        while j < sb.len() && sb[j] == x {
-            j += 1;
-        }
-        // i and j now count observations ≤ x, i.e. Fₐ(x) and F_b(x).
-        d = d.max((i as f64 / na - j as f64 / nb).abs());
-    }
+    crate::merge::merge_tie_groups(a.sorted(), b.sorted(), |g| {
+        d = d.max((g.cum_a as f64 / na - g.cum_b as f64 / nb).abs());
+    });
     d
 }
 

@@ -25,6 +25,8 @@
 //!   ([`compare::ScratchThreeWayComparator`]), and the batched parallel
 //!   [`compare::BootstrapComparator::compare_batch`].
 //! * [`ecdf`] — empirical CDFs and distribution distances (KS, overlap).
+//! * [`merge`] — the shared sorted-merge cursor the rank/ECDF/overlap
+//!   statistics walk their cached sorted views with.
 //! * [`ranksum`] — the Mann–Whitney U comparator for ablations.
 //! * [`timer`] — wall-clock measurement harness with warmup control.
 //! * [`transform`] — sample cleaning (trim, winsorize, warmup removal).
@@ -34,6 +36,7 @@
 pub mod bootstrap;
 pub mod compare;
 pub mod ecdf;
+pub mod merge;
 pub mod ranksum;
 pub mod sample;
 pub mod timer;

@@ -45,46 +45,17 @@ impl MannWhitneyComparator {
 pub fn mann_whitney_u(a: &Sample, b: &Sample) -> (f64, usize, usize, f64) {
     let na = a.len();
     let nb = b.len();
-    // Merge the two cached sorted views ([`Sample::sorted`]) instead of
-    // re-sorting a pooled copy — O(na + nb) with no comparison sort; tie
-    // groups use average ranks, so the merge order within ties is
+    // One pass over the two cached sorted views ([`Sample::sorted`]) via
+    // the shared merge cursor — O(na + nb), no pooled copy at all; tie
+    // groups carry their average pooled rank, so the order within ties is
     // irrelevant.
-    let (sa, sb) = (a.sorted(), b.sorted());
-    let mut pooled: Vec<(f64, bool)> = Vec::with_capacity(na + nb);
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < na && j < nb {
-        if sa[i] <= sb[j] {
-            pooled.push((sa[i], true));
-            i += 1;
-        } else {
-            pooled.push((sb[j], false));
-            j += 1;
-        }
-    }
-    pooled.extend(sa[i..].iter().map(|&v| (v, true)));
-    pooled.extend(sb[j..].iter().map(|&v| (v, false)));
-
-    let n = pooled.len();
     let mut rank_sum_a = 0.0;
     let mut tie_term = 0.0;
-    let mut i = 0;
-    while i < n {
-        let mut j = i;
-        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
-            j += 1;
-        }
-        let count = (j - i + 1) as f64;
-        // Average rank of the tie group (1-based ranks).
-        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
-        for item in &pooled[i..=j] {
-            if item.1 {
-                rank_sum_a += avg_rank;
-            }
-        }
+    crate::merge::merge_tie_groups(a.sorted(), b.sorted(), |g| {
+        rank_sum_a += g.average_rank() * g.count_a as f64;
+        let count = g.count() as f64;
         tie_term += count * count * count - count;
-        i = j + 1;
-    }
-
+    });
     let u_a = rank_sum_a - (na * (na + 1)) as f64 / 2.0;
     (u_a, na, nb, tie_term)
 }
@@ -130,8 +101,8 @@ impl crate::compare::SeededThreeWayComparator for MannWhitneyComparator {
 }
 
 impl crate::compare::ScratchThreeWayComparator for MannWhitneyComparator {
-    /// Deterministic — the pooled-rank walk allocates its own merge
-    /// buffer per call.
+    /// Deterministic and allocation-free — the pooled ranking is one
+    /// merge walk over the cached sorted views.
     type Scratch = ();
 
     fn new_scratch(&self) {}

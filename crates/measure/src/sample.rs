@@ -20,6 +20,13 @@ use std::fmt;
 ///   resamples can be drawn as count vectors over sorted positions
 ///   without re-sorting (the allocation-free comparator fast path).
 ///
+/// Samples can grow incrementally: [`push`](Sample::push) binary-inserts a
+/// new measurement into the cached sorted order in O(n), keeping every
+/// invariant valid mid-stream — a sample built by pushing is bit-identical
+/// to one built by [`Sample::new`] from the full vector, which is what lets
+/// the streaming session engine reuse the count-vector comparator fast
+/// path between measurement waves.
+///
 /// # Examples
 ///
 /// ```
@@ -90,6 +97,57 @@ impl Sample {
             sorted,
             sorted_pos,
         })
+    }
+
+    /// Appends one measurement, maintaining the cached sorted order and
+    /// the insertion→sorted position map incrementally.
+    ///
+    /// The new value is binary-inserted *after* any existing equal values,
+    /// exactly where the stable argsort of [`Sample::new`] would place it —
+    /// so a sample grown by `push` is **bit-identical** (values, sorted
+    /// view, position map) to one constructed from the final vector in one
+    /// shot. Cost: O(log n) to locate plus O(n) to shift, versus the
+    /// O(n log n) full re-sort a rebuild would pay per ingested value.
+    ///
+    /// Returns [`SampleError::NonFinite`] (with the would-be insertion
+    /// index) and leaves the sample untouched when `value` is NaN or
+    /// infinite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use relperf_measure::Sample;
+    ///
+    /// let mut s = Sample::new(vec![3.0, 1.0]).unwrap();
+    /// s.push(2.0).unwrap();
+    /// assert_eq!(s, Sample::new(vec![3.0, 1.0, 2.0]).unwrap());
+    /// ```
+    pub fn push(&mut self, value: f64) -> Result<(), SampleError> {
+        if !value.is_finite() {
+            return Err(SampleError::NonFinite(self.values.len()));
+        }
+        // Upper bound: ties sort stably by insertion order, and this value
+        // is the latest insertion, so it lands after all equal values.
+        let ins = self.sorted.partition_point(|&v| v <= value);
+        self.sorted.insert(ins, value);
+        for pos in &mut self.sorted_pos {
+            if *pos >= ins {
+                *pos += 1;
+            }
+        }
+        self.sorted_pos.push(ins);
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// [`push`](Sample::push)es every value in order; on the first
+    /// non-finite value the error is returned and the remaining values are
+    /// not ingested (all values before it are).
+    pub fn extend_from_slice(&mut self, values: &[f64]) -> Result<(), SampleError> {
+        for &v in values {
+            self.push(v)?;
+        }
+        Ok(())
     }
 
     /// Number of measurements `N`.
@@ -169,10 +227,17 @@ impl Sample {
 
     /// Linear-interpolation quantile (type-7, the numpy/R default).
     ///
-    /// # Panics
-    /// Panics unless `0.0 <= q <= 1.0`.
+    /// # Contract
+    /// `q` must lie in `[0, 1]`. The contract is checked with
+    /// `debug_assert!` — the same policy as the hot-path
+    /// [`quantile_sorted`](crate::bootstrap::quantile_sorted), so the two
+    /// readers can never disagree about an invalid `q`: debug builds panic
+    /// in both, release builds leave the behaviour unspecified in both
+    /// (`q < 0` clamps to the minimum, `q > 1` panics on the index bound).
+    /// Validate once at the boundary (as `BootstrapConfig::validate` does)
+    /// rather than per read.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        debug_assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
         let (lo, hi, frac) = crate::bootstrap::quantile_interp(q, self.sorted.len());
         crate::bootstrap::interp_value(self.sorted[lo], self.sorted[hi], lo, hi, frac)
     }
@@ -188,7 +253,15 @@ impl Sample {
     }
 
     /// Evaluates several quantiles at once.
+    ///
+    /// # Contract
+    /// Every `q` must lie in `[0, 1]`, checked with `debug_assert!` only —
+    /// see [`quantile`](Sample::quantile) for the shared policy.
     pub fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        debug_assert!(
+            qs.iter().all(|q| (0.0..=1.0).contains(q)),
+            "quantiles must lie in [0, 1]: {qs:?}"
+        );
         qs.iter().map(|&q| self.quantile(q)).collect()
     }
 
@@ -224,9 +297,19 @@ impl Sample {
     /// Fraction of measurements of `self` that fall inside the `[min, max]`
     /// range of `other` — a crude but intuitive overlap diagnostic used in
     /// reports (the comparison itself uses bootstrapping, not this).
+    ///
+    /// Counted on the shared merge cursor
+    /// ([`merge_tie_groups`](crate::merge::merge_tie_groups)) over the two
+    /// cached sorted views: a tie group of `self` lies inside iff its
+    /// value is within `other`'s range.
     pub fn range_overlap(&self, other: &Sample) -> f64 {
         let (lo, hi) = (other.min(), other.max());
-        let inside = self.values.iter().filter(|&&v| v >= lo && v <= hi).count();
+        let mut inside = 0usize;
+        crate::merge::merge_tie_groups(self.sorted(), other.sorted(), |g| {
+            if g.value >= lo && g.value <= hi {
+                inside += g.count_a;
+            }
+        });
         inside as f64 / self.len() as f64
     }
 }
@@ -329,10 +412,18 @@ mod tests {
         assert!((x.quantile(1.0 / 3.0) - 20.0).abs() < 1e-12);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "outside")]
-    fn quantile_out_of_range_panics() {
+    fn quantile_out_of_range_panics_in_debug() {
         s(&[1.0]).quantile(1.5);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "must lie in")]
+    fn quantiles_out_of_range_panics_in_debug() {
+        s(&[1.0]).quantiles(&[0.5, -0.1]);
     }
 
     #[test]
@@ -412,6 +503,35 @@ mod tests {
         for (i, &v) in x.values().iter().enumerate() {
             assert_eq!(x.sorted()[x.sorted_positions()[i]], v);
         }
+    }
+
+    #[test]
+    fn push_matches_batch_construction() {
+        let values = [3.0, 1.0, 2.0, 1.0, 2.5, 1.0, 9.0];
+        let mut grown = s(&values[..1]);
+        for &v in &values[1..] {
+            grown.push(v).unwrap();
+            let rebuilt = s(&values[..grown.len()]);
+            assert_eq!(grown, rebuilt, "after pushing {v}");
+        }
+    }
+
+    #[test]
+    fn push_rejects_non_finite_and_leaves_sample_intact() {
+        let mut x = s(&[1.0, 2.0]);
+        let before = x.clone();
+        assert_eq!(x.push(f64::NAN).unwrap_err(), SampleError::NonFinite(2));
+        assert_eq!(x.push(f64::INFINITY).unwrap_err(), SampleError::NonFinite(2));
+        assert_eq!(x, before);
+    }
+
+    #[test]
+    fn extend_from_slice_stops_at_first_offender() {
+        let mut x = s(&[1.0]);
+        let err = x.extend_from_slice(&[2.0, f64::NAN, 3.0]).unwrap_err();
+        assert_eq!(err, SampleError::NonFinite(2));
+        // 2.0 was ingested before the offender; 3.0 was not.
+        assert_eq!(x.values(), &[1.0, 2.0]);
     }
 
     #[test]

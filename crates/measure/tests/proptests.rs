@@ -184,6 +184,66 @@ proptest! {
     }
 
     #[test]
+    fn incremental_push_equals_batch_construction(values in finite_values()) {
+        // A sample grown one push at a time must be bit-identical — values,
+        // sorted view, position map, quantiles — to one built by
+        // Sample::new from the same prefix, at every prefix length. This
+        // is the invariant that keeps the count-vector comparator fast
+        // path valid mid-stream.
+        let mut grown = Sample::new(values[..1].to_vec()).unwrap();
+        for (i, &v) in values.iter().enumerate().skip(1) {
+            grown.push(v).unwrap();
+            let rebuilt = Sample::new(values[..=i].to_vec()).unwrap();
+            prop_assert_eq!(grown.values(), rebuilt.values());
+            prop_assert_eq!(grown.sorted(), rebuilt.sorted());
+            prop_assert_eq!(grown.sorted_positions(), rebuilt.sorted_positions());
+        }
+        let rebuilt = Sample::new(values).unwrap();
+        for q in [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            prop_assert_eq!(grown.quantile(q), rebuilt.quantile(q), "q = {}", q);
+        }
+    }
+
+    #[test]
+    fn merged_walks_match_their_naive_definitions(
+        a in finite_values(),
+        b in finite_values(),
+    ) {
+        // The shared merge cursor behind ks_distance / mann_whitney_u /
+        // range_overlap, pinned against direct O(n²) definitions.
+        let sa = Sample::new(a.clone()).unwrap();
+        let sb = Sample::new(b.clone()).unwrap();
+
+        // KS: sup over the pooled support of |F_a - F_b|.
+        let (fa, fb) = (Ecdf::new(&sa), Ecdf::new(&sb));
+        let naive_ks = a.iter().chain(&b)
+            .map(|&x| (fa.eval(x) - fb.eval(x)).abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!((ks_distance(&sa, &sb) - naive_ks).abs() < 1e-12);
+
+        // Range overlap: direct filter count over the raw values.
+        let (lo, hi) = (sb.min(), sb.max());
+        let naive_overlap = a.iter().filter(|&&v| v >= lo && v <= hi).count() as f64
+            / a.len() as f64;
+        prop_assert_eq!(sa.range_overlap(&sb), naive_overlap);
+
+        // Mann–Whitney U: the pair-counting definition
+        // U_a = #{(i,j) : a_i > b_j} + ½·#{ties}.
+        let mut u_naive = 0.0;
+        for &x in &a {
+            for &y in &b {
+                if x > y {
+                    u_naive += 1.0;
+                } else if x == y {
+                    u_naive += 0.5;
+                }
+            }
+        }
+        let (u, ..) = relperf_measure::ranksum::mann_whitney_u(&sa, &sb);
+        prop_assert!((u - u_naive).abs() < 1e-6, "U {} vs naive {}", u, u_naive);
+    }
+
+    #[test]
     fn fast_comparator_equals_reference_oracle(
         a in finite_values(),
         b in finite_values(),

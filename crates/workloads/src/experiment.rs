@@ -3,9 +3,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use relperf_core::cluster::{
-    relative_scores, relative_scores_seeded_with, ClusterConfig, Clustering, Parallelism,
-    ScoreTable,
+    relative_scores, ClusterConfig, Clustering, Parallelism, ScoreTable,
 };
+use relperf_core::session::ClusterSession;
 use relperf_core::decision::AlgorithmProfile;
 use relperf_measure::{stream_seed, Sample, ScratchThreeWayComparator, ThreeWayComparator};
 use relperf_sim::{ExecutionRecord, Loc, Platform, Task};
@@ -132,9 +132,11 @@ pub fn cluster_measurements<R: Rng + ?Sized>(
     })
 }
 
-/// Procedure 4 with parallel repetitions: clusters measured algorithms via
-/// [`relative_scores_seeded_with`], addressing every comparison by an
-/// explicit stream id so any [`Parallelism`] (and either
+/// Procedure 4 with parallel repetitions: clusters measured algorithms by
+/// running a **one-wave [`ClusterSession`]** — the batch entry point is a
+/// thin wrapper over the streaming engine, so the two can never drift.
+/// Every comparison is addressed by an explicit stream id, so any
+/// [`Parallelism`] (and either
 /// [`PairSchedule`](relperf_core::cluster::PairSchedule)) in `config`
 /// yields a bit-identical score table.
 ///
@@ -143,6 +145,10 @@ pub fn cluster_measurements<R: Rng + ?Sized>(
 /// repetition and pair it evaluates — for the default
 /// [`BootstrapComparator`](relperf_measure::BootstrapComparator) that
 /// makes the whole clustering allocation-free per bootstrap round.
+///
+/// To keep measuring *beyond* a batch — adding waves until the clustering
+/// is trustworthy — use the session directly or
+/// [`measure_until_converged_seeded`](crate::adaptive::measure_until_converged_seeded).
 pub fn cluster_measurements_seeded<C>(
     measured: &[MeasuredAlgorithm],
     comparator: &C,
@@ -152,20 +158,11 @@ pub fn cluster_measurements_seeded<C>(
 where
     C: ScratchThreeWayComparator + Sync,
 {
-    relative_scores_seeded_with(
-        measured.len(),
-        config,
-        seed,
-        || comparator.new_scratch(),
-        |scratch, stream, a, b| {
-            comparator.compare_seeded_scratch(
-                scratch,
-                &measured[a].sample,
-                &measured[b].sample,
-                stream,
-            )
-        },
-    )
+    let mut session = ClusterSession::new(measured.len(), comparator, config, seed);
+    for (i, m) in measured.iter().enumerate() {
+        session.set_sample(i, m.sample.clone());
+    }
+    session.score().clone()
 }
 
 /// Builds decision-model profiles by joining measurements, accounting

@@ -9,9 +9,13 @@
 //!   `MathTask`s of sizes 50/75/300 (8 algorithms, Table I).
 //! * [`experiment`] — glue that measures every placement, clusters the
 //!   distributions, and builds decision-model profiles.
+//! * [`adaptive`] — the streaming loop over that glue: measure in waves,
+//!   re-score a warm [`ClusterSession`](relperf_core::session), stop when
+//!   the clustering is stable instead of at a hand-picked `N`.
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod digital_twin;
 pub mod experiment;
 pub mod features;
@@ -20,4 +24,7 @@ pub mod object_detection;
 pub mod scientific_code;
 pub mod two_loop;
 
+pub use adaptive::{
+    measure_until_converged_seeded, AdaptiveExperiment, AdaptiveResult, WaveSchedule,
+};
 pub use experiment::{measure_all, profiles, Experiment, MeasuredAlgorithm};

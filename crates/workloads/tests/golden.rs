@@ -1,10 +1,13 @@
 //! Seeded golden tests: the allocation-free bootstrap fast path must
 //! reproduce the sort-based reference oracle **bit-identically** through
 //! the whole measure → compare → cluster pipeline, for any parallelism
-//! and either pair schedule.
+//! and either pair schedule — and the streaming session engine must
+//! reproduce the batch pipeline the same way at a fixed wave budget.
 
 use relperf_core::cluster::{relative_scores_seeded, ClusterConfig, PairSchedule, Parallelism};
+use relperf_core::session::{ClusterSession, ConvergenceCriterion};
 use relperf_measure::compare::{BootstrapComparator, BootstrapConfig};
+use relperf_workloads::adaptive::{measure_until_converged_seeded, WaveSchedule};
 use relperf_workloads::experiment::{cluster_measurements_seeded, measure_all_seeded, Experiment};
 
 fn comparator() -> BootstrapComparator {
@@ -45,6 +48,88 @@ fn fast_path_score_table_equals_sort_based_reference() {
             assert_eq!(fast, reference, "threads={threads} {schedule:?}");
         }
     }
+}
+
+#[test]
+fn golden_session_fixed_budget_equals_batch_for_any_parallelism() {
+    // A fixed-budget streaming session over the Table I experiment —
+    // measurements ingested in three uneven waves, warm caches in between
+    // — must produce the *same* ScoreTable as the one-shot batch
+    // clustering of the full samples, bit for bit, and must be invariant
+    // under Parallelism { threads } and either PairSchedule.
+    let exp = Experiment::table1(2);
+    let measured = measure_all_seeded(&exp, 15, 31, Parallelism::auto());
+    let comparator = comparator();
+    let config = ClusterConfig::with_repetitions(40);
+    let batch = cluster_measurements_seeded(&measured, &comparator, config, 3);
+
+    for threads in [1usize, 0, 2, 7] {
+        for schedule in [PairSchedule::OnDemand, PairSchedule::Batched] {
+            let cfg = ClusterConfig {
+                parallelism: Parallelism::with_threads(threads),
+                schedule,
+                ..config
+            };
+            let mut session = ClusterSession::new(measured.len(), &comparator, cfg, 3);
+            for split in [5usize, 9, 15] {
+                for (i, m) in measured.iter().enumerate() {
+                    let have = session.measurements(i);
+                    session.extend(i, &m.sample.values()[have..split]).unwrap();
+                }
+                session.score();
+            }
+            assert_eq!(
+                session.table().unwrap(),
+                &batch,
+                "threads={threads} {schedule:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_adaptive_campaign_reaches_the_batch_table1_clustering() {
+    // The adaptive loop on the Table I experiment must stop on its own
+    // and land on the same final clustering as the paper's hand-picked
+    // N = 30 batch — with fewer measurements.
+    let exp = Experiment::table1(2);
+    let comparator = comparator();
+    let config = ClusterConfig::with_repetitions(40);
+    let batch = cluster_measurements_seeded(
+        &measure_all_seeded(&exp, 30, 31, Parallelism::auto()),
+        &comparator,
+        config,
+        3,
+    )
+    .final_assignment();
+
+    let result = measure_until_converged_seeded(
+        &exp,
+        &comparator,
+        config,
+        ConvergenceCriterion::default(),
+        WaveSchedule {
+            initial: 10,
+            wave: 5,
+            max_per_algorithm: 30,
+        },
+        31,
+        3,
+    );
+    assert!(result.converged, "Table I separates well before N = 30");
+    assert!(
+        result.measurements_per_algorithm < 30,
+        "adaptive must beat the fixed budget, used {}",
+        result.measurements_per_algorithm
+    );
+    let batch_ranks: Vec<usize> = batch.assignments().iter().map(|a| a.rank).collect();
+    let adaptive_ranks: Vec<usize> = result
+        .clustering
+        .assignments()
+        .iter()
+        .map(|a| a.rank)
+        .collect();
+    assert_eq!(adaptive_ranks, batch_ranks);
 }
 
 #[test]

@@ -18,8 +18,11 @@
 //!   energy/cost metering, calibrated presets),
 //! * [`measure`] — samples, bootstrap, three-way comparators,
 //! * [`core`] — three-way bubble sort, performance classes, relative
-//!   scores, decision models,
-//! * [`workloads`] — the paper's Fig. 1 and Table I experiments end to end.
+//!   scores, decision models, and the streaming
+//!   [`ClusterSession`](crate::core::session::ClusterSession),
+//! * [`workloads`] — the paper's Fig. 1 and Table I experiments end to
+//!   end, batch or adaptive
+//!   ([`measure_until_converged_seeded`](crate::workloads::adaptive::measure_until_converged_seeded)).
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,7 @@ pub mod prelude {
         relative_scores, relative_scores_seeded, relative_scores_seeded_with, ClusterConfig,
         Clustering, PairSchedule, ScoreTable,
     };
+    pub use relperf_core::session::{ClusterSession, ConvergenceCriterion};
     pub use relperf_core::decision::{
         AlgorithmProfile, CostSpeedModel, EnergyBudgetController, Mode,
     };
@@ -71,6 +75,9 @@ pub mod prelude {
     pub use relperf_parallel::{parallel_map_indexed, parallel_map_indexed_with, Parallelism};
     pub use relperf_sim::presets;
     pub use relperf_sim::{Loc, Platform, Task};
+    pub use relperf_workloads::adaptive::{
+        measure_until_converged_seeded, AdaptiveExperiment, AdaptiveResult, WaveSchedule,
+    };
     pub use relperf_workloads::experiment::{
         cluster_measurements, cluster_measurements_seeded, measure_all, measure_all_seeded,
         profiles, Experiment, MeasuredAlgorithm,

@@ -1,0 +1,249 @@
+//! Machine-readable benchmark of the blocked, parallel linalg kernel
+//! engine: times the naive reference kernels against the packed
+//! microkernel engine (serial and row-block-parallel) on the same machine
+//! and build, verifies bit-identity before every timing, and writes the
+//! medians to `BENCH_linalg.json`.
+//!
+//! Sections:
+//!
+//! * `gemm/*` — square products at the sizes the experiments measure;
+//! * `factor/*` — LU and Cholesky, blocked vs unblocked reference;
+//! * `strassen/*` — the recalibrated crossover against the blocked engine;
+//! * `table1/*` — the end-to-end *measurement phase* of the Table I
+//!   workload (Procedure 5 run for real): the dominant pipeline cost this
+//!   engine exists to cut.
+//!
+//! Run from the workspace root:
+//!
+//! ```bash
+//! cargo run --release -p relperf-bench --bin bench_linalg
+//! ```
+
+use rand::prelude::*;
+use relperf_linalg::cholesky::Cholesky;
+use relperf_linalg::gemm::{gemm_blocked, gemm_naive, gemm_parallel_with};
+use relperf_linalg::lu::Lu;
+use relperf_linalg::random::{random_matrix, random_spd};
+use relperf_linalg::strassen::gemm_strassen_with_cutoff;
+use relperf_linalg::{KernelEngine, Parallelism};
+use relperf_workloads::scientific_code::{run_real_custom_with, SIZES};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median wall times of `runs` **interleaved** executions of `before` and
+/// `after`, in seconds. Alternating the two sides inside one loop keeps
+/// machine drift (shared-host load, frequency scaling) from landing on
+/// only one of them.
+fn median_pair(runs: usize, mut before: impl FnMut(), mut after: impl FnMut()) -> (f64, f64) {
+    before(); // warmup
+    after();
+    let mut tb = Vec::with_capacity(runs);
+    let mut ta = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        before();
+        tb.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        after();
+        ta.push(t.elapsed().as_secs_f64());
+    }
+    tb.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ta.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (tb[runs / 2], ta[runs / 2])
+}
+
+struct Entry {
+    name: String,
+    before_s: f64,
+    after_s: f64,
+    note: &'static str,
+}
+
+fn runs_for(n: usize) -> usize {
+    (40_000_000 / (n * n * n / 64).max(1)).clamp(5, 21)
+}
+
+fn main() {
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // — GEMM: naive vs blocked vs blocked+parallel —
+    for n in [128usize, 256, 512] {
+        let a = random_matrix(&mut rng, n, n);
+        let b = random_matrix(&mut rng, n, n);
+        let reference = gemm_naive(&a, &b).unwrap();
+        assert_eq!(gemm_blocked(&a, &b).unwrap(), reference, "bit-identity");
+        assert_eq!(
+            gemm_parallel_with(&a, &b, Parallelism::auto()).unwrap(),
+            reference,
+            "bit-identity (parallel)"
+        );
+        let runs = runs_for(n);
+        let (naive_s, blocked_s) = median_pair(
+            runs,
+            || {
+                black_box(gemm_naive(black_box(&a), black_box(&b)).unwrap());
+            },
+            || {
+                black_box(gemm_blocked(black_box(&a), black_box(&b)).unwrap());
+            },
+        );
+        let (_, parallel_s) = median_pair(
+            runs,
+            || {
+                black_box(gemm_naive(black_box(&a), black_box(&b)).unwrap());
+            },
+            || {
+                black_box(
+                    gemm_parallel_with(black_box(&a), black_box(&b), Parallelism::auto()).unwrap(),
+                );
+            },
+        );
+        entries.push(Entry {
+            name: format!("gemm/n{n}/blocked"),
+            before_s: naive_s,
+            after_s: blocked_s,
+            note: "naive ikj vs packed microkernel engine, bit-identical",
+        });
+        entries.push(Entry {
+            name: format!("gemm/n{n}/parallel"),
+            before_s: naive_s,
+            after_s: parallel_s,
+            note: "naive ikj vs row-block-parallel engine, bit-identical",
+        });
+    }
+
+    // — Factorizations: blocked vs unblocked reference —
+    {
+        let n = 768;
+        let a = random_matrix(&mut rng, n, n);
+        assert_eq!(Lu::factor(&a).unwrap(), Lu::factor_reference(&a).unwrap());
+        let runs = runs_for(n).max(5);
+        let (before_s, after_s) = median_pair(
+            runs,
+            || {
+                black_box(Lu::factor_reference(black_box(&a)).unwrap());
+            },
+            || {
+                black_box(Lu::factor(black_box(&a)).unwrap());
+            },
+        );
+        entries.push(Entry {
+            name: format!("factor/lu_n{n}"),
+            before_s,
+            after_s,
+            note: "right-looking rank-1 vs panel-blocked, bit-identical",
+        });
+
+        let spd = random_spd(&mut rng, n);
+        assert_eq!(
+            Cholesky::factor(&spd).unwrap(),
+            Cholesky::factor_reference(&spd).unwrap()
+        );
+        let (before_s, after_s) = median_pair(
+            runs,
+            || {
+                black_box(Cholesky::factor_reference(black_box(&spd)).unwrap());
+            },
+            || {
+                black_box(Cholesky::factor(black_box(&spd)).unwrap());
+            },
+        );
+        entries.push(Entry {
+            name: format!("factor/cholesky_n{n}"),
+            before_s,
+            after_s,
+            note: "right-looking rank-1 vs panel-blocked, bit-identical",
+        });
+    }
+
+    // — Strassen crossover against the blocked engine —
+    for (n, cutoff) in [(512usize, 64usize), (512, 256)] {
+        let a = random_matrix(&mut rng, n, n);
+        let b = random_matrix(&mut rng, n, n);
+        let runs = runs_for(n).min(7);
+        let (strassen_s, blocked_s) = median_pair(
+            runs,
+            || {
+                black_box(gemm_strassen_with_cutoff(black_box(&a), black_box(&b), cutoff).unwrap());
+            },
+            || {
+                black_box(gemm_blocked(black_box(&a), black_box(&b)).unwrap());
+            },
+        );
+        entries.push(Entry {
+            name: format!("strassen/n{n}_cutoff{cutoff}"),
+            before_s: strassen_s,
+            after_s: blocked_s,
+            note: "strassen at this cutoff vs the blocked engine (before = strassen)",
+        });
+    }
+
+    // — End to end: the Table I measurement phase (Procedure 5 for real) —
+    // One repetition of the paper's three chained MathTasks (sizes
+    // 50/75/300) with a reduced loop count; the measurement phase of the
+    // Table I campaign is N repetitions of exactly this.
+    {
+        let iters = 2;
+        let seed = 7;
+        let runs = 7;
+        let (before_s, after_s) = median_pair(
+            runs,
+            || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                black_box(
+                    run_real_custom_with(&mut rng, &SIZES, iters, KernelEngine::Reference).unwrap(),
+                );
+            },
+            || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                black_box(
+                    run_real_custom_with(&mut rng, &SIZES, iters, KernelEngine::Blocked).unwrap(),
+                );
+            },
+        );
+        // Sanity: identical penalties, whichever engine measured.
+        let p_ref =
+            run_real_custom_with(&mut StdRng::seed_from_u64(seed), &SIZES, iters, KernelEngine::Reference)
+                .unwrap();
+        let p_blk =
+            run_real_custom_with(&mut StdRng::seed_from_u64(seed), &SIZES, iters, KernelEngine::Blocked)
+                .unwrap();
+        assert_eq!(p_ref.to_bits(), p_blk.to_bits(), "engine goldens");
+        entries.push(Entry {
+            name: "table1/measurement_phase".to_string(),
+            before_s,
+            after_s,
+            note: "one Procedure-5 repetition (sizes 50/75/300), naive vs blocked kernels",
+        });
+    }
+
+    // Render: human table to stdout, machine-readable JSON to disk.
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "benchmark", "before", "after", "speedup"
+    );
+    let mut json = String::from("{\n  \"bench\": \"linalg\",\n  \"units\": \"seconds\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let speedup = e.before_s / e.after_s;
+        println!(
+            "{:<28} {:>9.2} ms {:>9.2} ms {:>7.2}x",
+            e.name,
+            e.before_s * 1e3,
+            e.after_s * 1e3,
+            speedup
+        );
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"before_median_s\": {:.3e}, \"after_median_s\": {:.3e}, \"speedup\": {:.2}, \"note\": \"{}\"}}{}\n",
+            e.name,
+            e.before_s,
+            e.after_s,
+            speedup,
+            e.note,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_linalg.json", &json).expect("write BENCH_linalg.json");
+    println!("\nwrote BENCH_linalg.json");
+}

@@ -28,7 +28,10 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     s
 }
 
-/// `y ← a·x + y` for slices.
+/// `y ← a·x + y` for slices, with the workspace-wide fused multiply-add
+/// [`crate::fmadd`] per element — the same op the blocked kernel engine
+/// uses, which is what keeps row-sweep solves and reflector applications
+/// bit-identical to their per-element reference loops.
 ///
 /// # Panics
 /// Panics when the slices differ in length.
@@ -36,7 +39,7 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
     for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += a * xi;
+        *yi = crate::fmadd(a, xi, *yi);
     }
 }
 

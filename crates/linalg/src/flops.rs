@@ -7,8 +7,50 @@
 
 /// FLOPs of a general `m x k · k x n` matrix product (one multiply and one
 /// add per inner-loop step): `2·m·k·n`.
+///
+/// This is the **shared formula** for every dense-product path: the naive
+/// loop, the blocked microkernel engine, and the parallel engine execute
+/// exactly the same multiply-adds (that is the bit-identity contract of
+/// [`crate::gemm`]), so one count serves them all — and the simulator's
+/// flops-driven executor prices tasks with the same number the real
+/// kernels perform. Only [`strassen`] deviates, by design.
 pub fn gemm(m: usize, k: usize, n: usize) -> u64 {
     2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+/// FLOPs of a Strassen multiply of two `n x n` matrices with the given
+/// recursion cutoff (rounded up to a power of two, as the kernel does):
+/// at or below the cutoff the kernel multiplies the *unpadded* operands
+/// classically, above it the padded recursion satisfies
+/// `F(s) = 18·(s/2)² + 7·F(s/2)` — `7^d` nodes at depth `d` each pay the
+/// 18 half-size elementwise additions, bottoming out in `7^levels`
+/// base-case products of [`gemm`]`(c, c, c)`.
+///
+/// Shared by the real kernel ([`crate::strassen::strassen_flops`]
+/// delegates here) and the simulator's task models, so simulated and real
+/// Strassen tasks are priced identically.
+pub fn strassen(n: usize, cutoff: usize) -> u64 {
+    let cutoff = cutoff.max(1).next_power_of_two();
+    if n <= cutoff {
+        // The kernel early-returns the blocked classical product on the
+        // unpadded shape.
+        return gemm(n, n, n);
+    }
+    let size = n.next_power_of_two();
+    let levels = (size / cutoff).trailing_zeros();
+    let leaf = gemm(cutoff, cutoff, cutoff);
+    let mut total = leaf * 7u64.pow(levels);
+    // 18 half-size matrix additions per recursion node: 7^d nodes at
+    // depth d, each on (size/2^(d+1))-sized quadrants.
+    let mut dim = size as u64;
+    let mut nodes = 1u64;
+    for _ in 0..levels {
+        let half = dim / 2;
+        total += nodes * 18 * half * half;
+        nodes *= 7;
+        dim = half;
+    }
+    total
 }
 
 /// FLOPs of a matrix-vector product `m x n · n`: `2·m·n`.
@@ -117,6 +159,90 @@ mod tests {
     fn gemm_count() {
         assert_eq!(gemm(2, 3, 4), 48);
         assert_eq!(gemm(0, 3, 4), 0);
+    }
+
+    /// Pins the closed-form counts against instrumented replicas of the
+    /// naive kernel loops: exact for the loops whose trip counts the
+    /// formulas enumerate, leading-order (≤ 5 %) for the factorizations
+    /// whose formulas keep only the conventional cubic + quadratic terms.
+    #[test]
+    fn formulas_match_counted_naive_loops() {
+        // gemm: one fused multiply-add = 2 FLOPs per (i, l, j) triple.
+        let (m, k, n) = (7, 5, 9);
+        let mut count = 0u64;
+        for _i in 0..m {
+            for _l in 0..k {
+                for _j in 0..n {
+                    count += 2;
+                }
+            }
+        }
+        assert_eq!(count, gemm(m, k, n));
+
+        // syrk: upper triangle incl. diagonal, 2 FLOPs per contribution.
+        let (m, n) = (11, 6);
+        let mut count = 0u64;
+        for _i in 0..m {
+            for p in 0..n {
+                for _q in p..n {
+                    count += 2;
+                }
+            }
+        }
+        assert_eq!(count, syrk(m, n));
+
+        // trsv: per row i, i multiply-subtracts and one division.
+        let n = 13;
+        let mut count = 0u64;
+        for i in 0..n {
+            count += 2 * i as u64 + 1;
+        }
+        // n² counts n(n−1) mul-subs + n divisions exactly.
+        assert_eq!(count, trsv(n));
+
+        // cholesky: count the right-looking reference loops exactly and
+        // require the n³/3 + n² formula to sit within 5 %.
+        let n = 48usize;
+        let mut count = 0u64;
+        for kcol in 0..n {
+            count += 1; // sqrt
+            count += (n - kcol - 1) as u64; // column divide
+            for j in (kcol + 1)..n {
+                count += 2 * (n - j) as u64; // fused update
+            }
+        }
+        let formula = cholesky(n);
+        let err = (formula as f64 - count as f64).abs() / count as f64;
+        assert!(err < 0.05, "cholesky: formula {formula} vs counted {count}");
+
+        // lu: same exercise for the right-looking elimination.
+        let mut count = 0u64;
+        for kcol in 0..n {
+            for _i in (kcol + 1)..n {
+                count += 1; // multiplier divide
+                count += 2 * (n - kcol - 1) as u64; // fused row update
+            }
+        }
+        let formula = lu(n);
+        let err = (formula as f64 - count as f64).abs() / count as f64;
+        assert!(err < 0.05, "lu: formula {formula} vs counted {count}");
+    }
+
+    #[test]
+    fn strassen_shared_formula() {
+        // At or below the cutoff Strassen is the classical product on the
+        // *unpadded* operands, exactly as the kernel executes it.
+        assert_eq!(strassen(64, 64), gemm(64, 64, 64));
+        assert_eq!(strassen(100, 128), gemm(100, 100, 100));
+        // One recursion level: 7 half-size products + 18 half-size adds.
+        assert_eq!(
+            strassen(256, 128),
+            7 * gemm(128, 128, 128) + 18 * 128 * 128
+        );
+        // Two levels satisfy the recursion F(s) = 18·(s/2)² + 7·F(s/2).
+        assert_eq!(strassen(512, 128), 18 * 256 * 256 + 7 * strassen(256, 128));
+        // Asymptotically below classical.
+        assert!(strassen(4096, 64) < gemm(4096, 4096, 4096));
     }
 
     #[test]

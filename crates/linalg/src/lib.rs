@@ -24,6 +24,7 @@ pub mod blas;
 pub mod cholesky;
 pub mod condition;
 pub mod eigen;
+pub mod engine;
 pub mod error;
 pub mod flops;
 pub mod gemm;
@@ -36,12 +37,30 @@ pub mod strassen;
 pub mod svd;
 pub mod triangular;
 
+pub use engine::KernelEngine;
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
+pub use relperf_parallel::Parallelism;
 
 /// Default tolerance used by tests and debug assertions when comparing
 /// floating-point results of mathematically equivalent kernels.
 pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// The shared fused multiply-add `a·b + acc` every kernel element update
+/// in this crate goes through.
+///
+/// [`f64::mul_add`] rounds once, and that semantics is *exact* — the result
+/// does not depend on whether the target lowers it to a hardware FMA
+/// instruction or to the software fallback. Routing the naive references,
+/// the packed microkernel, and the factorization inner loops through this
+/// one function is what makes "blocked ≡ naive, bit for bit" hold on every
+/// build. (The workspace `.cargo/config.toml` compiles with
+/// `-C target-cpu=native`, so on FMA-capable hardware this is a single
+/// instruction.)
+#[inline(always)]
+pub fn fmadd(a: f64, b: f64, acc: f64) -> f64 {
+    a.mul_add(b, acc)
+}
 
 /// Returns `true` when `a` and `b` agree to within `tol` absolutely or
 /// relatively (whichever is looser), the standard mixed criterion for

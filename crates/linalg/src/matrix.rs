@@ -187,6 +187,103 @@ impl Matrix {
         (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
     }
 
+    /// Iterates over the rows as borrowed slices, in order.
+    ///
+    /// The iterator is built on [`slice::chunks_exact`], so downstream loops
+    /// over it compile without per-element bounds checks — this is the
+    /// accessor the blocked kernels use to stream operands. A matrix with
+    /// zero columns yields no rows.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use relperf_linalg::Matrix;
+    /// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+    /// let sums: Vec<f64> = m.rows_iter().map(|r| r.iter().sum()).collect();
+    /// assert_eq!(sums, vec![3.0, 7.0]);
+    /// ```
+    #[inline]
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Iterates over the rows as mutable slices, in order. See
+    /// [`Matrix::rows_iter`].
+    #[inline]
+    pub fn rows_iter_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
+        self.data.chunks_exact_mut(self.cols.max(1))
+    }
+
+    /// Borrow the contiguous block of `nr` full rows starting at row `r0`
+    /// as one flat slice (row-major, `cols` values per row).
+    ///
+    /// # Panics
+    /// Panics when `r0 + nr > rows`.
+    #[inline]
+    pub fn row_block(&self, r0: usize, nr: usize) -> &[f64] {
+        assert!(
+            r0 + nr <= self.rows,
+            "row block {r0}+{nr} out of bounds ({})",
+            self.rows
+        );
+        &self.data[r0 * self.cols..(r0 + nr) * self.cols]
+    }
+
+    /// Mutably borrow the contiguous block of `nr` full rows starting at
+    /// row `r0`. See [`Matrix::row_block`].
+    #[inline]
+    pub fn row_block_mut(&mut self, r0: usize, nr: usize) -> &mut [f64] {
+        assert!(
+            r0 + nr <= self.rows,
+            "row block {r0}+{nr} out of bounds ({})",
+            self.rows
+        );
+        &mut self.data[r0 * self.cols..(r0 + nr) * self.cols]
+    }
+
+    /// Splits the storage into the rows before `r` and the rows from `r`
+    /// on, both as flat row-major slices.
+    ///
+    /// This is the borrow-splitting primitive the in-place triangular
+    /// solves and factorizations use to read already-computed rows while
+    /// writing the current one.
+    ///
+    /// # Panics
+    /// Panics when `r > rows`.
+    #[inline]
+    pub fn split_rows_mut(&mut self, r: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(r <= self.rows, "split row {r} out of bounds ({})", self.rows);
+        self.data.split_at_mut(r * self.cols)
+    }
+
+    /// Iterates over the rows of the `nr x nc` tile whose top-left corner
+    /// is `(r0, c0)`, as borrowed sub-slices — a copy-free view of a tile.
+    ///
+    /// # Panics
+    /// Panics when the tile exceeds the matrix bounds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use relperf_linalg::Matrix;
+    /// let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+    /// let tile: Vec<&[f64]> = m.tile_rows(1, 2, 2, 2).collect();
+    /// assert_eq!(tile, vec![&[6.0, 7.0][..], &[10.0, 11.0][..]]);
+    /// ```
+    #[inline]
+    pub fn tile_rows(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> impl Iterator<Item = &[f64]> {
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "tile ({r0},{c0})+{nr}x{nc} out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.data[r0 * self.cols..]
+            .chunks_exact(self.cols.max(1))
+            .take(nr)
+            .map(move |row| &row[c0..c0 + nc])
+    }
+
     /// Unchecked element access; caller must guarantee `i < rows && j < cols`.
     ///
     /// # Safety

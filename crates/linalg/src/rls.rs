@@ -14,9 +14,8 @@
 //! * [`solve_rls_qr`] — QR of the stacked matrix `[A; √λ·I]` (more stable,
 //!   more FLOPs)
 
-use crate::cholesky::Cholesky;
+use crate::engine::KernelEngine;
 use crate::error::{LinalgError, Result};
-use crate::gemm::{gemm_blocked, syrk_ata};
 use crate::matrix::Matrix;
 use crate::qr::Qr;
 use rand::Rng;
@@ -32,11 +31,23 @@ pub enum RlsMethod {
     StackedQr,
 }
 
-/// Solves `Z = (AᵀA + λI)⁻¹ AᵀB` via the normal equations and Cholesky.
+/// Solves `Z = (AᵀA + λI)⁻¹ AᵀB` via the normal equations and Cholesky,
+/// on the default (blocked) kernel engine.
 ///
 /// Requires `a.rows() == b.rows()`; `λ` must make `AᵀA + λI` positive
 /// definite (any `λ > 0` does for real `A`).
 pub fn solve_rls_cholesky(a: &Matrix, b: &Matrix, lambda: f64) -> Result<Matrix> {
+    solve_rls_cholesky_with(a, b, lambda, KernelEngine::default())
+}
+
+/// [`solve_rls_cholesky`] on an explicit [`KernelEngine`]. Every engine
+/// returns bit-identical `Z` — the choice only affects speed.
+pub fn solve_rls_cholesky_with(
+    a: &Matrix,
+    b: &Matrix,
+    lambda: f64,
+    engine: KernelEngine,
+) -> Result<Matrix> {
     if a.rows() != b.rows() {
         return Err(LinalgError::ShapeMismatch {
             op: "rls",
@@ -44,10 +55,10 @@ pub fn solve_rls_cholesky(a: &Matrix, b: &Matrix, lambda: f64) -> Result<Matrix>
             rhs: b.shape(),
         });
     }
-    let mut gram = syrk_ata(a);
+    let mut gram = engine.gram(a);
     gram.add_diag_mut(lambda);
-    let atb = gemm_blocked(&a.transpose(), b)?;
-    Cholesky::factor(&gram)?.solve_matrix(&atb)
+    let atb = engine.gemm(&a.transpose(), b)?;
+    engine.cholesky(&gram)?.solve_matrix(&atb)
 }
 
 /// Solves the same problem through the QR factorization of the stacked
@@ -78,15 +89,39 @@ pub fn solve_rls_qr(a: &Matrix, b: &Matrix, lambda: f64) -> Result<Matrix> {
 
 /// Dispatches on [`RlsMethod`].
 pub fn solve_rls(a: &Matrix, b: &Matrix, lambda: f64, method: RlsMethod) -> Result<Matrix> {
+    solve_rls_with(a, b, lambda, method, KernelEngine::default())
+}
+
+/// [`solve_rls`] on an explicit [`KernelEngine`]. The QR path factors with
+/// [`Qr::factor`], whose implementations are bit-identical across engines
+/// already, so the engine choice matters for the normal-equations path.
+pub fn solve_rls_with(
+    a: &Matrix,
+    b: &Matrix,
+    lambda: f64,
+    method: RlsMethod,
+    engine: KernelEngine,
+) -> Result<Matrix> {
     match method {
-        RlsMethod::NormalCholesky => solve_rls_cholesky(a, b, lambda),
+        RlsMethod::NormalCholesky => solve_rls_cholesky_with(a, b, lambda, engine),
         RlsMethod::StackedQr => solve_rls_qr(a, b, lambda),
     }
 }
 
-/// The squared-Frobenius penalty `‖A·Z − B‖²` of Procedure 6.
+/// The squared-Frobenius penalty `‖A·Z − B‖²` of Procedure 6, on the
+/// default (blocked) kernel engine.
 pub fn rls_penalty(a: &Matrix, z: &Matrix, b: &Matrix) -> Result<f64> {
-    let az = gemm_blocked(a, z)?;
+    rls_penalty_with(a, z, b, KernelEngine::default())
+}
+
+/// [`rls_penalty`] on an explicit [`KernelEngine`].
+pub fn rls_penalty_with(
+    a: &Matrix,
+    z: &Matrix,
+    b: &Matrix,
+    engine: KernelEngine,
+) -> Result<f64> {
+    let az = engine.gemm(a, z)?;
     let resid = az.try_sub(b)?;
     let norm = resid.frobenius_norm();
     Ok(norm * norm)
@@ -103,8 +138,23 @@ pub fn math_task<R: Rng + ?Sized>(
     rng: &mut R,
     size: usize,
     iters: usize,
+    penalty: f64,
+    method: RlsMethod,
+) -> Result<f64> {
+    math_task_with(rng, size, iters, penalty, method, KernelEngine::default())
+}
+
+/// [`math_task`] on an explicit [`KernelEngine`]. The RNG draw sequence
+/// and every kernel result are engine-independent, so all engines return
+/// the **same penalty bit for bit** from the same seed — golden-tested in
+/// `relperf-workloads`.
+pub fn math_task_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    size: usize,
+    iters: usize,
     mut penalty: f64,
     method: RlsMethod,
+    engine: KernelEngine,
 ) -> Result<f64> {
     if size == 0 {
         return Err(LinalgError::EmptyDimension { op: "math_task" });
@@ -113,8 +163,8 @@ pub fn math_task<R: Rng + ?Sized>(
         let a = crate::random::random_matrix(rng, size, size);
         let b = crate::random::random_matrix(rng, size, size);
         let lambda = penalty.max(1e-6);
-        let z = solve_rls(&a, &b, lambda, method)?;
-        penalty = rls_penalty(&a, &z, &b)?;
+        let z = solve_rls_with(&a, &b, lambda, method, engine)?;
+        penalty = rls_penalty_with(&a, &z, &b, engine)?;
     }
     Ok(penalty)
 }
@@ -122,6 +172,7 @@ pub fn math_task<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gemm::{gemm_blocked, syrk_ata};
     use crate::random::random_matrix;
     use rand::prelude::*;
 

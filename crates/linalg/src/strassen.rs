@@ -12,14 +12,27 @@ use crate::error::Result;
 use crate::gemm::gemm_blocked;
 use crate::matrix::Matrix;
 
-/// Recursion cutoff: below this edge length the blocked kernel is used.
-pub const CUTOFF: usize = 64;
+/// Recursion cutoff: at or below this edge length the blocked microkernel
+/// engine multiplies directly.
+///
+/// Calibrated against the packed engine (see `bench_linalg`): with the
+/// base case running at tens of GFLOP/s, Strassen's padding, extra
+/// traversals, and 18 additions per level only amortize once a recursion
+/// level strips at least one ~256-wide factor — smaller cutoffs made every
+/// measured size slower.
+pub const CUTOFF: usize = 256;
 
-/// Strassen multiply `A·B`.
+/// Strassen multiply `A·B` with the default [`CUTOFF`].
 ///
 /// Shapes are checked like [`gemm_blocked`]; rectangular operands are
 /// padded internally to the next power of two of the largest dimension.
 pub fn gemm_strassen(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    gemm_strassen_with_cutoff(a, b, CUTOFF)
+}
+
+/// [`gemm_strassen`] with an explicit recursion cutoff (rounded up to a
+/// power of two internally), the knob `bench_linalg` calibrates.
+pub fn gemm_strassen_with_cutoff(a: &Matrix, b: &Matrix, cutoff: usize) -> Result<Matrix> {
     if a.cols() != b.rows() {
         return Err(crate::error::LinalgError::ShapeMismatch {
             op: "gemm_strassen",
@@ -27,15 +40,16 @@ pub fn gemm_strassen(a: &Matrix, b: &Matrix) -> Result<Matrix> {
             rhs: b.shape(),
         });
     }
+    let cutoff = cutoff.max(1).next_power_of_two();
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let dim = m.max(k).max(n);
-    if dim <= CUTOFF {
+    if dim <= cutoff {
         return gemm_blocked(a, b);
     }
     let size = dim.next_power_of_two();
     let ap = pad(a, size);
     let bp = pad(b, size);
-    let cp = strassen_square(&ap, &bp, size);
+    let cp = strassen_square(&ap, &bp, size, cutoff);
     Ok(crop(&cp, m, n))
 }
 
@@ -71,8 +85,8 @@ fn assemble(c11: &Matrix, c12: &Matrix, c21: &Matrix, c22: &Matrix, half: usize)
     c
 }
 
-fn strassen_square(a: &Matrix, b: &Matrix, size: usize) -> Matrix {
-    if size <= CUTOFF {
+fn strassen_square(a: &Matrix, b: &Matrix, size: usize, cutoff: usize) -> Matrix {
+    if size <= cutoff {
         return gemm_blocked(a, b).expect("square operands");
     }
     let half = size / 2;
@@ -80,13 +94,28 @@ fn strassen_square(a: &Matrix, b: &Matrix, size: usize) -> Matrix {
     let (b11, b12, b21, b22) = quadrants(b, half);
 
     // The seven Strassen products.
-    let m1 = strassen_square(&a11.try_add(&a22).unwrap(), &b11.try_add(&b22).unwrap(), half);
-    let m2 = strassen_square(&a21.try_add(&a22).unwrap(), &b11, half);
-    let m3 = strassen_square(&a11, &b12.try_sub(&b22).unwrap(), half);
-    let m4 = strassen_square(&a22, &b21.try_sub(&b11).unwrap(), half);
-    let m5 = strassen_square(&a11.try_add(&a12).unwrap(), &b22, half);
-    let m6 = strassen_square(&a21.try_sub(&a11).unwrap(), &b11.try_add(&b12).unwrap(), half);
-    let m7 = strassen_square(&a12.try_sub(&a22).unwrap(), &b21.try_add(&b22).unwrap(), half);
+    let m1 = strassen_square(
+        &a11.try_add(&a22).unwrap(),
+        &b11.try_add(&b22).unwrap(),
+        half,
+        cutoff,
+    );
+    let m2 = strassen_square(&a21.try_add(&a22).unwrap(), &b11, half, cutoff);
+    let m3 = strassen_square(&a11, &b12.try_sub(&b22).unwrap(), half, cutoff);
+    let m4 = strassen_square(&a22, &b21.try_sub(&b11).unwrap(), half, cutoff);
+    let m5 = strassen_square(&a11.try_add(&a12).unwrap(), &b22, half, cutoff);
+    let m6 = strassen_square(
+        &a21.try_sub(&a11).unwrap(),
+        &b11.try_add(&b12).unwrap(),
+        half,
+        cutoff,
+    );
+    let m7 = strassen_square(
+        &a12.try_sub(&a22).unwrap(),
+        &b21.try_add(&b22).unwrap(),
+        half,
+        cutoff,
+    );
 
     let c11 = m1
         .try_add(&m4)
@@ -107,22 +136,11 @@ fn strassen_square(a: &Matrix, b: &Matrix, size: usize) -> Matrix {
     assemble(&c11, &c12, &c21, &c22, half)
 }
 
-/// Leading-order FLOP count of Strassen on padded size `n` (power of two):
-/// `7^(log2(n/cutoff)) · 2·cutoff³` plus the quadratic add terms, reported
-/// so the simulator can model the algorithm as a distinct task.
+/// Leading-order FLOP count of Strassen at the default [`CUTOFF`] — the
+/// shared formula lives in [`crate::flops::strassen`], so the simulator's
+/// task models and the real kernel count identically.
 pub fn strassen_flops(n: usize) -> u64 {
-    let size = n.next_power_of_two().max(CUTOFF);
-    let levels = (size / CUTOFF).trailing_zeros();
-    let leaf = 2 * (CUTOFF as u64).pow(3);
-    let mut total = leaf * 7u64.pow(levels);
-    // 18 half-size additions per level.
-    let mut dim = size as u64;
-    for _ in 0..levels {
-        let half = dim / 2;
-        total += 18 * half * half;
-        dim = half;
-    }
-    total
+    crate::flops::strassen(n, CUTOFF)
 }
 
 #[cfg(test)]

@@ -25,15 +25,116 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn gemm_variants_agree(seed in 0u64..1_000, m in 1usize..40, k in 1usize..40, n in 1usize..40) {
+    fn gemm_engine_bit_identical_to_naive(seed in 0u64..1_000, m in 0usize..40, k in 0usize..40, n in 0usize..40) {
+        // Rectangular and degenerate shapes: every engine variant must
+        // reproduce the naive reference bit for bit. Strassen is the one
+        // deliberate exception (different algorithm, different rounding).
         let mut rng = StdRng::seed_from_u64(seed);
         let a = random_matrix(&mut rng, m, k);
         let b = random_matrix(&mut rng, k, n);
         let reference = gemm_naive(&a, &b).unwrap();
-        prop_assert!(close(&gemm_blocked(&a, &b).unwrap(), &reference, 1e-8));
-        prop_assert!(close(&gemm_packed(&a, &b).unwrap(), &reference, 1e-8));
-        prop_assert!(close(&gemm_parallel(&a, &b, 3).unwrap(), &reference, 1e-8));
+        prop_assert_eq!(gemm_blocked(&a, &b).unwrap(), reference.clone());
+        prop_assert_eq!(gemm_packed(&a, &b).unwrap(), reference.clone());
         prop_assert!(close(&gemm_strassen(&a, &b).unwrap(), &reference, 1e-7));
+    }
+
+    #[test]
+    fn gemm_bit_identical_across_block_boundaries(seed in 0u64..1_000, dm in 0usize..20, dk in 0usize..20, dn in 0usize..20) {
+        // Shapes straddling the microtile / panel / row-block / k-chunk
+        // boundaries of the packed engine.
+        use relperf_linalg::gemm::{BLOCK, KC, MR, NR};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = (BLOCK - 10) + dm;
+        let k = (KC - 10) + dk;
+        let n = (2 * NR - 10) + dn;
+        let _ = MR;
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let reference = gemm_naive(&a, &b).unwrap();
+        prop_assert_eq!(gemm_blocked(&a, &b).unwrap(), reference);
+    }
+
+    #[test]
+    fn gemm_parallel_bit_identical_for_any_parallelism(seed in 0u64..1_000, m in 0usize..150, k in 0usize..30, n in 0usize..30, threads in 0usize..8, chunk in 0usize..4) {
+        use relperf_linalg::Parallelism;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let reference = gemm_naive(&a, &b).unwrap();
+        let par = relperf_linalg::gemm::gemm_parallel_with(&a, &b, Parallelism { threads, chunk }).unwrap();
+        prop_assert_eq!(par, reference.clone());
+        prop_assert_eq!(gemm_parallel(&a, &b, 3).unwrap(), reference);
+    }
+
+    #[test]
+    fn syrk_blocked_bit_identical_to_reference(seed in 0u64..1_000, m in 0usize..60, n in 0usize..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, m, n);
+        prop_assert_eq!(relperf_linalg::gemm::syrk_ata_blocked(&a), syrk_ata(&a));
+    }
+
+    #[test]
+    fn cholesky_blocked_bit_identical_to_reference(seed in 0u64..1_000, n in 1usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_spd(&mut rng, n);
+        prop_assert_eq!(
+            Cholesky::factor(&a).unwrap(),
+            Cholesky::factor_reference(&a).unwrap()
+        );
+    }
+
+    #[test]
+    fn lu_blocked_bit_identical_to_reference(seed in 0u64..1_000, n in 1usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // General random matrices exercise genuine pivoting.
+        let a = random_matrix(&mut rng, n, n);
+        match (Lu::factor(&a), Lu::factor_reference(&a)) {
+            (Ok(b), Ok(r)) => prop_assert_eq!(b, r),
+            (Err(_), Err(_)) => {}
+            (b, r) => prop_assert!(false, "diverging results: {:?} vs {:?}", b.is_ok(), r.is_ok()),
+        }
+    }
+
+    #[test]
+    fn qr_row_sweep_bit_identical_to_reference(seed in 0u64..1_000, n in 1usize..30, extra in 0usize..15) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, n + extra, n);
+        prop_assert_eq!(Qr::factor(&a).unwrap(), Qr::factor_reference(&a).unwrap());
+    }
+
+    #[test]
+    fn triangular_matrix_solves_bit_identical_to_columnwise(seed in 0u64..1_000, n in 1usize..80, cols in 0usize..6) {
+        use relperf_linalg::triangular::{solve_lower_matrix, solve_upper_matrix};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = relperf_linalg::random::random_lower_triangular(&mut rng, n);
+        let b = random_matrix(&mut rng, n, cols);
+        let x = solve_lower_matrix(&l, &b).unwrap();
+        for c in 0..cols {
+            prop_assert_eq!(x.col(c), solve_lower(&l, &b.col(c)).unwrap());
+        }
+        let u = l.transpose();
+        let xu = solve_upper_matrix(&u, &b).unwrap();
+        for c in 0..cols {
+            prop_assert_eq!(xu.col(c), solve_upper(&u, &b.col(c)).unwrap());
+        }
+    }
+
+    #[test]
+    fn kernel_engines_agree_on_rls(seed in 0u64..300, n in 1usize..24, lambda in 0.01f64..10.0) {
+        use relperf_linalg::{KernelEngine, Parallelism};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, n, n);
+        let b = random_matrix(&mut rng, n, n);
+        let reference = relperf_linalg::rls::solve_rls_cholesky_with(&a, &b, lambda, KernelEngine::Reference).unwrap();
+        for engine in [
+            KernelEngine::Blocked,
+            KernelEngine::Parallel(Parallelism::with_threads(2)),
+        ] {
+            prop_assert_eq!(
+                relperf_linalg::rls::solve_rls_cholesky_with(&a, &b, lambda, engine).unwrap(),
+                reference.clone()
+            );
+        }
     }
 
     #[test]

@@ -75,6 +75,51 @@ impl Task {
     pub fn total_offload_bytes(&self) -> u64 {
         self.iterations * (self.offload_bytes_per_iter + self.return_bytes_per_iter)
     }
+
+    /// A dense `n x n` matrix-product loop priced with the **same FLOP
+    /// formula the real classical kernels execute**
+    /// ([`relperf_linalg::flops::gemm`]) — the blocked engine performs
+    /// exactly the naive loop's multiply-adds, so one count serves the
+    /// simulator and the hardware measurement alike. Both input matrices
+    /// cross the link per iteration when offloaded; the product returns.
+    pub fn gemm_loop(name: &str, n: usize, iters: usize) -> Task {
+        let bytes = relperf_linalg::flops::matrix_bytes(n, n);
+        Task {
+            name: name.to_string(),
+            iterations: iters as u64,
+            flops_per_iter: relperf_linalg::flops::gemm(n, n, n),
+            offload_bytes_per_iter: 2 * bytes,
+            return_bytes_per_iter: bytes,
+            working_set_bytes: 3 * bytes,
+            handoff_bytes: 8,
+        }
+    }
+
+    /// The Strassen variant of [`Task::gemm_loop`]: mathematically the
+    /// same product, different FLOP count
+    /// ([`relperf_linalg::flops::strassen`]) and a padded working set —
+    /// the classic "equivalent algorithms, different cost profile" pair
+    /// the paper's methodology ranks.
+    pub fn strassen_loop(name: &str, n: usize, iters: usize, cutoff: usize) -> Task {
+        let bytes = relperf_linalg::flops::matrix_bytes(n, n);
+        // Below the (power-of-two-rounded) cutoff the kernel runs the
+        // plain blocked product on the unpadded operands; only the real
+        // recursion materializes padded quadrant workspaces.
+        let padded = if n <= cutoff.max(1).next_power_of_two() {
+            n
+        } else {
+            n.next_power_of_two()
+        };
+        Task {
+            name: name.to_string(),
+            iterations: iters as u64,
+            flops_per_iter: relperf_linalg::flops::strassen(n, cutoff),
+            offload_bytes_per_iter: 2 * bytes,
+            return_bytes_per_iter: bytes,
+            working_set_bytes: 3 * relperf_linalg::flops::matrix_bytes(padded, padded),
+            handoff_bytes: 8,
+        }
+    }
 }
 
 /// Human label of a placement vector in paper notation, e.g. `"DDA"`.
@@ -137,6 +182,22 @@ mod tests {
         };
         assert_eq!(t.total_flops(), 1_000);
         assert_eq!(t.total_offload_bytes(), 100);
+    }
+
+    #[test]
+    fn gemm_and_strassen_loops_share_the_kernel_flop_model() {
+        let classical = Task::gemm_loop("G", 512, 3);
+        assert_eq!(classical.flops_per_iter, relperf_linalg::flops::gemm(512, 512, 512));
+        assert_eq!(classical.total_flops(), 3 * classical.flops_per_iter);
+        let strassen = Task::strassen_loop("S", 512, 3, 64);
+        assert_eq!(
+            strassen.flops_per_iter,
+            relperf_linalg::flops::strassen(512, 64)
+        );
+        // Same transfers (same mathematical task), fewer FLOPs, more memory.
+        assert_eq!(strassen.offload_bytes_per_iter, classical.offload_bytes_per_iter);
+        assert!(strassen.flops_per_iter < classical.flops_per_iter);
+        assert!(strassen.working_set_bytes >= classical.working_set_bytes);
     }
 
     #[test]

@@ -44,6 +44,22 @@ impl Experiment {
         }
     }
 
+    /// The Table I experiment scaled to the blocked kernel engine's reach:
+    /// `MathTask` sizes 128/256/512
+    /// ([`LARGE_SIZES`](crate::scientific_code::LARGE_SIZES)) on the same
+    /// platform and placements. The simulated costs come from the same
+    /// shared FLOP formulas the real kernels execute, so the experiment is
+    /// exactly as runnable on hardware (see
+    /// [`run_real_custom_with`](crate::scientific_code::run_real_custom_with))
+    /// as in simulation.
+    pub fn table1_large(iters: usize) -> Self {
+        Experiment {
+            platform: relperf_sim::presets::table1_platform(),
+            tasks: crate::scientific_code::tasks_large(iters),
+            placements: crate::scientific_code::placements(),
+        }
+    }
+
     /// Labels of all placements, in order.
     pub fn labels(&self) -> Vec<String> {
         self.placements.iter().map(|(l, _)| l.clone()).collect()

@@ -10,7 +10,8 @@
 
 use rand::Rng;
 use relperf_linalg::flops;
-use relperf_linalg::rls::{math_task, RlsMethod};
+use relperf_linalg::rls::{math_task_with, RlsMethod};
+use relperf_linalg::KernelEngine;
 use relperf_sim::Task;
 
 /// Bytes a framework keeps live per `MathTask` iteration: the three
@@ -39,15 +40,30 @@ pub fn simulated_task(name: &str, size: usize, iters: usize) -> Task {
     }
 }
 
-/// Runs the real `MathTask` on this machine (Procedure 6 verbatim) and
-/// returns the final penalty.
+/// Runs the real `MathTask` on this machine (Procedure 6 verbatim) on the
+/// default blocked kernel engine and returns the final penalty.
 pub fn run_real<R: Rng + ?Sized>(
     rng: &mut R,
     size: usize,
     iters: usize,
     penalty: f64,
 ) -> Result<f64, relperf_linalg::LinalgError> {
-    math_task(rng, size, iters, penalty, RlsMethod::NormalCholesky)
+    run_real_with(rng, size, iters, penalty, KernelEngine::default())
+}
+
+/// [`run_real`] on an explicit [`KernelEngine`]. Every engine draws the
+/// same RNG stream and computes bit-identical kernels, so the returned
+/// penalty is **the same, bit for bit**, whichever engine runs — only the
+/// wall-clock (the thing the paper measures) changes. Golden-tested in
+/// `tests/kernel_golden.rs`.
+pub fn run_real_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    size: usize,
+    iters: usize,
+    penalty: f64,
+    engine: KernelEngine,
+) -> Result<f64, relperf_linalg::LinalgError> {
+    math_task_with(rng, size, iters, penalty, RlsMethod::NormalCholesky, engine)
 }
 
 #[cfg(test)]

@@ -1,0 +1,200 @@
+//! Machine-readable benchmark of the multi-tenant session service:
+//! scheduler throughput and batch-drain latency across tenant counts ×
+//! scheduler thread counts, serial vs parallel scheduler. Writes
+//! `BENCH_service.json`.
+//!
+//! Each configuration hosts `tenants` concurrent sessions (4 algorithms
+//! each), submits waves of `Extend` ops plus a `Score` per tenant, and
+//! drains one scheduler batch per wave; the timed unit is the batch drain
+//! (admission is microseconds next to the bootstrap clustering it
+//! schedules). Serial and parallel schedulers produce bit-identical
+//! tables — asserted here before any timing — so the numbers compare
+//! speed, never results.
+//!
+//! Run from the workspace root:
+//!
+//! ```bash
+//! cargo run --release -p relperf-bench --bin bench_service
+//! ```
+//!
+//! Single-core container caveat: with one hardware thread the parallel
+//! scheduler ≈ serial; the interesting signal there is that fan-out adds
+//! no overhead. On multi-core hosts the tenant waves genuinely overlap.
+
+use rand::prelude::*;
+use relperf_core::cluster::{ClusterConfig, Parallelism, ScoreTable};
+use relperf_core::session::ConvergenceCriterion;
+use relperf_measure::compare::{BootstrapComparator, BootstrapConfig};
+use relperf_measure::Sample;
+use relperf_service::prelude::*;
+use relperf_service::service::SessionService;
+use std::time::Instant;
+
+const ALGORITHMS: usize = 4;
+const WAVES: usize = 10;
+const WAVE_SIZE: usize = 5;
+
+fn comparator() -> BootstrapComparator {
+    BootstrapComparator::with_config(
+        42,
+        BootstrapConfig {
+            reps: 30,
+            ..Default::default()
+        },
+    )
+}
+
+fn noisy(center: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| center + rng.random_range(-0.2..0.2)).collect()
+}
+
+struct RunResult {
+    /// Final score table per tenant (for the bit-identity assertion).
+    tables: Vec<ScoreTable>,
+    /// Ops executed.
+    ops: usize,
+    /// Per-batch drain latencies in seconds.
+    batch_latencies: Vec<f64>,
+}
+
+/// Drives `tenants` sessions through `WAVES` waves on one service.
+fn drive(tenants: u64, scheduler: Parallelism) -> RunResult {
+    let service = SessionService::new(
+        comparator(),
+        16,
+        scheduler,
+        ServiceLimits::default(),
+    );
+    let config = ClusterConfig::with_repetitions(50);
+    for t in 0..tenants {
+        service
+            .create_session(
+                t,
+                1,
+                SessionSpec {
+                    algorithms: ALGORITHMS,
+                    config,
+                    seed: 7 + t,
+                    criterion: ConvergenceCriterion::default(),
+                },
+            )
+            .expect("admission");
+    }
+    let mut ops = 0usize;
+    let mut batch_latencies = Vec::with_capacity(WAVES);
+    let mut tables: Vec<ScoreTable> = Vec::new();
+    for wave in 0..WAVES {
+        for t in 0..tenants {
+            for alg in 0..ALGORITHMS {
+                service
+                    .submit(
+                        t,
+                        1,
+                        SessionOp::Extend {
+                            alg,
+                            values: noisy(
+                                1.0 + alg as f64,
+                                WAVE_SIZE,
+                                (t << 32) ^ ((wave as u64) << 8) ^ alg as u64,
+                            ),
+                        },
+                    )
+                    .expect("admission");
+                ops += 1;
+            }
+            service.submit(t, 1, SessionOp::Score).expect("admission");
+            ops += 1;
+        }
+        let start = Instant::now();
+        let responses = service.run_batch();
+        batch_latencies.push(start.elapsed().as_secs_f64());
+        assert_eq!(responses.len(), (tenants as usize) * (ALGORITHMS + 1));
+        if wave == WAVES - 1 {
+            tables = responses
+                .into_iter()
+                .filter_map(|r| match r.result.expect("scripted ops never fail") {
+                    OpOutcome::Scored(w) => Some(w.table),
+                    _ => None,
+                })
+                .collect();
+        }
+    }
+    RunResult {
+        tables,
+        ops,
+        batch_latencies,
+    }
+}
+
+struct Entry {
+    tenants: u64,
+    scheduler: &'static str,
+    threads: usize,
+    ops: usize,
+    total_s: f64,
+    ops_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn main() {
+    let mut entries: Vec<Entry> = Vec::new();
+    for &tenants in &[1u64, 4, 16] {
+        // Bit-identity across schedulers first — the numbers below compare
+        // speed of identical results.
+        let serial = drive(tenants, Parallelism::serial());
+        let parallel = drive(tenants, Parallelism::auto());
+        assert_eq!(
+            serial.tables, parallel.tables,
+            "schedulers diverged at {tenants} tenants"
+        );
+
+        for (label, threads, result) in [
+            ("serial", 1usize, serial),
+            ("parallel", 0usize, parallel),
+        ] {
+            let total_s: f64 = result.batch_latencies.iter().sum();
+            let latencies = Sample::new(result.batch_latencies.clone()).expect("non-empty");
+            entries.push(Entry {
+                tenants,
+                scheduler: label,
+                threads,
+                ops: result.ops,
+                total_s,
+                ops_per_s: result.ops as f64 / total_s,
+                p50_ms: latencies.quantile(0.5) * 1e3,
+                p99_ms: latencies.quantile(0.99) * 1e3,
+            });
+        }
+    }
+
+    println!(
+        "{:<8} {:<10} {:>8} {:>12} {:>12} {:>10} {:>10}",
+        "tenants", "scheduler", "ops", "total [s]", "ops/s", "p50 [ms]", "p99 [ms]"
+    );
+    let mut json = String::from(
+        "{\n  \"bench\": \"service\",\n  \"units\": {\"throughput\": \"ops/s\", \"latency\": \"ms per scheduler batch\"},\n  \"note\": \"10 waves x (4 Extend + 1 Score) per tenant; serial vs parallel schedulers asserted bit-identical before timing\",\n  \"entries\": [\n",
+    );
+    for (i, e) in entries.iter().enumerate() {
+        println!(
+            "{:<8} {:<10} {:>8} {:>12.4} {:>12.1} {:>10.3} {:>10.3}",
+            e.tenants, e.scheduler, e.ops, e.total_s, e.ops_per_s, e.p50_ms, e.p99_ms
+        );
+        json.push_str(&format!(
+            "    {{\"tenants\": {}, \"scheduler\": \"{}\", \"threads\": {}, \"ops\": {}, \"total_s\": {:.6}, \"ops_per_s\": {:.1}, \"batch_p50_ms\": {:.4}, \"batch_p99_ms\": {:.4}}}{}\n",
+            e.tenants,
+            e.scheduler,
+            e.threads,
+            e.ops,
+            e.total_s,
+            e.ops_per_s,
+            e.p50_ms,
+            e.p99_ms,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    println!("\nwrote BENCH_service.json");
+}

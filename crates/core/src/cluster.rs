@@ -128,6 +128,44 @@ impl ScoreTable {
         (1..=self.max_rank).map(|r| self.cluster(r)).collect()
     }
 
+    /// The raw per-algorithm score rows: `score_rows()[alg][rank - 1]` is
+    /// the relative score of `alg` for `rank`. Rows all have the same
+    /// length (≥ [`num_classes`](ScoreTable::num_classes)); trailing
+    /// entries beyond `num_classes` are zero. This is the serialization
+    /// view used by the service snapshot codec —
+    /// [`from_rows`](ScoreTable::from_rows) is its inverse.
+    pub fn score_rows(&self) -> &[Vec<f64>] {
+        &self.scores
+    }
+
+    /// Rebuilds a table from rows captured by
+    /// [`score_rows`](ScoreTable::score_rows) and the accompanying
+    /// [`num_classes`](ScoreTable::num_classes). Round-tripping preserves
+    /// the table bit for bit.
+    ///
+    /// # Panics
+    /// Panics when `rows` is empty or ragged, when `max_rank` exceeds the
+    /// row length, or when any score is non-finite.
+    pub fn from_rows(rows: Vec<Vec<f64>>, max_rank: usize) -> ScoreTable {
+        let p = rows.len();
+        assert!(p > 0, "a score table covers at least one algorithm");
+        let width = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == width),
+            "score rows must be rectangular"
+        );
+        assert!(max_rank <= width, "num_classes exceeds the row width");
+        assert!(
+            rows.iter().flatten().all(|s| s.is_finite()),
+            "scores must be finite"
+        );
+        ScoreTable {
+            p,
+            scores: rows,
+            max_rank,
+        }
+    }
+
     /// Largest absolute difference between any `(algorithm, class)` score
     /// of `self` and `other` — the distance the session engine's
     /// convergence criterion
@@ -698,6 +736,25 @@ mod tests {
         let c3 = clustering.class(3);
         assert_eq!(c3[0].algorithm, 2);
         assert_eq!(c3[1].algorithm, 3);
+    }
+
+    #[test]
+    fn score_rows_round_trip_is_bit_exact() {
+        let table = relative_scores_seeded(
+            5,
+            ClusterConfig::with_repetitions(40),
+            9,
+            stochastic_seeded_cmp,
+        );
+        let rebuilt =
+            ScoreTable::from_rows(table.score_rows().to_vec(), table.num_classes());
+        assert_eq!(rebuilt, table);
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn from_rows_rejects_ragged_rows() {
+        let _ = ScoreTable::from_rows(vec![vec![1.0, 0.0], vec![0.5]], 2);
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub use cluster::{
     relative_scores, relative_scores_seeded, relative_scores_seeded_with, ClusterConfig,
     Clustering, PairSchedule, Parallelism, ScoreTable,
 };
-pub use session::{ClusterSession, ConvergenceCriterion};
+pub use session::{ClusterSession, ConvergenceCriterion, CriterionError, SessionState};
 pub use relperf_measure::Outcome;
 pub use sort::{sort, sort_with_trace, SortState, SortStep};

@@ -63,15 +63,58 @@ impl Default for ConvergenceCriterion {
 
 impl ConvergenceCriterion {
     /// Validates the criterion, panicking with a descriptive message on
-    /// nonsensical values.
+    /// nonsensical values. Construction-time boundaries (the session
+    /// constructors) keep this panicking form; admission paths that must
+    /// reject rather than crash (the `relperf-service` session service)
+    /// use [`try_validate`](ConvergenceCriterion::try_validate).
     pub fn validate(&self) {
-        assert!(self.stable_waves >= 1, "need at least one stable wave");
-        assert!(
-            self.score_tol >= 0.0 && self.score_tol.is_finite(),
-            "score tolerance must be finite and non-negative"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Validates the criterion without panicking — the admission-control
+    /// form: a hosted service rejects a bad tenant-supplied criterion with
+    /// a typed error instead of taking the process down.
+    pub fn try_validate(&self) -> Result<(), CriterionError> {
+        if self.stable_waves < 1 {
+            return Err(CriterionError::ZeroStableWaves);
+        }
+        if !(self.score_tol >= 0.0 && self.score_tol.is_finite()) {
+            return Err(CriterionError::BadTolerance {
+                score_tol: self.score_tol,
+            });
+        }
+        Ok(())
     }
 }
+
+/// Why a [`ConvergenceCriterion`] was rejected by
+/// [`try_validate`](ConvergenceCriterion::try_validate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CriterionError {
+    /// `stable_waves` was 0 — convergence would trigger immediately.
+    ZeroStableWaves,
+    /// `score_tol` was negative, NaN, or infinite.
+    BadTolerance {
+        /// The offending tolerance.
+        score_tol: f64,
+    },
+}
+
+impl std::fmt::Display for CriterionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CriterionError::ZeroStableWaves => write!(f, "need at least one stable wave"),
+            CriterionError::BadTolerance { score_tol } => write!(
+                f,
+                "score tolerance must be finite and non-negative, got {score_tol}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CriterionError {}
 
 /// A streaming measure → compare → cluster session (see the [module
 /// docs](self) for the design).
@@ -174,6 +217,70 @@ impl<C: ScratchThreeWayComparator + Sync> ClusterSession<C> {
         }
     }
 
+    /// Rebuilds a session from an exported [`SessionState`] — the
+    /// checkpoint/restore path of the hosted session service.
+    ///
+    /// The comparator, `config`, `seed`, and `criterion` are *not* part of
+    /// the state (a comparator is code, not data); the caller supplies
+    /// them, and they must match the original session's for the restored
+    /// session to continue identically. The per-repetition comparison
+    /// caches restart **cold**: every outcome is a pure function of
+    /// `(samples, stream)`, so the first wave after a restore recomputes
+    /// what the warm caches held and lands on bit-identical tables — the
+    /// restored session is indistinguishable from one that never stopped,
+    /// wave for wave (golden-tested in `relperf-service`).
+    ///
+    /// # Panics
+    /// Panics when the state's vectors disagree about `p`, when `p == 0`
+    /// or `config.repetitions == 0`, or when the criterion is invalid.
+    pub fn restore(
+        comparator: C,
+        config: ClusterConfig,
+        seed: u64,
+        criterion: ConvergenceCriterion,
+        state: SessionState,
+    ) -> Self {
+        let mut session =
+            Self::with_criterion(state.samples.len(), comparator, config, seed, criterion);
+        assert_eq!(
+            state.dirty.len(),
+            state.samples.len(),
+            "dirty flags must cover every algorithm"
+        );
+        if let Some(table) = &state.table {
+            assert_eq!(
+                table.num_algorithms(),
+                state.samples.len(),
+                "score table must cover every algorithm"
+            );
+        }
+        session.samples = state.samples;
+        session.dirty = state.dirty;
+        session.ingested = state.ingested;
+        session.table = state.table;
+        session.waves = state.waves;
+        session.stable_run = state.stable_run;
+        session.converged = state.converged;
+        session
+    }
+
+    /// Exports everything a checkpoint must carry to rebuild this session
+    /// via [`restore`](ClusterSession::restore): samples, dirty flags, the
+    /// last score table, and the convergence bookkeeping. Warm caches are
+    /// deliberately excluded — they are a recomputable pure function of
+    /// the samples (see [`restore`](ClusterSession::restore)).
+    pub fn export_state(&self) -> SessionState {
+        SessionState {
+            samples: self.samples.clone(),
+            dirty: self.dirty.clone(),
+            ingested: self.ingested,
+            table: self.table.clone(),
+            waves: self.waves,
+            stable_run: self.stable_run,
+            converged: self.converged,
+        }
+    }
+
     /// Number of algorithms `p`.
     pub fn num_algorithms(&self) -> usize {
         self.samples.len()
@@ -187,6 +294,16 @@ impl<C: ScratchThreeWayComparator + Sync> ClusterSession<C> {
     /// The session's convergence criterion.
     pub fn criterion(&self) -> ConvergenceCriterion {
         self.criterion
+    }
+
+    /// The session's clustering configuration.
+    pub fn config(&self) -> ClusterConfig {
+        self.config
+    }
+
+    /// The session's clustering seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Ingests one measurement for algorithm `alg`, invalidating the
@@ -356,6 +473,33 @@ impl<C: ScratchThreeWayComparator + Sync> std::fmt::Debug for ClusterSession<C> 
             .field("converged", &self.converged)
             .finish_non_exhaustive()
     }
+}
+
+/// The data half of a [`ClusterSession`], as captured by
+/// [`export_state`](ClusterSession::export_state) and consumed by
+/// [`restore`](ClusterSession::restore).
+///
+/// This is deliberately a plain public struct: the serialization codec
+/// lives *outside* this crate (`relperf-service`'s versioned binary
+/// snapshot format), and anything that can fill these fields consistently
+/// can rebuild a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionState {
+    /// Per-algorithm samples (insertion order preserved), `None` for
+    /// algorithms not measured yet.
+    pub samples: Vec<Option<Sample>>,
+    /// Algorithms whose sample changed since the last scored wave.
+    pub dirty: Vec<bool>,
+    /// Whether anything was ingested since the last scored wave.
+    pub ingested: bool,
+    /// The most recent wave's score table, if any wave was scored.
+    pub table: Option<ScoreTable>,
+    /// Number of scored waves.
+    pub waves: usize,
+    /// Length of the current run of consecutive stable waves.
+    pub stable_run: usize,
+    /// Whether the criterion has been met.
+    pub converged: bool,
 }
 
 /// `true` when the two clusterings assign every algorithm the same class.
@@ -692,6 +836,114 @@ mod tests {
                 stable_waves: 0,
                 score_tol: 0.1,
             },
+        );
+    }
+
+    #[test]
+    fn try_validate_reports_typed_errors() {
+        assert_eq!(ConvergenceCriterion::default().try_validate(), Ok(()));
+        let zero = ConvergenceCriterion {
+            stable_waves: 0,
+            score_tol: 0.1,
+        };
+        assert_eq!(zero.try_validate(), Err(CriterionError::ZeroStableWaves));
+        for bad in [-0.1, f64::NAN, f64::INFINITY] {
+            let c = ConvergenceCriterion {
+                stable_waves: 1,
+                score_tol: bad,
+            };
+            assert!(matches!(
+                c.try_validate(),
+                Err(CriterionError::BadTolerance { .. })
+            ));
+        }
+        // The panicking form surfaces the same message.
+        assert!(format!("{}", CriterionError::ZeroStableWaves).contains("at least one stable wave"));
+    }
+
+    /// A restored session must continue wave-for-wave identically to one
+    /// that never stopped — the contract the service snapshot codec builds
+    /// on.
+    #[test]
+    fn export_restore_continues_identically() {
+        let cmp = comparator();
+        let drive = |session: &mut ClusterSession<&BootstrapComparator>, wave: usize| {
+            for alg in 0..3 {
+                let vals = noisy(1.0 + alg as f64, 0.2, 5, (wave * 3 + alg) as u64);
+                session.extend(alg, &vals).unwrap();
+            }
+            session.score().clone()
+        };
+        let mut uninterrupted = ClusterSession::new(3, &cmp, config(2, PairSchedule::OnDemand), 41);
+        let mut checkpointed = ClusterSession::new(3, &cmp, config(2, PairSchedule::OnDemand), 41);
+        for wave in 0..2 {
+            assert_eq!(drive(&mut uninterrupted, wave), drive(&mut checkpointed, wave));
+        }
+        // Checkpoint, drop, restore — caches restart cold.
+        let state = checkpointed.export_state();
+        drop(checkpointed);
+        let mut restored = ClusterSession::restore(
+            &cmp,
+            config(2, PairSchedule::OnDemand),
+            41,
+            ConvergenceCriterion::default(),
+            state,
+        );
+        assert_eq!(restored.waves(), uninterrupted.waves());
+        assert_eq!(restored.table(), uninterrupted.table());
+        for wave in 2..5 {
+            assert_eq!(
+                drive(&mut uninterrupted, wave),
+                drive(&mut restored, wave),
+                "wave {wave} after restore"
+            );
+            assert_eq!(restored.stable_run(), uninterrupted.stable_run());
+            assert_eq!(restored.converged(), uninterrupted.converged());
+        }
+    }
+
+    #[test]
+    fn restored_ingest_free_rescore_stays_a_noop() {
+        // `ingested == false` must survive the round trip: a restored
+        // session may not count a timer re-score as evidence.
+        let mut session = ClusterSession::new(
+            2,
+            MedianComparator::new(0.05),
+            ClusterConfig::with_repetitions(5),
+            1,
+        );
+        session.extend(0, &[1.0, 1.0]).unwrap();
+        session.extend(1, &[2.0, 2.0]).unwrap();
+        session.score();
+        let mut restored = ClusterSession::restore(
+            MedianComparator::new(0.05),
+            ClusterConfig::with_repetitions(5),
+            1,
+            ConvergenceCriterion::default(),
+            session.export_state(),
+        );
+        restored.score();
+        assert_eq!(restored.waves(), 1, "no new evidence, no new wave");
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty flags")]
+    fn restore_rejects_inconsistent_state() {
+        let state = SessionState {
+            samples: vec![None, None],
+            dirty: vec![false],
+            ingested: false,
+            table: None,
+            waves: 0,
+            stable_run: 0,
+            converged: false,
+        };
+        let _ = ClusterSession::restore(
+            MedianComparator::new(0.05),
+            ClusterConfig::with_repetitions(5),
+            0,
+            ConvergenceCriterion::default(),
+            state,
         );
     }
 

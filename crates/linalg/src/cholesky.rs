@@ -9,8 +9,9 @@
 //! perturbing seeded experiment outputs.
 
 use crate::error::{LinalgError, Result};
-use crate::gemm::{gemm_region, Acc, PackArena, BLOCK};
+use crate::gemm::{gemm_region, gemm_region_parallel, Acc, PackArena, BLOCK};
 use crate::matrix::Matrix;
+use relperf_parallel::Parallelism;
 use crate::triangular::{solve_lower, solve_lower_matrix, solve_upper, solve_upper_matrix};
 
 /// Panel width of the blocked factorization: the number of columns
@@ -96,6 +97,21 @@ impl Cholesky {
     /// that is symmetric only up to rounding (e.g. `AᵀA` assembled with a
     /// non-symmetric kernel) get a well-defined result.
     pub fn factor(a: &Matrix) -> Result<Self> {
+        Self::factor_impl(a, None)
+    }
+
+    /// [`Cholesky::factor`] with the off-diagonal trailing updates fanned
+    /// out over row blocks (`gemm_region_parallel`) — panels and the
+    /// diagonal blocks stay serial (lower-order work). Bit-identical to
+    /// [`Cholesky::factor`] and [`Cholesky::factor_reference`] for any
+    /// [`Parallelism`], including the serial fallback build: per element
+    /// the fused update sequence is unchanged, only which thread computes
+    /// its row band differs.
+    pub fn factor_parallel_with(a: &Matrix, parallelism: Parallelism) -> Result<Self> {
+        Self::factor_impl(a, Some(parallelism))
+    }
+
+    fn factor_impl(a: &Matrix, parallelism: Option<Parallelism>) -> Result<Self> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
                 op: "cholesky",
@@ -142,27 +158,18 @@ impl Cholesky {
                 // Off-diagonal block (rows c1..n, cols c0..c1): one
                 // microkernel-driven `C −= P · P_blockᵀ`.
                 if c1 < n {
-                    gemm_region(
-                        l.as_mut_slice(),
-                        n,
-                        c1,
-                        c0,
-                        n - c1,
-                        c1 - c0,
-                        nb,
-                        &p,
-                        nb,
-                        c1 - j1,
-                        0,
-                        false,
-                        &p,
-                        nb,
-                        c0 - j1,
-                        0,
-                        true,
-                        Acc::Sub,
-                        &mut arena,
-                    );
+                    match parallelism {
+                        None => gemm_region(
+                            l.as_mut_slice(), n, c1, c0, n - c1, c1 - c0, nb, &p, nb,
+                            c1 - j1, 0, false, &p, nb, c0 - j1, 0, true, Acc::Sub,
+                            &mut arena,
+                        ),
+                        Some(par) => gemm_region_parallel(
+                            l.as_mut_slice(), n, c1, c0, n - c1, c1 - c0, nb, &p, nb,
+                            c1 - j1, 0, false, &p, nb, c0 - j1, 0, true, Acc::Sub,
+                            &mut arena, par,
+                        ),
+                    }
                 }
             }
         }
@@ -325,6 +332,21 @@ mod tests {
             let blocked = Cholesky::factor(&a).unwrap();
             let reference = Cholesky::factor_reference(&a).unwrap();
             assert_eq!(blocked, reference, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_trailing_update_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(26);
+        for n in [1usize, PANEL + 3, 100, 2 * BLOCK + PANEL + 5] {
+            let a = random_spd(&mut rng, n);
+            let serial = Cholesky::factor(&a).unwrap();
+            for threads in [1usize, 2, 3, 0] {
+                let par =
+                    Cholesky::factor_parallel_with(&a, Parallelism::with_threads(threads))
+                        .unwrap();
+                assert_eq!(par, serial, "n={n} threads={threads}");
+            }
         }
     }
 

@@ -10,6 +10,7 @@
 use crate::cholesky::Cholesky;
 use crate::error::Result;
 use crate::gemm::{gemm_blocked, gemm_naive, gemm_parallel_with, syrk_ata, syrk_ata_blocked};
+use crate::lu::Lu;
 use crate::matrix::Matrix;
 use relperf_parallel::Parallelism;
 
@@ -62,11 +63,25 @@ impl KernelEngine {
         }
     }
 
-    /// Cholesky factorization on this engine.
+    /// Cholesky factorization on this engine (the parallel engine fans the
+    /// trailing updates over row blocks — bit-identical, see
+    /// [`Cholesky::factor_parallel_with`]).
     pub fn cholesky(&self, a: &Matrix) -> Result<Cholesky> {
         match self {
             KernelEngine::Reference => Cholesky::factor_reference(a),
-            KernelEngine::Blocked | KernelEngine::Parallel(_) => Cholesky::factor(a),
+            KernelEngine::Blocked => Cholesky::factor(a),
+            KernelEngine::Parallel(par) => Cholesky::factor_parallel_with(a, *par),
+        }
+    }
+
+    /// LU factorization with partial pivoting on this engine (the parallel
+    /// engine fans the trailing updates over row blocks — bit-identical,
+    /// see [`Lu::factor_parallel_with`]).
+    pub fn lu(&self, a: &Matrix) -> Result<Lu> {
+        match self {
+            KernelEngine::Reference => Lu::factor_reference(a),
+            KernelEngine::Blocked => Lu::factor(a),
+            KernelEngine::Parallel(par) => Lu::factor_parallel_with(a, *par),
         }
     }
 }
@@ -91,10 +106,12 @@ mod tests {
         let gemm0 = engines[0].gemm(&a, &b).unwrap();
         let gram0 = engines[0].gram(&a);
         let chol0 = engines[0].cholesky(&spd).unwrap();
+        let lu0 = engines[0].lu(&spd).unwrap();
         for e in &engines[1..] {
             assert_eq!(e.gemm(&a, &b).unwrap(), gemm0, "{}", e.label());
             assert_eq!(e.gram(&a), gram0, "{}", e.label());
             assert_eq!(e.cholesky(&spd).unwrap(), chol0, "{}", e.label());
+            assert_eq!(e.lu(&spd).unwrap(), lu0, "{}", e.label());
         }
     }
 

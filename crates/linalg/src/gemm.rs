@@ -490,6 +490,117 @@ pub(crate) fn gemm_region(
     }
 }
 
+/// [`gemm_region`] with the row-block loop fanned out across threads —
+/// the parallel trailing-update engine of the blocked factorizations.
+///
+/// Work decomposition mirrors [`gemm_parallel_with`]: each work item is
+/// one [`BLOCK`]-row band of the output region, computed into a private
+/// band buffer (seeded from the current output values, which `Sub` mode
+/// and later `k` chunks reload from) and copied back in index order. The
+/// packed `B` chunks are built once and shared read-only; each worker
+/// reuses one packing arena across its bands. Per element the accumulation
+/// is the same full-length in-order `k` sweep with the same spill/reload
+/// points as the serial engine, so the region is **bit-identical** to
+/// [`gemm_region`] for any [`Parallelism`] — including the serial
+/// fallback build, which short-circuits to the serial engine.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_region_parallel(
+    c: &mut [f64],
+    c_stride: usize,
+    cr0: usize,
+    cc0: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a_src: &[f64],
+    a_stride: usize,
+    ar0: usize,
+    ac0: usize,
+    a_trans: bool,
+    b_src: &[f64],
+    b_stride: usize,
+    br0: usize,
+    bc0: usize,
+    b_trans: bool,
+    mode: Acc,
+    arena: &mut PackArena,
+    parallelism: Parallelism,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let nblocks = m.div_ceil(BLOCK);
+    if parallelism.effective_threads(nblocks) <= 1 || !relperf_parallel::threads_enabled() {
+        return gemm_region(
+            c, c_stride, cr0, cc0, m, n, k, a_src, a_stride, ar0, ac0, a_trans, b_src, b_stride,
+            br0, bc0, b_trans, mode, arena,
+        );
+    }
+    let neg = mode == Acc::Sub;
+    // Pack every KC chunk of B once, shared read-only across workers.
+    let mut bpacks: Vec<(usize, usize, Vec<f64>)> = Vec::new(); // (k0, kc, pack)
+    let mut k0 = 0;
+    loop {
+        let kc = (k - k0).min(KC);
+        let (bar0, bac0) = if b_trans { (br0, bc0 + k0) } else { (br0 + k0, bc0) };
+        let mut bp = Vec::new();
+        pack_b(b_src, b_stride, bar0, bac0, b_trans, kc, n, &mut bp);
+        bpacks.push((k0, kc, bp));
+        k0 += kc;
+        if k0 >= k {
+            break;
+        }
+    }
+    // Sub mode reads the current output values before overwriting them;
+    // stage each band's starting rows so workers never touch `c`.
+    let band_inits: Vec<Vec<f64>> = if neg {
+        (0..nblocks)
+            .map(|bi| {
+                let i0 = bi * BLOCK;
+                let rows = (m - i0).min(BLOCK);
+                let mut init = Vec::with_capacity(rows * n);
+                for r in 0..rows {
+                    init.extend_from_slice(&c[(cr0 + i0 + r) * c_stride + cc0..][..n]);
+                }
+                init
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let bands = relperf_parallel::parallel_map_indexed_with(
+        nblocks,
+        parallelism,
+        Vec::<f64>::new,
+        |apack, bi| {
+            let i0 = bi * BLOCK;
+            let rows = (m - i0).min(BLOCK);
+            let mut band = if neg {
+                band_inits[bi].clone()
+            } else {
+                vec![0.0; rows * n]
+            };
+            for (ci, (k0, kc, bp)) in bpacks.iter().enumerate() {
+                let (pr0, pc0) = if a_trans {
+                    (ar0 + k0, ac0 + i0)
+                } else {
+                    (ar0 + i0, ac0 + k0)
+                };
+                pack_a(a_src, a_stride, pr0, pc0, a_trans, neg, rows, *kc, apack);
+                drive_block(&mut band, n, rows, n, *kc, apack, bp, neg || ci > 0);
+            }
+            band
+        },
+    );
+    for (bi, band) in bands.iter().enumerate() {
+        let i0 = bi * BLOCK;
+        let rows = (m - i0).min(BLOCK);
+        for r in 0..rows {
+            c[(cr0 + i0 + r) * c_stride + cc0..][..n].copy_from_slice(&band[r * n..(r + 1) * n]);
+        }
+    }
+}
+
 /// Cache-blocked GEMM: the packed microkernel engine, serial.
 /// Bit-identical to [`gemm_naive`] for every shape.
 pub fn gemm_blocked(a: &Matrix, b: &Matrix) -> Result<Matrix> {
@@ -825,6 +936,84 @@ mod tests {
         let a = random_matrix(&mut rng, 31, 12);
         assert!(syrk_ata(&a).is_symmetric(1e-12));
         assert!(syrk_ata_blocked(&a).is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn region_parallel_bit_identical_to_serial_region() {
+        // The trailing-update shape of the factorizations: a sub-region at
+        // an offset, Sub mode, transposed-B variant included, with enough
+        // rows to span several BLOCK bands.
+        let mut rng = StdRng::seed_from_u64(14);
+        for (m, n, k, b_trans) in [
+            (BLOCK * 2 + 17, 40, 32, false),
+            (BLOCK + 1, NR + 3, KC + 9, false),
+            (BLOCK * 2 + 5, 33, 32, true),
+            (5, 4, 3, false),
+            (BLOCK * 3, 16, 0, false),
+        ] {
+            let a = random_matrix(&mut rng, m, k);
+            let b = if b_trans {
+                random_matrix(&mut rng, n, k)
+            } else {
+                random_matrix(&mut rng, k, n)
+            };
+            for mode in [Acc::Set, Acc::Sub] {
+                let c0 = random_matrix(&mut rng, m + 3, n + 2);
+                let mut serial = c0.clone();
+                let mut arena = PackArena::new();
+                gemm_region(
+                    serial.as_mut_slice(),
+                    n + 2,
+                    3,
+                    2,
+                    m,
+                    n,
+                    k,
+                    a.as_slice(),
+                    k,
+                    0,
+                    0,
+                    false,
+                    b.as_slice(),
+                    b.cols(),
+                    0,
+                    0,
+                    b_trans,
+                    mode,
+                    &mut arena,
+                );
+                for threads in [2usize, 3, 0] {
+                    let mut par = c0.clone();
+                    let mut arena = PackArena::new();
+                    gemm_region_parallel(
+                        par.as_mut_slice(),
+                        n + 2,
+                        3,
+                        2,
+                        m,
+                        n,
+                        k,
+                        a.as_slice(),
+                        k,
+                        0,
+                        0,
+                        false,
+                        b.as_slice(),
+                        b.cols(),
+                        0,
+                        0,
+                        b_trans,
+                        mode,
+                        &mut arena,
+                        Parallelism::with_threads(threads),
+                    );
+                    assert_eq!(
+                        par, serial,
+                        "m={m} n={n} k={k} b_trans={b_trans} {mode:?} threads={threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,8 +9,9 @@
 
 use crate::blas::axpy;
 use crate::error::{LinalgError, Result};
-use crate::gemm::{gemm_region, Acc, PackArena};
+use crate::gemm::{gemm_region, gemm_region_parallel, Acc, PackArena};
 use crate::matrix::Matrix;
+use relperf_parallel::Parallelism;
 
 /// Panel width of the blocked factorization.
 const PANEL: usize = 32;
@@ -46,6 +47,21 @@ impl Lu {
     /// [`LinalgError::Singular`] when no acceptable pivot exists in some
     /// column.
     pub fn factor(a: &Matrix) -> Result<Self> {
+        Self::factor_impl(a, None)
+    }
+
+    /// [`Lu::factor`] with the trailing `−L21·U12` updates fanned out over
+    /// row blocks (`gemm_region_parallel`) — the panel factorization and
+    /// `U12` sweep stay serial (they are O(n·PANEL²) next to the O(n³)
+    /// trailing update). Bit-identical to [`Lu::factor`] and
+    /// [`Lu::factor_reference`] for any [`Parallelism`], including the
+    /// serial fallback build: each trailing element's fused update sequence
+    /// is unchanged, only which thread computes its row band differs.
+    pub fn factor_parallel_with(a: &Matrix, parallelism: Parallelism) -> Result<Self> {
+        Self::factor_impl(a, Some(parallelism))
+    }
+
+    fn factor_impl(a: &Matrix, parallelism: Option<Parallelism>) -> Result<Self> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
                 op: "lu",
@@ -143,27 +159,17 @@ impl Lu {
                 dst.copy_from_slice(src);
             }
             let (panel_rows, trailing) = m.split_rows_mut(j1);
-            gemm_region(
-                trailing,
-                n,
-                0,
-                j1,
-                rows,
-                n - j1,
-                nb,
-                &l21,
-                nb,
-                0,
-                0,
-                false,
-                &panel_rows[j0 * n..],
-                n,
-                0,
-                j1,
-                false,
-                Acc::Sub,
-                &mut arena,
-            );
+            let b_src = &panel_rows[j0 * n..];
+            match parallelism {
+                None => gemm_region(
+                    trailing, n, 0, j1, rows, n - j1, nb, &l21, nb, 0, 0, false, b_src, n, 0,
+                    j1, false, Acc::Sub, &mut arena,
+                ),
+                Some(par) => gemm_region_parallel(
+                    trailing, n, 0, j1, rows, n - j1, nb, &l21, nb, 0, 0, false, b_src, n, 0,
+                    j1, false, Acc::Sub, &mut arena, par,
+                ),
+            }
         }
         Ok(Lu {
             packed: m,
@@ -399,6 +405,22 @@ mod tests {
                 (b, r) => panic!("diverging results: {b:?} vs {r:?}"),
             };
             assert_eq!(blocked, reference, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_trailing_update_bit_identical_to_serial() {
+        // Sizes chosen so the trailing submatrix spans several BLOCK row
+        // bands (n − PANEL > 2·BLOCK) and also degenerate/singleton bands.
+        let mut rng = StdRng::seed_from_u64(36);
+        for n in [1usize, PANEL + 1, 100, 2 * crate::gemm::BLOCK + PANEL + 7] {
+            let a = random_matrix(&mut rng, n, n);
+            let serial = Lu::factor(&a).unwrap();
+            for threads in [1usize, 2, 3, 0] {
+                let par =
+                    Lu::factor_parallel_with(&a, Parallelism::with_threads(threads)).unwrap();
+                assert_eq!(par, serial, "n={n} threads={threads}");
+            }
         }
     }
 

@@ -1,0 +1,267 @@
+//! Adaptive measurement campaigns driven *through* the service.
+//!
+//! A [`ServiceCampaign`] is the hosted counterpart of
+//! [`AdaptiveExperiment`](relperf_workloads::adaptive::AdaptiveExperiment):
+//! it draws measurement waves from the same carried per-placement RNG
+//! streams ([`draw_wave`]), but
+//! ingests and scores them by submitting `Extend`/`Score` ops to a
+//! [`SessionService`] instead of owning a private session — so many
+//! campaigns from many tenants share one scheduler, one comparator, and
+//! one capacity budget.
+//!
+//! Determinism carries over unchanged: the measurement draws are a pure
+//! function of the carried RNG states, and the service guarantees
+//! wave-for-wave bit-identity with a private
+//! [`ClusterSession`](relperf_core::session::ClusterSession) — so a
+//! service campaign's tables equal `AdaptiveExperiment`'s for the same
+//! seeds, budgets, and waves (tested in `tests/`).
+//!
+//! # Checkpoint / restore
+//!
+//! [`checkpoint`](ServiceCampaign::checkpoint) asks the service to
+//! snapshot the hosted session, then attaches the campaign's carried
+//! per-placement RNG states to the same [`snapshot`]
+//! container. [`resume`](ServiceCampaign::resume) restores the session
+//! into a service and continues every placement's stream exactly where it
+//! stopped — the resumed campaign's remaining waves are bit-identical to
+//! an uninterrupted run's.
+
+use crate::error::ServiceError;
+use crate::service::{OpOutcome, SessionOp, SessionService, SessionSpec, WaveOutcome};
+use crate::snapshot;
+use rand::rngs::StdRng;
+use relperf_core::cluster::{ClusterConfig, Parallelism};
+use relperf_core::session::ConvergenceCriterion;
+use relperf_measure::ScratchThreeWayComparator;
+use relperf_workloads::adaptive::{draw_wave, placement_rngs, WaveSchedule};
+use relperf_workloads::experiment::Experiment;
+
+/// A live hosted campaign (see the [module docs](self)).
+#[derive(Debug)]
+pub struct ServiceCampaign<'a, C: ScratchThreeWayComparator + Send + Sync> {
+    service: &'a SessionService<C>,
+    experiment: &'a Experiment,
+    tenant: u64,
+    session: u64,
+    schedule: WaveSchedule,
+    /// Fan-out of the measurement draws (the clustering parallelism is the
+    /// session's own config).
+    parallelism: Parallelism,
+    /// Placement `i`'s measurement RNG, carried across waves and into
+    /// checkpoints.
+    rngs: Vec<StdRng>,
+    /// Measurements drawn per placement so far.
+    drawn: usize,
+    /// The last scored wave, if any.
+    last: Option<WaveOutcome>,
+}
+
+impl<'a, C: ScratchThreeWayComparator + Send + Sync> ServiceCampaign<'a, C> {
+    /// Opens a hosted session for the campaign and sets up the carried
+    /// measurement streams (the same streams
+    /// [`measure_all_seeded`](relperf_workloads::experiment::measure_all_seeded)
+    /// would use under `measure_seed`).
+    ///
+    /// # Panics
+    /// Panics when the schedule is invalid (caller configuration, same
+    /// policy as `AdaptiveExperiment::new`); tenant-shaped problems (spec
+    /// validation, capacity) come back as typed errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        service: &'a SessionService<C>,
+        experiment: &'a Experiment,
+        tenant: u64,
+        session: u64,
+        config: ClusterConfig,
+        criterion: ConvergenceCriterion,
+        schedule: WaveSchedule,
+        measure_seed: u64,
+        cluster_seed: u64,
+    ) -> Result<Self, ServiceError> {
+        schedule.validate();
+        let p = experiment.placements.len();
+        service.create_session(
+            tenant,
+            session,
+            SessionSpec {
+                algorithms: p,
+                config,
+                seed: cluster_seed,
+                criterion,
+            },
+        )?;
+        Ok(ServiceCampaign {
+            service,
+            experiment,
+            tenant,
+            session,
+            schedule,
+            parallelism: config.parallelism,
+            rngs: placement_rngs(measure_seed, p),
+            drawn: 0,
+            last: None,
+        })
+    }
+
+    /// Resumes a campaign from checkpoint bytes produced by
+    /// [`checkpoint`](ServiceCampaign::checkpoint): restores the hosted
+    /// session and continues every placement's measurement stream from its
+    /// carried RNG state.
+    pub fn resume(
+        service: &'a SessionService<C>,
+        experiment: &'a Experiment,
+        tenant: u64,
+        session: u64,
+        schedule: WaveSchedule,
+        bytes: &[u8],
+    ) -> Result<Self, ServiceError> {
+        schedule.validate();
+        let snap = snapshot::decode(bytes)?;
+        let p = experiment.placements.len();
+        if snap.rng_states.len() != p || snap.state.samples.len() != p {
+            return Err(ServiceError::BadSnapshot(
+                crate::snapshot::SnapshotError::Malformed(
+                    "snapshot does not match the experiment's placement count",
+                ),
+            ));
+        }
+        // Uniform waves: every placement has drawn the same number of
+        // measurements.
+        let drawn = snap.state.samples[0].as_ref().map_or(0, |s| s.len());
+        let last = snap.state.table.as_ref().map(|table| WaveOutcome {
+            clustering: table.final_assignment(),
+            table: table.clone(),
+            converged: snap.state.converged,
+            waves: snap.state.waves,
+            stable_run: snap.state.stable_run,
+        });
+        let parallelism = snap.config.parallelism;
+        let rngs = snap.rng_states.iter().map(|&s| StdRng::from_state(s)).collect();
+        service.restore_snapshot(tenant, session, snap)?;
+        Ok(ServiceCampaign {
+            service,
+            experiment,
+            tenant,
+            session,
+            schedule,
+            parallelism,
+            rngs,
+            drawn,
+            last,
+        })
+    }
+
+    /// Measurements drawn per placement so far.
+    pub fn measurements_per_algorithm(&self) -> usize {
+        self.drawn
+    }
+
+    /// `true` once the hosted session's criterion has been met.
+    pub fn converged(&self) -> bool {
+        self.last.as_ref().is_some_and(|w| w.converged)
+    }
+
+    /// `true` while the budget allows another wave.
+    pub fn budget_remaining(&self) -> bool {
+        self.schedule.next_wave(self.drawn) > 0
+    }
+
+    /// The last scored wave, if any.
+    pub fn last_wave(&self) -> Option<&WaveOutcome> {
+        self.last.as_ref()
+    }
+
+    /// Draws the next measurement wave, submits one `Extend` per placement
+    /// plus a `Score` (atomically, via
+    /// [`SessionService::submit_all`] — a backpressure rejection queues
+    /// nothing and leaves the campaign's RNG streams untouched, so the
+    /// wave can simply be retried after a drain), and drives a scheduler
+    /// batch to completion.
+    ///
+    /// Note that [`SessionService::run_batch`] drains *all* queued work —
+    /// a campaign is a well-behaved co-driver of a shared service, not an
+    /// isolated client; other tenants' responses are simply delivered in
+    /// the same batch. The campaign assumes it is the only driver
+    /// *submitting ops for its own session* and that no other thread
+    /// drains batches concurrently (a racing driver surfaces as a typed
+    /// [`ServiceError::ResponseLost`], never a panic).
+    ///
+    /// # Panics
+    /// Panics when the budget is exhausted (check
+    /// [`budget_remaining`](ServiceCampaign::budget_remaining)).
+    pub fn wave(&mut self) -> Result<&WaveOutcome, ServiceError> {
+        let n = self.schedule.next_wave(self.drawn);
+        assert!(n > 0, "measurement budget exhausted");
+        // Draw on a copy of the carried streams; commit only once the
+        // whole wave is admitted, so a rejected wave consumes nothing.
+        let mut rngs = self.rngs.clone();
+        let waves = draw_wave(self.experiment, &mut rngs, n, self.parallelism);
+        let mut ops: Vec<SessionOp> = waves
+            .into_iter()
+            .enumerate()
+            .map(|(alg, values)| SessionOp::Extend { alg, values })
+            .collect();
+        ops.push(SessionOp::Score);
+        let seqs = self.service.submit_all(self.tenant, self.session, ops)?;
+        self.rngs = rngs;
+        self.drawn += n;
+        let score_seq = *seqs.last().expect("ops were non-empty");
+        let outcome = self.expect_outcome(score_seq)?;
+        let OpOutcome::Scored(wave) = outcome else {
+            unreachable!("a Score op answers with Scored");
+        };
+        self.last = Some(wave);
+        Ok(self.last.as_ref().expect("just stored"))
+    }
+
+    /// Runs waves until the criterion is met or the budget is exhausted;
+    /// `Ok(true)` when the campaign converged.
+    pub fn run_to_convergence(&mut self) -> Result<bool, ServiceError> {
+        while !self.converged() && self.budget_remaining() {
+            self.wave()?;
+        }
+        Ok(self.converged())
+    }
+
+    /// Checkpoints the campaign: the hosted session's snapshot with this
+    /// campaign's carried per-placement RNG states attached.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, ServiceError> {
+        let seq = self
+            .service
+            .submit(self.tenant, self.session, SessionOp::Snapshot)?;
+        let outcome = self.expect_outcome(seq)?;
+        let OpOutcome::Snapshot(bytes) = outcome else {
+            unreachable!("a Snapshot op answers with Snapshot");
+        };
+        let mut snap = snapshot::decode(&bytes)?;
+        snap.rng_states = self.rngs.iter().map(StdRng::state).collect();
+        Ok(snapshot::encode(&snap))
+    }
+
+    /// Closes the hosted session, freeing its slot.
+    pub fn close(self) -> Result<(), ServiceError> {
+        let seq = self
+            .service
+            .submit(self.tenant, self.session, SessionOp::Close)?;
+        self.expect_outcome(seq).map(|_| ())
+    }
+
+    /// Runs a batch and extracts the response to `seq`, surfacing the
+    /// first error among this campaign's other responses. When a racing
+    /// driver drained the batch first the response is gone from our view:
+    /// that is reported as [`ServiceError::ResponseLost`], not a panic.
+    fn expect_outcome(&self, seq: u64) -> Result<OpOutcome, ServiceError> {
+        let mut wanted = None;
+        for response in self.service.run_batch() {
+            if response.key.tenant != self.tenant || response.key.session != self.session {
+                continue;
+            }
+            match response.result {
+                Err(e) => return Err(e),
+                Ok(outcome) if response.seq == seq => wanted = Some(outcome),
+                Ok(_) => {}
+            }
+        }
+        wanted.ok_or(ServiceError::ResponseLost { seq })
+    }
+}

@@ -1,0 +1,85 @@
+//! Multi-tenant hosted session service for the measure → compare → cluster
+//! pipeline.
+//!
+//! Everything below this crate is a single-caller library: one
+//! [`ClusterSession`](relperf_core::session::ClusterSession), one driver.
+//! This crate turns those sessions into **first-class hosted objects** so
+//! thousands of concurrent clustering campaigns — many tenants, many
+//! sessions each — can share one process, one comparator, and one
+//! scheduler, with admission control, load metrics, and durability:
+//!
+//! * [`service`] — the [`SessionService`]: a
+//!   **sharded registry** (fixed array of mutex-guarded shards, lock per
+//!   shard, capacity-bounded with LRU idle eviction) plus a
+//!   **deterministic batch scheduler** that drains queued `Push` /
+//!   `Extend` / `Score` / `Snapshot` / `Close` ops in `(tenant, seq)`
+//!   order and fans independent sessions' score waves across worker
+//!   threads. For any request interleaving, shard count, and thread count
+//!   the served results are **bit-identical** to driving each session
+//!   directly.
+//! * [`error`] — typed admission/backpressure errors: the service rejects,
+//!   it never panics on tenant input and never blocks a caller.
+//! * [`stats`] — atomic counters (requests, rejections, batches, waves,
+//!   evictions) read as one [`ServiceStats`].
+//! * [`snapshot`] — a hand-rolled, versioned, checksummed binary
+//!   checkpoint format (no serde — offline constraint): samples,
+//!   convergence state, score table, and carried measurement RNG states. A
+//!   restored session continues **wave-for-wave identically** to one that
+//!   never stopped.
+//! * [`campaign`] — adaptive measurement campaigns
+//!   ([`ServiceCampaign`]) driven through the
+//!   service instead of a private session, checkpointable mid-flight.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use relperf_service::prelude::*;
+//! use relperf_measure::compare::MedianComparator;
+//!
+//! let service = SessionService::new(
+//!     MedianComparator::new(0.05),
+//!     8,                        // registry shards
+//!     Parallelism::auto(),      // scheduler fan-out
+//!     ServiceLimits::default(),
+//! );
+//! // Tenant 7 opens session 1 over two algorithms.
+//! service.create_session(7, 1, SessionSpec::new(2, 42)).unwrap();
+//! service.submit(7, 1, SessionOp::Extend { alg: 0, values: vec![1.0, 1.1, 0.9] }).unwrap();
+//! service.submit(7, 1, SessionOp::Extend { alg: 1, values: vec![2.0, 2.1, 1.9] }).unwrap();
+//! let seq = service.submit(7, 1, SessionOp::Score).unwrap();
+//! let responses = service.run_batch();
+//! let scored = responses.iter().find(|r| r.seq == seq).unwrap();
+//! let Ok(OpOutcome::Scored(wave)) = &scored.result else { panic!() };
+//! assert_eq!(wave.clustering.num_classes(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod error;
+pub mod service;
+pub mod snapshot;
+pub mod stats;
+
+pub use campaign::ServiceCampaign;
+pub use error::ServiceError;
+pub use service::{
+    OpOutcome, OpResponse, SessionKey, SessionOp, SessionService, SessionSpec, SessionStatus,
+    ServiceLimits, SharedComparator, WaveOutcome,
+};
+pub use snapshot::{SessionSnapshot, SnapshotError};
+pub use stats::ServiceStats;
+
+/// The commonly used service surface, re-exported flat.
+pub mod prelude {
+    pub use crate::campaign::ServiceCampaign;
+    pub use crate::error::ServiceError;
+    pub use crate::service::{
+        OpOutcome, OpResponse, SessionKey, SessionOp, SessionService, SessionSpec, SessionStatus,
+        ServiceLimits, WaveOutcome,
+    };
+    pub use crate::snapshot::{SessionSnapshot, SnapshotError};
+    pub use crate::stats::ServiceStats;
+    pub use relperf_core::cluster::{ClusterConfig, Parallelism};
+    pub use relperf_core::session::ConvergenceCriterion;
+}

@@ -1,0 +1,886 @@
+//! The hosted session service: sharded registry + deterministic batch
+//! scheduler + admission control.
+//!
+//! # Sharding
+//!
+//! Sessions are keyed by `(tenant, session)` and live in a **fixed array
+//! of mutex-guarded shards**, each holding a hash map of hosted sessions
+//! and that shard's request queue. The shard of a key is a pure function
+//! of the key (`stream_seed(tenant, session) % shards`), so placement is
+//! stable across runs and no global lock exists anywhere: admission takes
+//! one shard lock; the scheduler takes each shard lock briefly to drain
+//! its queue and to check sessions in and out. Shards are
+//! capacity-bounded; an over-capacity insert evicts the least-recently
+//! used *idle* (no pending ops) session, or rejects when none is idle.
+//!
+//! # Deterministic batch scheduling
+//!
+//! [`SessionService::submit`] only enqueues; [`SessionService::run_batch`]
+//! drains every shard queue, orders all ops by `(tenant, seq)` — `seq` is
+//! a global monotone ticket, so each tenant's ops keep their submission
+//! order — groups them per session, and executes each session's group
+//! sequentially while **independent sessions fan out across worker
+//! threads** via
+//! [`parallel_map_indexed_with`](relperf_parallel::parallel_map_indexed_with).
+//! A session's results depend only on its own op sequence (everything
+//! underneath is the seeded, stream-addressed engine), so for **any**
+//! cross-tenant interleaving, shard count, and thread count the served
+//! tables are bit-identical to driving a private
+//! [`ClusterSession`] with the same
+//! ops — property-tested in `tests/`.
+//!
+//! # Admission control
+//!
+//! Every rejection is a typed [`ServiceError`] and every accepted op
+//! eventually gets a response from `run_batch` — the service never blocks
+//! a caller and never panics on tenant input. Per-tenant in-flight caps
+//! and per-shard queue depth bounds provide backpressure under overload.
+
+use crate::error::ServiceError;
+use crate::snapshot::{self, SessionSnapshot};
+use crate::stats::{ServiceStats, StatCounters};
+use relperf_core::cluster::{ClusterConfig, Clustering, Parallelism, ScoreTable};
+use relperf_core::session::{ClusterSession, ConvergenceCriterion};
+use relperf_measure::{
+    stream_seed, Outcome, Sample, ScratchThreeWayComparator, SeededThreeWayComparator,
+    ThreeWayComparator,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identifies one hosted session: a tenant id plus the tenant's own
+/// session id. Different tenants' sessions never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionKey {
+    /// The owning tenant.
+    pub tenant: u64,
+    /// The session id within the tenant's namespace.
+    pub session: u64,
+}
+
+/// Everything needed to open a fresh session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionSpec {
+    /// Number of algorithms `p` the session clusters.
+    pub algorithms: usize,
+    /// Clustering configuration (repetitions, schedule; the parallelism
+    /// only moves work around — results never depend on it).
+    pub config: ClusterConfig,
+    /// Clustering seed.
+    pub seed: u64,
+    /// Convergence criterion.
+    pub criterion: ConvergenceCriterion,
+}
+
+impl SessionSpec {
+    /// A spec over `algorithms` with the given seed and default config /
+    /// criterion.
+    pub fn new(algorithms: usize, seed: u64) -> Self {
+        SessionSpec {
+            algorithms,
+            config: ClusterConfig::default(),
+            seed,
+            criterion: ConvergenceCriterion::default(),
+        }
+    }
+}
+
+/// One queued request against a hosted session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOp {
+    /// Ingest one measurement for algorithm `alg`.
+    Push {
+        /// Algorithm index.
+        alg: usize,
+        /// The measurement.
+        value: f64,
+    },
+    /// Ingest a wave of measurements for algorithm `alg`.
+    Extend {
+        /// Algorithm index.
+        alg: usize,
+        /// The measurements, in order.
+        values: Vec<f64>,
+    },
+    /// Run one scored wave over the session's current samples.
+    Score,
+    /// Serialize the session into a checkpoint (see [`crate::snapshot`]).
+    Snapshot,
+    /// Close the session and free its slot.
+    Close,
+}
+
+/// What one scored wave produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveOutcome {
+    /// The wave's score table.
+    pub table: ScoreTable,
+    /// The wave's final clustering.
+    pub clustering: Clustering,
+    /// Whether the session's criterion has been met.
+    pub converged: bool,
+    /// Scored waves so far (including this one).
+    pub waves: usize,
+    /// Consecutive stable waves so far.
+    pub stable_run: usize,
+}
+
+/// The successful result of one executed [`SessionOp`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpOutcome {
+    /// A `Push`/`Extend` was applied.
+    Ingested,
+    /// A `Score` ran (or replayed the previous table when no evidence
+    /// arrived since the last wave — see
+    /// [`ClusterSession::score`](relperf_core::session::ClusterSession::score)).
+    Scored(WaveOutcome),
+    /// A `Snapshot` serialized the session.
+    Snapshot(Vec<u8>),
+    /// A `Close` removed the session.
+    Closed,
+}
+
+/// The response to one submitted op, delivered by
+/// [`SessionService::run_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpResponse {
+    /// The session the op addressed.
+    pub key: SessionKey,
+    /// The op's admission ticket (as returned by
+    /// [`SessionService::submit`]).
+    pub seq: u64,
+    /// What happened.
+    pub result: Result<OpOutcome, ServiceError>,
+}
+
+/// Capacity bounds enforced by admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceLimits {
+    /// Hosted sessions per shard; the LRU idle session is evicted to admit
+    /// a new one beyond this.
+    pub sessions_per_shard: usize,
+    /// Queued ops per tenant across all shards (in-flight cap).
+    pub tenant_in_flight: usize,
+    /// Queued ops per shard (queue-depth backpressure).
+    pub shard_queue_depth: usize,
+}
+
+impl Default for ServiceLimits {
+    /// Generous defaults for library use; services facing real tenants
+    /// should size these to their memory budget.
+    fn default() -> Self {
+        ServiceLimits {
+            sessions_per_shard: 1024,
+            tenant_in_flight: 4096,
+            shard_queue_depth: 65536,
+        }
+    }
+}
+
+/// A cheap observable summary of one hosted session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// Number of algorithms `p`.
+    pub algorithms: usize,
+    /// Measurements ingested across all algorithms.
+    pub total_measurements: usize,
+    /// Scored waves so far.
+    pub waves: usize,
+    /// Whether the convergence criterion has been met.
+    pub converged: bool,
+    /// Ops currently queued against this session.
+    pub pending: usize,
+}
+
+/// Shares one comparator instance across every hosted session: all three
+/// comparator traits take `&self`, so an [`Arc`] delegates transparently
+/// (sessions move between scheduler workers; the comparator itself is
+/// `Sync` and never cloned).
+#[derive(Debug)]
+pub struct SharedComparator<C>(Arc<C>);
+
+impl<C> Clone for SharedComparator<C> {
+    fn clone(&self) -> Self {
+        SharedComparator(Arc::clone(&self.0))
+    }
+}
+
+impl<C: ThreeWayComparator> ThreeWayComparator for SharedComparator<C> {
+    fn compare(&self, a: &Sample, b: &Sample) -> Outcome {
+        self.0.compare(a, b)
+    }
+}
+
+impl<C: SeededThreeWayComparator> SeededThreeWayComparator for SharedComparator<C> {
+    fn compare_seeded(&self, a: &Sample, b: &Sample, stream: u64) -> Outcome {
+        self.0.compare_seeded(a, b, stream)
+    }
+}
+
+impl<C: ScratchThreeWayComparator> ScratchThreeWayComparator for SharedComparator<C> {
+    type Scratch = C::Scratch;
+
+    fn new_scratch(&self) -> C::Scratch {
+        self.0.new_scratch()
+    }
+
+    fn compare_seeded_scratch(
+        &self,
+        scratch: &mut C::Scratch,
+        a: &Sample,
+        b: &Sample,
+        stream: u64,
+    ) -> Outcome {
+        self.0.compare_seeded_scratch(scratch, a, b, stream)
+    }
+}
+
+/// A hosted session plus its registry bookkeeping.
+struct Hosted<C: ScratchThreeWayComparator + Send + Sync> {
+    /// `None` while a running batch has the session checked out. The
+    /// entry itself stays in the map, so admission keeps seeing the
+    /// session as alive: `create_session` on the key still reports
+    /// `SessionExists`, and `submit` keeps enqueuing (the ops run in the
+    /// next batch).
+    session: Option<ClusterSession<SharedComparator<C>>>,
+    /// Summary cached at insert/check-in so admission validation and
+    /// status reads stay answerable while the session is checked out.
+    algorithms: usize,
+    total_measurements: usize,
+    waves: usize,
+    converged: bool,
+    /// Logical time of the last touch (submit or execution) — the LRU
+    /// eviction key.
+    last_used: u64,
+    /// Ops queued but not yet executed; only idle (`pending == 0`)
+    /// sessions are evictable.
+    pending: usize,
+}
+
+impl<C: ScratchThreeWayComparator + Send + Sync> Hosted<C> {
+    fn new(session: ClusterSession<SharedComparator<C>>, tick: u64) -> Self {
+        let mut hosted = Hosted {
+            algorithms: session.num_algorithms(),
+            total_measurements: 0,
+            waves: 0,
+            converged: false,
+            last_used: tick,
+            pending: 0,
+            session: None,
+        };
+        hosted.refresh(&session);
+        hosted.session = Some(session);
+        hosted
+    }
+
+    /// Re-caches the observable summary from the live session.
+    fn refresh(&mut self, session: &ClusterSession<SharedComparator<C>>) {
+        self.total_measurements = session.total_measurements();
+        self.waves = session.waves();
+        self.converged = session.converged();
+    }
+}
+
+/// One queued op with its ordering ticket.
+struct QueuedOp {
+    key: SessionKey,
+    seq: u64,
+    op: SessionOp,
+}
+
+/// One shard: a slice of the session map plus its request queue, guarded
+/// by a single mutex (lock per shard, never a global lock).
+struct Shard<C: ScratchThreeWayComparator + Send + Sync> {
+    sessions: HashMap<SessionKey, Hosted<C>>,
+    queue: Vec<QueuedOp>,
+}
+
+/// One scheduler work item: a session's checked-out state plus its op
+/// group for this batch.
+struct Job<C: ScratchThreeWayComparator + Send + Sync> {
+    key: SessionKey,
+    /// The checked-out session; `None` when the registry entry was gone
+    /// (evicted between submit and batch), or after a `Close` executed.
+    session: Option<ClusterSession<SharedComparator<C>>>,
+    /// Whether checkout found a live session — distinguishes "closed by
+    /// this batch" from "was already gone" at check-in (a new session may
+    /// have been created under the same key in the meantime and must not
+    /// be touched).
+    live: bool,
+    ops: Vec<(u64, SessionOp)>,
+}
+
+/// The multi-tenant session service (see the [module docs](self)).
+pub struct SessionService<C: ScratchThreeWayComparator + Send + Sync> {
+    comparator: Arc<C>,
+    shards: Box<[Mutex<Shard<C>>]>,
+    limits: ServiceLimits,
+    /// How scored waves of *independent sessions* fan out in `run_batch`.
+    scheduler: Parallelism,
+    /// Queued ops per tenant (the in-flight admission counter).
+    tenants: Mutex<HashMap<u64, usize>>,
+    /// Global monotone ticket counter; per-tenant tickets are monotone
+    /// because each tenant submits its own ops in order.
+    seq: AtomicU64,
+    /// Logical clock for LRU bookkeeping.
+    clock: AtomicU64,
+    stats: StatCounters,
+}
+
+impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
+    /// A service sharing `comparator` across all sessions, with `shards`
+    /// registry shards and the given scheduler parallelism and limits.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0` or a limit is zero.
+    pub fn new(comparator: C, shards: usize, scheduler: Parallelism, limits: ServiceLimits) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(limits.sessions_per_shard > 0, "zero-capacity shards");
+        assert!(limits.tenant_in_flight > 0, "zero tenant in-flight cap");
+        assert!(limits.shard_queue_depth > 0, "zero queue depth");
+        SessionService {
+            comparator: Arc::new(comparator),
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        sessions: HashMap::new(),
+                        queue: Vec::new(),
+                    })
+                })
+                .collect(),
+            limits,
+            scheduler,
+            tenants: Mutex::new(HashMap::new()),
+            seq: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            stats: StatCounters::default(),
+        }
+    }
+
+    /// The shard hosting `key` — a pure function of the key, so placement
+    /// is stable across runs and processes.
+    fn shard_of(&self, key: SessionKey) -> usize {
+        (stream_seed(key.tenant, key.session) % self.shards.len() as u64) as usize
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn shard(&self, idx: usize) -> std::sync::MutexGuard<'_, Shard<C>> {
+        self.shards[idx].lock().expect("shard poisoned")
+    }
+
+    /// Opens a fresh session. All spec validation is typed — a bad tenant
+    /// spec is rejected, never a panic (the criterion goes through
+    /// [`ConvergenceCriterion::try_validate`]).
+    pub fn create_session(
+        &self,
+        tenant: u64,
+        session: u64,
+        spec: SessionSpec,
+    ) -> Result<(), ServiceError> {
+        StatCounters::bump(&self.stats.requests);
+        self.admit(tenant, session, spec)
+            .inspect_err(|_| StatCounters::bump(&self.stats.rejections))
+    }
+
+    fn admit(&self, tenant: u64, session: u64, spec: SessionSpec) -> Result<(), ServiceError> {
+        if spec.algorithms == 0 {
+            return Err(ServiceError::NoAlgorithms);
+        }
+        if spec.config.repetitions == 0 {
+            return Err(ServiceError::NoRepetitions);
+        }
+        spec.criterion.try_validate()?;
+        let session_obj = ClusterSession::with_criterion(
+            spec.algorithms,
+            SharedComparator(Arc::clone(&self.comparator)),
+            spec.config,
+            spec.seed,
+            spec.criterion,
+        );
+        self.insert(SessionKey { tenant, session }, session_obj)
+    }
+
+    /// Rebuilds a session from checkpoint bytes produced by a `Snapshot`
+    /// op (or [`snapshot::encode`]). The restored session continues
+    /// wave-for-wave identically to one that never stopped; any carried
+    /// RNG states in the snapshot are ignored here (they belong to the
+    /// campaign layer, see [`crate::campaign`]).
+    pub fn restore_session(
+        &self,
+        tenant: u64,
+        session: u64,
+        bytes: &[u8],
+    ) -> Result<(), ServiceError> {
+        StatCounters::bump(&self.stats.requests);
+        snapshot::decode(bytes)
+            .map_err(ServiceError::from)
+            .and_then(|snap| self.readmit(tenant, session, snap))
+            .inspect_err(|_| StatCounters::bump(&self.stats.rejections))
+    }
+
+    /// [`restore_session`](SessionService::restore_session) for an
+    /// already-decoded snapshot — callers that inspected the snapshot
+    /// first (e.g. [`ServiceCampaign::resume`](crate::campaign::ServiceCampaign::resume),
+    /// which needs the RNG states) avoid decoding the bytes twice.
+    pub fn restore_snapshot(
+        &self,
+        tenant: u64,
+        session: u64,
+        snap: SessionSnapshot,
+    ) -> Result<(), ServiceError> {
+        StatCounters::bump(&self.stats.requests);
+        self.readmit(tenant, session, snap)
+            .inspect_err(|_| StatCounters::bump(&self.stats.rejections))
+    }
+
+    fn readmit(
+        &self,
+        tenant: u64,
+        session: u64,
+        snap: SessionSnapshot,
+    ) -> Result<(), ServiceError> {
+        // The codec guarantees these hold for decoded bytes, but
+        // `restore_snapshot` accepts caller-built values — re-check them
+        // typed so the session constructors below can never panic on
+        // tenant input.
+        let p = snap.state.samples.len();
+        if p == 0 {
+            return Err(ServiceError::NoAlgorithms);
+        }
+        if snap.config.repetitions == 0 {
+            return Err(ServiceError::NoRepetitions);
+        }
+        snap.criterion.try_validate()?;
+        if snap.state.dirty.len() != p
+            || snap
+                .state
+                .table
+                .as_ref()
+                .is_some_and(|t| t.num_algorithms() != p)
+        {
+            return Err(ServiceError::BadSnapshot(
+                crate::snapshot::SnapshotError::Malformed(
+                    "snapshot state vectors disagree about the algorithm count",
+                ),
+            ));
+        }
+        let session_obj = ClusterSession::restore(
+            SharedComparator(Arc::clone(&self.comparator)),
+            snap.config,
+            snap.seed,
+            snap.criterion,
+            snap.state,
+        );
+        self.insert(SessionKey { tenant, session }, session_obj)
+    }
+
+    /// Registers a session, evicting the LRU idle resident when the shard
+    /// is at capacity. Checked-out and pending-op sessions are never
+    /// evicted.
+    fn insert(
+        &self,
+        key: SessionKey,
+        session: ClusterSession<SharedComparator<C>>,
+    ) -> Result<(), ServiceError> {
+        let idx = self.shard_of(key);
+        let tick = self.tick();
+        let mut shard = self.shard(idx);
+        if shard.sessions.contains_key(&key) {
+            return Err(ServiceError::SessionExists {
+                tenant: key.tenant,
+                session: key.session,
+            });
+        }
+        if shard.sessions.len() >= self.limits.sessions_per_shard {
+            let victim = shard
+                .sessions
+                .iter()
+                .filter(|(_, h)| h.pending == 0 && h.session.is_some())
+                .min_by_key(|(k, h)| (h.last_used, **k))
+                .map(|(k, _)| *k);
+            match victim {
+                Some(v) => {
+                    shard.sessions.remove(&v);
+                    StatCounters::bump(&self.stats.evictions);
+                }
+                None => {
+                    return Err(ServiceError::ShardFull {
+                        shard: idx,
+                        capacity: self.limits.sessions_per_shard,
+                    })
+                }
+            }
+        }
+        shard.sessions.insert(key, Hosted::new(session, tick));
+        Ok(())
+    }
+
+    /// Enqueues one op against a hosted session, returning its ticket.
+    /// The op executes at the next [`run_batch`](SessionService::run_batch);
+    /// rejection (unknown session, in-flight cap, queue depth, bad
+    /// algorithm index) is immediate and typed — the caller is never
+    /// blocked.
+    pub fn submit(&self, tenant: u64, session: u64, op: SessionOp) -> Result<u64, ServiceError> {
+        let seqs = self.submit_all(tenant, session, vec![op])?;
+        Ok(seqs[0])
+    }
+
+    /// Atomically enqueues a group of ops against one session: either
+    /// every op is admitted (returning their tickets, in order) or none
+    /// is. This is the transactional form campaign drivers need — a
+    /// mid-group `TenantBusy`/`QueueFull` cannot leave half a wave queued.
+    pub fn submit_all(
+        &self,
+        tenant: u64,
+        session: u64,
+        ops: Vec<SessionOp>,
+    ) -> Result<Vec<u64>, ServiceError> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = ops.len() as u64;
+        self.stats.requests.fetch_add(n, Ordering::Relaxed);
+        self.enqueue_all(tenant, session, ops)
+            .inspect_err(|_| {
+                self.stats.rejections.fetch_add(n, Ordering::Relaxed);
+            })
+    }
+
+    fn enqueue_all(
+        &self,
+        tenant: u64,
+        session: u64,
+        ops: Vec<SessionOp>,
+    ) -> Result<Vec<u64>, ServiceError> {
+        let key = SessionKey { tenant, session };
+        let n = ops.len();
+        // Reserve the in-flight slots first (tenant lock), then validate
+        // under the shard lock; the two locks are never held together.
+        {
+            let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+            let in_flight = tenants.entry(tenant).or_insert(0);
+            if *in_flight + n > self.limits.tenant_in_flight {
+                return Err(ServiceError::TenantBusy {
+                    tenant,
+                    in_flight: *in_flight,
+                    cap: self.limits.tenant_in_flight,
+                });
+            }
+            *in_flight += n;
+        }
+        let idx = self.shard_of(key);
+        let tick = self.tick();
+        let result = {
+            let mut guard = self.shard(idx);
+            let shard = &mut *guard;
+            if shard.queue.len() + n > self.limits.shard_queue_depth {
+                Err(ServiceError::QueueFull {
+                    shard: idx,
+                    depth: shard.queue.len(),
+                    cap: self.limits.shard_queue_depth,
+                })
+            } else {
+                match shard.sessions.get_mut(&key) {
+                    None => Err(ServiceError::SessionUnknown { tenant, session }),
+                    Some(hosted) => {
+                        let p = hosted.algorithms;
+                        let bad_alg = ops.iter().find_map(|op| match op {
+                            SessionOp::Push { alg, .. } | SessionOp::Extend { alg, .. }
+                                if *alg >= p =>
+                            {
+                                Some(*alg)
+                            }
+                            _ => None,
+                        });
+                        match bad_alg {
+                            Some(alg) => Err(ServiceError::AlgorithmOutOfRange { alg, p }),
+                            None => {
+                                hosted.pending += n;
+                                hosted.last_used = tick;
+                                let first = self.seq.fetch_add(n as u64, Ordering::Relaxed);
+                                let seqs: Vec<u64> = (0..n as u64).map(|i| first + i).collect();
+                                for (seq, op) in seqs.iter().zip(ops) {
+                                    shard.queue.push(QueuedOp { key, seq: *seq, op });
+                                }
+                                Ok(seqs)
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        if result.is_err() {
+            // Give the reserved in-flight slots back on rejection.
+            self.release_in_flight(tenant, n);
+        }
+        result
+    }
+
+    /// Returns `n` in-flight slots to `tenant`, dropping the map entry
+    /// when its count reaches zero — so a client probing arbitrary tenant
+    /// ids cannot grow the admission map without bound.
+    fn release_in_flight(&self, tenant: u64, n: usize) {
+        let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+        if let Some(in_flight) = tenants.get_mut(&tenant) {
+            *in_flight = in_flight.saturating_sub(n);
+            if *in_flight == 0 {
+                tenants.remove(&tenant);
+            }
+        }
+    }
+
+    /// Drains every shard queue and executes one scheduler batch:
+    /// ops ordered by `(tenant, seq)`, grouped per session, each session's
+    /// group applied sequentially while independent sessions' waves fan
+    /// out across threads. Responses come back sorted by `(tenant, seq)`.
+    ///
+    /// Determinism: a session's responses depend only on its own op
+    /// sequence (and its spec/seed), never on batch boundaries, shard
+    /// count, thread count, or what other tenants did — bit-identical to
+    /// driving a private `ClusterSession` with the same calls.
+    ///
+    /// Concurrency: sessions stay registered while a batch executes them
+    /// (marked checked-out), so concurrent `create_session` on a live key
+    /// still reports `SessionExists` and concurrent `submit`s keep
+    /// enqueuing for the next batch. If two `run_batch` calls race, ops
+    /// addressing a session the other batch holds are simply carried over
+    /// to the next batch (their responses arrive there) — never lost,
+    /// never run out of order.
+    pub fn run_batch(&self) -> Vec<OpResponse> {
+        StatCounters::bump(&self.stats.batches);
+        let mut entries: Vec<QueuedOp> = Vec::new();
+        for idx in 0..self.shards.len() {
+            entries.append(&mut self.shard(idx).queue);
+        }
+        entries.sort_by_key(|e| (e.key.tenant, e.seq));
+
+        // Group per session, preserving the global (tenant, seq) order
+        // within each group.
+        let mut group_of: HashMap<SessionKey, usize> = HashMap::new();
+        let mut groups: Vec<(SessionKey, Vec<(u64, SessionOp)>)> = Vec::new();
+        for e in entries {
+            let gi = *group_of.entry(e.key).or_insert_with(|| {
+                groups.push((e.key, Vec::new()));
+                groups.len() - 1
+            });
+            groups[gi].1.push((e.seq, e.op));
+        }
+
+        // Check each involved session out of its shard (the entry stays,
+        // marked checked-out). A missing entry means the session was
+        // evicted since submit — its ops fail typed. An entry already
+        // checked out by a concurrently running batch gets its ops pushed
+        // back for the next batch.
+        let mut jobs: Vec<Mutex<Job<C>>> = Vec::new();
+        for (key, ops) in groups {
+            let mut shard = self.shard(self.shard_of(key));
+            match shard.sessions.get_mut(&key) {
+                Some(hosted) => match hosted.session.take() {
+                    Some(session) => jobs.push(Mutex::new(Job {
+                        key,
+                        session: Some(session),
+                        live: true,
+                        ops,
+                    })),
+                    None => shard
+                        .queue
+                        .extend(ops.into_iter().map(|(seq, op)| QueuedOp { key, seq, op })),
+                },
+                None => jobs.push(Mutex::new(Job {
+                    key,
+                    session: None,
+                    live: false,
+                    ops,
+                })),
+            }
+        }
+
+        // Fan independent sessions across workers. Each job is locked by
+        // exactly one worker (uncontended — the Mutex only converts the
+        // shared borrow into the mutable one the session needs).
+        let stats = &self.stats;
+        let per_job: Vec<Vec<OpResponse>> = relperf_parallel::parallel_map_indexed_with(
+            jobs.len(),
+            self.scheduler,
+            || (),
+            |(), i| {
+                let mut job = jobs[i].lock().expect("job poisoned");
+                let Job { key, session, ops, .. } = &mut *job;
+                run_session_ops(*key, session, std::mem::take(ops), stats)
+            },
+        );
+
+        // Check sessions back in and release bookkeeping.
+        let tick = self.tick();
+        for (job, responses) in jobs.into_iter().zip(&per_job) {
+            let job = job.into_inner().expect("job poisoned");
+            if !job.live {
+                // Nothing was checked out; if a *new* session has been
+                // created under this key meanwhile, it is not ours to
+                // touch.
+                continue;
+            }
+            let mut shard = self.shard(self.shard_of(job.key));
+            if let Some(hosted) = shard.sessions.get_mut(&job.key) {
+                hosted.pending = hosted.pending.saturating_sub(responses.len());
+                hosted.last_used = tick;
+                match job.session {
+                    Some(session) => {
+                        hosted.refresh(&session);
+                        hosted.session = Some(session);
+                    }
+                    // Closed by this batch: drop the registry entry.
+                    None => {
+                        shard.sessions.remove(&job.key);
+                    }
+                }
+            }
+        }
+        let mut responses: Vec<OpResponse> = per_job.into_iter().flatten().collect();
+        let mut executed_per_tenant: HashMap<u64, usize> = HashMap::new();
+        for r in &responses {
+            *executed_per_tenant.entry(r.key.tenant).or_insert(0) += 1;
+        }
+        for (tenant, n) in executed_per_tenant {
+            self.release_in_flight(tenant, n);
+        }
+        responses.sort_by_key(|r| (r.key.tenant, r.seq));
+        responses
+    }
+
+    /// A cheap status read of one hosted session (served from the cached
+    /// summary, so it stays answerable while a batch has the session
+    /// checked out).
+    pub fn session_status(&self, tenant: u64, session: u64) -> Option<SessionStatus> {
+        let key = SessionKey { tenant, session };
+        let shard = self.shard(self.shard_of(key));
+        shard.sessions.get(&key).map(|h| SessionStatus {
+            algorithms: h.algorithms,
+            total_measurements: h.total_measurements,
+            waves: h.waves,
+            converged: h.converged,
+            pending: h.pending,
+        })
+    }
+
+    /// Number of sessions currently hosted across all shards.
+    pub fn num_sessions(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).sessions.len())
+            .sum()
+    }
+
+    /// Number of registry shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The service's capacity limits.
+    pub fn limits(&self) -> ServiceLimits {
+        self.limits
+    }
+
+    /// A point-in-time reading of the load counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.snapshot()
+    }
+}
+
+impl<C: ScratchThreeWayComparator + Send + Sync> std::fmt::Debug for SessionService<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionService")
+            .field("shards", &self.shards.len())
+            .field("sessions", &self.num_sessions())
+            .field("limits", &self.limits)
+            .field("stats", &self.stats.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Executes one session's op group in `(tenant, seq)` order. `session` is
+/// `None` when the registry entry was gone at checkout (every op fails
+/// typed); it is set to `None` on `Close` so check-in drops the entry.
+fn run_session_ops<C: ScratchThreeWayComparator + Send + Sync>(
+    key: SessionKey,
+    session: &mut Option<ClusterSession<SharedComparator<C>>>,
+    ops: Vec<(u64, SessionOp)>,
+    stats: &StatCounters,
+) -> Vec<OpResponse> {
+    let mut responses = Vec::with_capacity(ops.len());
+    for (seq, op) in ops {
+        let result = match session.as_mut() {
+            None => Err(ServiceError::SessionUnknown {
+                tenant: key.tenant,
+                session: key.session,
+            }),
+            Some(live) => run_op(live, op, stats),
+        };
+        let closed = matches!(result, Ok(OpOutcome::Closed));
+        responses.push(OpResponse { key, seq, result });
+        if closed {
+            *session = None;
+        }
+    }
+    responses
+}
+
+/// Executes one op against a live session. Never panics on tenant input:
+/// index and readiness preconditions are re-checked here (defense in
+/// depth — `submit` validated indices already).
+fn run_op<C: ScratchThreeWayComparator + Send + Sync>(
+    session: &mut ClusterSession<SharedComparator<C>>,
+    op: SessionOp,
+    stats: &StatCounters,
+) -> Result<OpOutcome, ServiceError> {
+    let p = session.num_algorithms();
+    match op {
+        SessionOp::Push { alg, value } => {
+            if alg >= p {
+                return Err(ServiceError::AlgorithmOutOfRange { alg, p });
+            }
+            session.push(alg, value)?;
+            Ok(OpOutcome::Ingested)
+        }
+        SessionOp::Extend { alg, values } => {
+            if alg >= p {
+                return Err(ServiceError::AlgorithmOutOfRange { alg, p });
+            }
+            // On a non-finite value mid-wave the values before it stay
+            // ingested (the `Sample::extend_from_slice` contract) and the
+            // error is reported; determinism is unaffected since the
+            // ingested prefix is the same on every replay.
+            session.extend(alg, &values)?;
+            Ok(OpOutcome::Ingested)
+        }
+        SessionOp::Score => {
+            let missing = (0..p).filter(|&i| session.sample(i).is_none()).count();
+            if missing > 0 {
+                return Err(ServiceError::NotReadyToScore { missing });
+            }
+            StatCounters::bump(&stats.waves);
+            let table = session.score().clone();
+            Ok(OpOutcome::Scored(WaveOutcome {
+                clustering: table.final_assignment(),
+                table,
+                converged: session.converged(),
+                waves: session.waves(),
+                stable_run: session.stable_run(),
+            }))
+        }
+        SessionOp::Snapshot => {
+            let snap = SessionSnapshot {
+                config: session.config(),
+                seed: session.seed(),
+                criterion: session.criterion(),
+                state: session.export_state(),
+                rng_states: Vec::new(),
+            };
+            Ok(OpOutcome::Snapshot(snapshot::encode(&snap)))
+        }
+        SessionOp::Close => Ok(OpOutcome::Closed),
+    }
+}

@@ -1,0 +1,54 @@
+//! Service-wide load metrics.
+//!
+//! Counters are plain relaxed atomics — incremented from admission paths
+//! and from scheduler workers without any lock — and read out as one
+//! [`ServiceStats`] value. The snapshot is not atomic *across* counters
+//! (a reader racing a writer may see `requests` bumped before the matching
+//! `rejections`), which is the usual metrics contract: monotone
+//! per-counter, approximate in cross-section.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The live counters owned by the service.
+#[derive(Debug, Default)]
+pub(crate) struct StatCounters {
+    pub requests: AtomicU64,
+    pub rejections: AtomicU64,
+    pub batches: AtomicU64,
+    pub waves: AtomicU64,
+    pub evictions: AtomicU64,
+}
+
+impl StatCounters {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            rejections: self.rejections.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            waves: self.waves.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time reading of the service counters (see the [module
+/// docs](self) for the consistency contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Admission attempts: every `create_session`, `restore_session`, and
+    /// `submit` call, accepted or not.
+    pub requests: u64,
+    /// Requests rejected with a typed error (admission control or
+    /// backpressure).
+    pub rejections: u64,
+    /// Scheduler batches drained by `run_batch`.
+    pub batches: u64,
+    /// `Score` ops executed across all sessions.
+    pub waves: u64,
+    /// Idle sessions evicted to admit new ones.
+    pub evictions: u64,
+}

@@ -1,0 +1,322 @@
+//! Admission control, backpressure under overload, eviction, and stats.
+
+use relperf_core::cluster::{ClusterConfig, Parallelism};
+use relperf_core::session::ConvergenceCriterion;
+use relperf_measure::compare::MedianComparator;
+use relperf_measure::sample::SampleError;
+use relperf_service::prelude::*;
+use relperf_service::service::SessionService;
+
+fn tiny_service(limits: ServiceLimits) -> SessionService<MedianComparator> {
+    SessionService::new(MedianComparator::new(0.05), 1, Parallelism::serial(), limits)
+}
+
+#[test]
+fn bad_specs_are_rejected_with_typed_errors_not_panics() {
+    let s = tiny_service(ServiceLimits::default());
+    assert_eq!(
+        s.create_session(1, 1, SessionSpec::new(0, 7)),
+        Err(ServiceError::NoAlgorithms)
+    );
+    let mut spec = SessionSpec::new(2, 7);
+    spec.config = ClusterConfig {
+        repetitions: 0,
+        ..Default::default()
+    };
+    assert_eq!(s.create_session(1, 1, spec), Err(ServiceError::NoRepetitions));
+    // The satellite routing: a bad criterion flows through try_validate
+    // into a typed admission error.
+    let mut spec = SessionSpec::new(2, 7);
+    spec.criterion = ConvergenceCriterion {
+        stable_waves: 0,
+        score_tol: 0.1,
+    };
+    assert!(matches!(
+        s.create_session(1, 1, spec),
+        Err(ServiceError::InvalidCriterion(_))
+    ));
+    let mut spec = SessionSpec::new(2, 7);
+    spec.criterion = ConvergenceCriterion {
+        stable_waves: 1,
+        score_tol: f64::NAN,
+    };
+    assert!(matches!(
+        s.create_session(1, 1, spec),
+        Err(ServiceError::InvalidCriterion(_))
+    ));
+    assert_eq!(s.num_sessions(), 0);
+    assert_eq!(s.stats().rejections, 4);
+}
+
+#[test]
+fn unknown_sessions_and_bad_indices_rejected_at_submit() {
+    let s = tiny_service(ServiceLimits::default());
+    assert!(matches!(
+        s.submit(1, 1, SessionOp::Score),
+        Err(ServiceError::SessionUnknown { .. })
+    ));
+    s.create_session(1, 1, SessionSpec::new(2, 7)).unwrap();
+    assert_eq!(
+        s.submit(1, 1, SessionOp::Push { alg: 2, value: 1.0 }),
+        Err(ServiceError::AlgorithmOutOfRange { alg: 2, p: 2 })
+    );
+    // Duplicate create.
+    assert!(matches!(
+        s.create_session(1, 1, SessionSpec::new(2, 7)),
+        Err(ServiceError::SessionExists { .. })
+    ));
+}
+
+/// The overload path of the acceptance criteria: a flooding tenant is
+/// rejected with typed backpressure errors — never blocked, never a panic
+/// — and the stats record it.
+#[test]
+fn overload_hits_tenant_cap_then_queue_depth() {
+    let s = tiny_service(ServiceLimits {
+        sessions_per_shard: 8,
+        tenant_in_flight: 4,
+        shard_queue_depth: 6,
+    });
+    s.create_session(1, 1, SessionSpec::new(1, 7)).unwrap();
+    s.create_session(2, 1, SessionSpec::new(1, 7)).unwrap();
+
+    // Tenant 1 floods: 4 accepted, the 5th bounces off its in-flight cap.
+    for _ in 0..4 {
+        s.submit(1, 1, SessionOp::Push { alg: 0, value: 1.0 }).unwrap();
+    }
+    assert_eq!(
+        s.submit(1, 1, SessionOp::Push { alg: 0, value: 1.0 }),
+        Err(ServiceError::TenantBusy {
+            tenant: 1,
+            in_flight: 4,
+            cap: 4
+        })
+    );
+
+    // Tenant 2 fills the remaining queue slots; the shard depth cap turns
+    // it away after 2 more (queue already holds tenant 1's 4).
+    for _ in 0..2 {
+        s.submit(2, 1, SessionOp::Push { alg: 0, value: 2.0 }).unwrap();
+    }
+    assert_eq!(
+        s.submit(2, 1, SessionOp::Push { alg: 0, value: 2.0 }),
+        Err(ServiceError::QueueFull {
+            shard: 0,
+            depth: 6,
+            cap: 6
+        })
+    );
+
+    let stats = s.stats();
+    assert_eq!(stats.rejections, 2);
+
+    // Draining the batch releases the backpressure; every accepted op got
+    // a response.
+    let responses = s.run_batch();
+    assert_eq!(responses.len(), 6);
+    assert!(responses.iter().all(|r| r.result.is_ok()));
+    s.submit(1, 1, SessionOp::Push { alg: 0, value: 1.0 }).unwrap();
+    s.submit(2, 1, SessionOp::Push { alg: 0, value: 2.0 }).unwrap();
+}
+
+/// `submit_all` is all-or-nothing: a rejected group queues nothing, so a
+/// campaign wave can be retried without desynchronizing.
+#[test]
+fn submit_all_is_atomic_under_rejection() {
+    let s = tiny_service(ServiceLimits {
+        sessions_per_shard: 8,
+        tenant_in_flight: 3,
+        shard_queue_depth: 64,
+    });
+    s.create_session(1, 1, SessionSpec::new(2, 7)).unwrap();
+    let wave = |n: usize| -> Vec<SessionOp> {
+        (0..n)
+            .map(|i| SessionOp::Push {
+                alg: i % 2,
+                value: 1.0,
+            })
+            .collect()
+    };
+    // Over the in-flight cap: rejected as a whole.
+    assert!(matches!(
+        s.submit_all(1, 1, wave(4)),
+        Err(ServiceError::TenantBusy { .. })
+    ));
+    // One bad index poisons the whole group.
+    let mut ops = wave(2);
+    ops.push(SessionOp::Push { alg: 9, value: 1.0 });
+    assert!(matches!(
+        s.submit_all(1, 1, ops),
+        Err(ServiceError::AlgorithmOutOfRange { alg: 9, p: 2 })
+    ));
+    // Nothing was queued by either rejection…
+    assert_eq!(s.run_batch().len(), 0);
+    assert_eq!(s.session_status(1, 1).unwrap().pending, 0);
+    // …and an admissible group goes through with consecutive tickets.
+    let seqs = s.submit_all(1, 1, wave(3)).unwrap();
+    assert_eq!(seqs.len(), 3);
+    assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+    assert_eq!(s.run_batch().len(), 3);
+    // The freed in-flight slots admit the next full wave.
+    s.submit_all(1, 1, wave(3)).unwrap();
+}
+
+#[test]
+fn shard_capacity_evicts_lru_idle_sessions_only() {
+    let s = tiny_service(ServiceLimits {
+        sessions_per_shard: 2,
+        tenant_in_flight: 64,
+        shard_queue_depth: 64,
+    });
+    s.create_session(1, 1, SessionSpec::new(1, 7)).unwrap();
+    s.create_session(1, 2, SessionSpec::new(1, 7)).unwrap();
+    // Touch session 1 so session 2 is the LRU.
+    s.submit(1, 1, SessionOp::Push { alg: 0, value: 1.0 }).unwrap();
+    s.run_batch();
+
+    // A third session evicts the idle LRU (session 2).
+    s.create_session(1, 3, SessionSpec::new(1, 7)).unwrap();
+    assert_eq!(s.num_sessions(), 2);
+    assert!(s.session_status(1, 2).is_none(), "LRU idle session evicted");
+    assert!(s.session_status(1, 1).is_some());
+    assert_eq!(s.stats().evictions, 1);
+
+    // With pending ops on every resident, nothing is evictable: reject.
+    s.submit(1, 1, SessionOp::Push { alg: 0, value: 1.0 }).unwrap();
+    s.submit(1, 3, SessionOp::Push { alg: 0, value: 1.0 }).unwrap();
+    assert_eq!(
+        s.create_session(1, 4, SessionSpec::new(1, 7)),
+        Err(ServiceError::ShardFull {
+            shard: 0,
+            capacity: 2
+        })
+    );
+    // Ops queued against an evicted session fail typed at execution.
+    let responses = s.run_batch();
+    assert!(responses.iter().all(|r| r.result.is_ok()));
+}
+
+#[test]
+fn per_op_failures_are_typed_and_isolated() {
+    let s = tiny_service(ServiceLimits::default());
+    s.create_session(1, 1, SessionSpec::new(2, 7)).unwrap();
+    // Score before both algorithms have data → NotReadyToScore.
+    s.submit(1, 1, SessionOp::Push { alg: 0, value: 1.0 }).unwrap();
+    let not_ready = s.submit(1, 1, SessionOp::Score).unwrap();
+    // A NaN measurement → BadSample; the op before it is unaffected.
+    let bad = s
+        .submit(
+            1,
+            1,
+            SessionOp::Extend {
+                alg: 1,
+                values: vec![2.0, f64::NAN],
+            },
+        )
+        .unwrap();
+    let good = s.submit(1, 1, SessionOp::Score).unwrap();
+    let responses = s.run_batch();
+    let by_seq = |seq: u64| responses.iter().find(|r| r.seq == seq).unwrap().result.clone();
+    assert_eq!(
+        by_seq(not_ready),
+        Err(ServiceError::NotReadyToScore { missing: 1 })
+    );
+    assert_eq!(
+        by_seq(bad),
+        Err(ServiceError::BadSample(SampleError::NonFinite(1)))
+    );
+    // The finite prefix of the failed Extend was ingested, so the final
+    // Score succeeds over both algorithms.
+    assert!(matches!(by_seq(good), Ok(OpOutcome::Scored(_))));
+    assert_eq!(s.session_status(1, 1).unwrap().total_measurements, 2);
+}
+
+#[test]
+fn close_frees_the_slot_and_later_ops_fail_typed() {
+    let s = tiny_service(ServiceLimits::default());
+    s.create_session(1, 1, SessionSpec::new(1, 7)).unwrap();
+    let close = s.submit(1, 1, SessionOp::Close).unwrap();
+    let after = s.submit(1, 1, SessionOp::Push { alg: 0, value: 1.0 }).unwrap();
+    let responses = s.run_batch();
+    assert_eq!(
+        responses.iter().find(|r| r.seq == close).unwrap().result,
+        Ok(OpOutcome::Closed)
+    );
+    assert!(matches!(
+        responses.iter().find(|r| r.seq == after).unwrap().result,
+        Err(ServiceError::SessionUnknown { .. })
+    ));
+    assert_eq!(s.num_sessions(), 0);
+    assert!(matches!(
+        s.submit(1, 1, SessionOp::Score),
+        Err(ServiceError::SessionUnknown { .. })
+    ));
+}
+
+/// `restore_snapshot` takes caller-built (not codec-validated) values and
+/// must still reject — never panic — on inconsistent ones.
+#[test]
+fn restore_snapshot_rejects_inconsistent_caller_built_values() {
+    use relperf_core::session::SessionState;
+    use relperf_service::snapshot::SessionSnapshot;
+    let s = tiny_service(ServiceLimits::default());
+    let empty_state = |p: usize| SessionState {
+        samples: vec![None; p],
+        dirty: vec![false; p],
+        ingested: false,
+        table: None,
+        waves: 0,
+        stable_run: 0,
+        converged: false,
+    };
+    let snap = |state: SessionState, repetitions: usize, stable_waves: usize| SessionSnapshot {
+        config: ClusterConfig {
+            repetitions,
+            ..Default::default()
+        },
+        seed: 1,
+        criterion: ConvergenceCriterion {
+            stable_waves,
+            score_tol: 0.1,
+        },
+        state,
+        rng_states: Vec::new(),
+    };
+    assert_eq!(
+        s.restore_snapshot(1, 1, snap(empty_state(0), 5, 2)),
+        Err(ServiceError::NoAlgorithms)
+    );
+    assert_eq!(
+        s.restore_snapshot(1, 1, snap(empty_state(2), 0, 2)),
+        Err(ServiceError::NoRepetitions)
+    );
+    assert!(matches!(
+        s.restore_snapshot(1, 1, snap(empty_state(2), 5, 0)),
+        Err(ServiceError::InvalidCriterion(_))
+    ));
+    let mut ragged = empty_state(2);
+    ragged.dirty = vec![false];
+    assert!(matches!(
+        s.restore_snapshot(1, 1, snap(ragged, 5, 2)),
+        Err(ServiceError::BadSnapshot(_))
+    ));
+    assert_eq!(s.num_sessions(), 0);
+    // A consistent caller-built snapshot is admitted.
+    s.restore_snapshot(1, 1, snap(empty_state(2), 5, 2)).unwrap();
+    assert_eq!(s.num_sessions(), 1);
+}
+
+#[test]
+fn stats_count_requests_waves_and_batches() {
+    let s = tiny_service(ServiceLimits::default());
+    s.create_session(1, 1, SessionSpec::new(1, 7)).unwrap();
+    s.submit(1, 1, SessionOp::Push { alg: 0, value: 1.0 }).unwrap();
+    s.submit(1, 1, SessionOp::Score).unwrap();
+    s.run_batch();
+    s.run_batch(); // empty batch still counts
+    let stats = s.stats();
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.rejections, 0);
+    assert_eq!(stats.waves, 1);
+    assert_eq!(stats.batches, 2);
+}

@@ -1,0 +1,226 @@
+//! Checkpoint/restore goldens: a restored session (or campaign) continues
+//! wave-for-wave bit-identically to one that never stopped.
+
+use rand::prelude::*;
+use relperf_core::cluster::{ClusterConfig, Parallelism};
+use relperf_core::session::ConvergenceCriterion;
+use relperf_measure::compare::{BootstrapComparator, BootstrapConfig};
+use relperf_service::prelude::*;
+use relperf_service::service::SessionService;
+use relperf_workloads::adaptive::{AdaptiveExperiment, WaveSchedule};
+use relperf_workloads::experiment::Experiment;
+
+fn comparator() -> BootstrapComparator {
+    BootstrapComparator::with_config(
+        5,
+        BootstrapConfig {
+            reps: 10,
+            ..Default::default()
+        },
+    )
+}
+
+fn service(shards: usize) -> SessionService<BootstrapComparator> {
+    SessionService::new(
+        comparator(),
+        shards,
+        Parallelism::auto(),
+        ServiceLimits::default(),
+    )
+}
+
+fn noisy(center: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| center + rng.random_range(-0.2..0.2)).collect()
+}
+
+fn submit_wave(service: &SessionService<BootstrapComparator>, tenant: u64, session: u64, wave: u64) -> u64 {
+    for alg in 0..2u64 {
+        service
+            .submit(
+                tenant,
+                session,
+                SessionOp::Extend {
+                    alg: alg as usize,
+                    values: noisy(1.0 + alg as f64, 5, wave * 2 + alg),
+                },
+            )
+            .unwrap();
+    }
+    service.submit(tenant, session, SessionOp::Score).unwrap()
+}
+
+fn scored(responses: &[OpResponse], seq: u64) -> WaveOutcome {
+    let r = responses.iter().find(|r| r.seq == seq).unwrap();
+    match r.result.clone().unwrap() {
+        OpOutcome::Scored(w) => w,
+        other => panic!("expected Scored, got {other:?}"),
+    }
+}
+
+/// The satellite's golden: snapshot → restore → continue equals an
+/// uninterrupted run, wave for wave, across different shard counts and a
+/// fresh service instance (i.e. across a simulated process restart).
+#[test]
+fn snapshot_restore_continue_matches_uninterrupted_run() {
+    let uninterrupted = service(4);
+    uninterrupted.create_session(1, 9, SessionSpec::new(2, 33)).unwrap();
+    let interrupted = service(4);
+    interrupted.create_session(1, 9, SessionSpec::new(2, 33)).unwrap();
+
+    for wave in 0..2 {
+        let a = submit_wave(&uninterrupted, 1, 9, wave);
+        let b = submit_wave(&interrupted, 1, 9, wave);
+        let wa = scored(&uninterrupted.run_batch(), a);
+        let wb = scored(&interrupted.run_batch(), b);
+        assert_eq!(wa, wb);
+    }
+
+    // Checkpoint the interrupted service's session and carry the bytes to
+    // a brand-new service with a different shard count.
+    let seq = interrupted.submit(1, 9, SessionOp::Snapshot).unwrap();
+    let responses = interrupted.run_batch();
+    let r = responses.iter().find(|r| r.seq == seq).unwrap();
+    let OpOutcome::Snapshot(bytes) = r.result.clone().unwrap() else {
+        panic!("expected snapshot bytes");
+    };
+    drop(interrupted);
+
+    let restored = service(13);
+    restored.restore_session(1, 9, &bytes).unwrap();
+    assert_eq!(
+        restored.session_status(1, 9).unwrap().waves,
+        2,
+        "wave count survives the restore"
+    );
+
+    for wave in 2..5 {
+        let a = submit_wave(&uninterrupted, 1, 9, wave);
+        let b = submit_wave(&restored, 1, 9, wave);
+        let wa = scored(&uninterrupted.run_batch(), a);
+        let wb = scored(&restored.run_batch(), b);
+        assert_eq!(wa, wb, "wave {wave} diverged after restore");
+    }
+}
+
+#[test]
+fn restore_rejects_corrupt_and_duplicate() {
+    let s = service(2);
+    s.create_session(1, 1, SessionSpec::new(2, 5)).unwrap();
+    s.submit(1, 1, SessionOp::Push { alg: 0, value: 1.0 }).unwrap();
+    let seq = s.submit(1, 1, SessionOp::Snapshot).unwrap();
+    let responses = s.run_batch();
+    let OpOutcome::Snapshot(bytes) = scored_any(&responses, seq) else {
+        panic!()
+    };
+    // Corruption is rejected with a typed error.
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 1;
+    assert!(matches!(
+        s.restore_session(1, 2, &corrupt),
+        Err(ServiceError::BadSnapshot(SnapshotError::ChecksumMismatch { .. }))
+    ));
+    // Restoring over a live key is rejected.
+    assert!(matches!(
+        s.restore_session(1, 1, &bytes),
+        Err(ServiceError::SessionExists { .. })
+    ));
+    // Restoring under a fresh key clones the session's state.
+    s.restore_session(1, 2, &bytes).unwrap();
+    assert_eq!(s.session_status(1, 2).unwrap().total_measurements, 1);
+}
+
+fn scored_any(responses: &[OpResponse], seq: u64) -> OpOutcome {
+    responses
+        .iter()
+        .find(|r| r.seq == seq)
+        .unwrap()
+        .result
+        .clone()
+        .unwrap()
+}
+
+/// A service campaign equals the single-caller `AdaptiveExperiment` —
+/// same measurement streams, same tables, same stopping point.
+#[test]
+fn service_campaign_matches_adaptive_experiment() {
+    let exp = Experiment::fig1();
+    let cmp = comparator();
+    let cfg = ClusterConfig {
+        repetitions: 20,
+        ..Default::default()
+    };
+    let criterion = ConvergenceCriterion::default();
+    let schedule = WaveSchedule {
+        initial: 8,
+        wave: 4,
+        max_per_algorithm: 24,
+    };
+
+    let mut reference = AdaptiveExperiment::new(&exp, &cmp, cfg, criterion, schedule, 77, 13);
+    let svc = service(8);
+    let mut campaign =
+        ServiceCampaign::new(&svc, &exp, 42, 1, cfg, criterion, schedule, 77, 13).unwrap();
+
+    while reference.budget_remaining() && !reference.converged() {
+        let expect = reference.wave().clone();
+        let got = campaign.wave().unwrap().table.clone();
+        assert_eq!(got, expect);
+        assert_eq!(campaign.converged(), reference.converged());
+        assert_eq!(
+            campaign.measurements_per_algorithm(),
+            reference.measurements_per_algorithm()
+        );
+    }
+}
+
+/// Campaign checkpoints carry the measurement RNG states: a resumed
+/// campaign's remaining waves are bit-identical to an uninterrupted one.
+#[test]
+fn campaign_checkpoint_resume_is_bit_identical() {
+    let exp = Experiment::fig1();
+    let cfg = ClusterConfig {
+        repetitions: 20,
+        ..Default::default()
+    };
+    // Never converge: exercise the full budget on both sides.
+    let never = ConvergenceCriterion {
+        stable_waves: usize::MAX,
+        score_tol: 0.0,
+    };
+    let schedule = WaveSchedule {
+        initial: 6,
+        wave: 3,
+        max_per_algorithm: 18,
+    };
+
+    let svc_a = service(4);
+    let mut uninterrupted =
+        ServiceCampaign::new(&svc_a, &exp, 1, 1, cfg, never, schedule, 5, 6).unwrap();
+    let svc_b = service(4);
+    let mut doomed = ServiceCampaign::new(&svc_b, &exp, 1, 1, cfg, never, schedule, 5, 6).unwrap();
+
+    let first_a = uninterrupted.wave().unwrap().table.clone();
+    let first_b = doomed.wave().unwrap().table.clone();
+    assert_eq!(first_a, first_b);
+
+    // Kill the second service mid-campaign; resume from the checkpoint in
+    // a brand-new one.
+    let checkpoint = doomed.checkpoint().unwrap();
+    drop(doomed);
+    drop(svc_b);
+    let svc_c = service(9);
+    let mut resumed =
+        ServiceCampaign::resume(&svc_c, &exp, 1, 1, schedule, &checkpoint).unwrap();
+    assert_eq!(resumed.measurements_per_algorithm(), 6);
+
+    while uninterrupted.budget_remaining() {
+        let expect = uninterrupted.wave().unwrap().table.clone();
+        let got = resumed.wave().unwrap().table.clone();
+        assert_eq!(got, expect, "post-resume wave diverged");
+    }
+    assert!(!resumed.budget_remaining());
+    resumed.close().unwrap();
+    assert_eq!(svc_c.num_sessions(), 0);
+}

@@ -80,6 +80,61 @@ impl WaveSchedule {
     }
 }
 
+/// The per-placement measurement RNGs of a campaign under `measure_seed`:
+/// placement `i` draws from a stream seeded `stream_seed(measure_seed, i)`
+/// — exactly the streams
+/// [`measure_all_seeded`](crate::experiment::measure_all_seeded) uses, so
+/// wave-by-wave draws concatenate to the batch measurement bit for bit.
+pub fn placement_rngs(measure_seed: u64, p: usize) -> Vec<StdRng> {
+    (0..p)
+        .map(|i| StdRng::seed_from_u64(stream_seed(measure_seed, i as u64)))
+        .collect()
+}
+
+/// Draws one wave of `n` measurements per placement, advancing each
+/// placement's RNG in place.
+///
+/// Placement `i` continues its own carried RNG: the state is cloned into
+/// the worker, the wave drawn, and the advanced state written back — a
+/// pure function of `(i, carried state)`, so any thread count yields the
+/// same draws ([`Parallelism`]-invariant) and consecutive waves
+/// concatenate to one uninterrupted stream. Shared by
+/// [`AdaptiveExperiment::wave`] and the hosted service campaigns
+/// (`relperf-service`), whose checkpoints carry these RNG states.
+///
+/// # Panics
+/// Panics when `rngs.len()` differs from the experiment's placement count.
+pub fn draw_wave(
+    exp: &Experiment,
+    rngs: &mut [StdRng],
+    n: usize,
+    parallelism: Parallelism,
+) -> Vec<Vec<f64>> {
+    assert_eq!(
+        rngs.len(),
+        exp.placements.len(),
+        "one carried RNG per placement"
+    );
+    let shared: &[StdRng] = rngs;
+    let waves: Vec<(Vec<f64>, StdRng)> =
+        relperf_parallel::parallel_map_indexed(exp.placements.len(), parallelism, |i| {
+            let mut rng = shared[i].clone();
+            let (_, placement) = &exp.placements[i];
+            let values: Vec<f64> = (0..n)
+                .map(|_| exp.platform.execute(&exp.tasks, placement, &mut rng).total_time_s)
+                .collect();
+            (values, rng)
+        });
+    waves
+        .into_iter()
+        .zip(rngs.iter_mut())
+        .map(|((values, advanced), slot)| {
+            *slot = advanced;
+            values
+        })
+        .collect()
+}
+
 /// A live adaptive campaign over one [`Experiment`]: per-placement RNG
 /// streams, the streaming cluster session, and the wave budget.
 ///
@@ -122,9 +177,7 @@ impl<'a, C: ScratchThreeWayComparator + Sync> AdaptiveExperiment<'a, C> {
         let p = experiment.placements.len();
         let session =
             ClusterSession::with_criterion(p, comparator, config, cluster_seed, criterion);
-        let rngs = (0..p)
-            .map(|i| StdRng::seed_from_u64(stream_seed(measure_seed, i as u64)))
-            .collect();
+        let rngs = placement_rngs(measure_seed, p);
         AdaptiveExperiment {
             experiment,
             session,
@@ -144,6 +197,14 @@ impl<'a, C: ScratchThreeWayComparator + Sync> AdaptiveExperiment<'a, C> {
     /// Measurements drawn per algorithm so far.
     pub fn measurements_per_algorithm(&self) -> usize {
         self.drawn
+    }
+
+    /// The carried per-placement measurement RNG states — what a campaign
+    /// checkpoint must persist so a resumed campaign draws the exact
+    /// continuation of every placement's stream (see
+    /// [`rand::rngs::StdRng::from_state`]).
+    pub fn rng_states(&self) -> Vec<[u64; 4]> {
+        self.rngs.iter().map(StdRng::state).collect()
     }
 
     /// Measurements drawn across all algorithms so far.
@@ -171,27 +232,10 @@ impl<'a, C: ScratchThreeWayComparator + Sync> AdaptiveExperiment<'a, C> {
     pub fn wave(&mut self) -> &ScoreTable {
         let n = self.schedule.next_wave(self.drawn);
         assert!(n > 0, "measurement budget exhausted");
-        let exp = self.experiment;
-        let rngs = &self.rngs;
-        // Placement i continues its own RNG: clone the state in, draw the
-        // wave, hand the advanced state back — a pure function of (i,
-        // carried state), so any thread count yields the same draws.
-        let waves: Vec<(Vec<f64>, StdRng)> = relperf_parallel::parallel_map_indexed(
-            exp.placements.len(),
-            self.parallelism,
-            |i| {
-                let mut rng = rngs[i].clone();
-                let (_, placement) = &exp.placements[i];
-                let values: Vec<f64> = (0..n)
-                    .map(|_| exp.platform.execute(&exp.tasks, placement, &mut rng).total_time_s)
-                    .collect();
-                (values, rng)
-            },
-        );
-        for (i, (values, rng)) in waves.into_iter().enumerate() {
-            self.rngs[i] = rng;
+        let waves = draw_wave(self.experiment, &mut self.rngs, n, self.parallelism);
+        for (i, values) in waves.iter().enumerate() {
             self.session
-                .extend(i, &values)
+                .extend(i, values)
                 .expect("simulated times are finite");
         }
         self.drawn += n;

@@ -1,0 +1,131 @@
+//! Service quickstart: host many tenants' clustering sessions in one
+//! multi-tenant `SessionService`, drive them through the deterministic
+//! batch scheduler, checkpoint one mid-flight, and restore it.
+//!
+//! Three tenants run concurrent campaigns over the paper's Fig. 1
+//! experiment (same platform, different seeds). Their `Extend`/`Score`
+//! ops interleave arbitrarily in the shared queue, yet every tenant's
+//! score tables are bit-identical to a private `ClusterSession` drive —
+//! demonstrated here by checkpointing tenant 2 halfway, dropping the
+//! whole service, and finishing the campaign in a fresh one: the final
+//! clustering matches the uninterrupted tenants' structure.
+//!
+//! Expected output: per-wave convergence lines per tenant, a `checkpoint:
+//! … bytes` line, the restored tenant's remaining waves, and the final
+//! per-tenant clusterings plus `ServiceStats`.
+//!
+//! Run with: `cargo run --release --example service_quickstart`
+
+use relative_performance::prelude::*;
+use relative_performance::workloads::adaptive::WaveSchedule;
+
+fn main() {
+    // One comparator, one scheduler, 8 registry shards shared by everyone.
+    let comparator = BootstrapComparator::with_config(
+        42,
+        BootstrapConfig {
+            reps: 30,
+            ..Default::default()
+        },
+    );
+    let service = SessionService::new(
+        comparator,
+        8,
+        Parallelism::auto(),
+        ServiceLimits::default(),
+    );
+    let experiment = Experiment::fig1();
+    let config = ClusterConfig::with_repetitions(40);
+    let criterion = ConvergenceCriterion::default();
+    let schedule = WaveSchedule {
+        initial: 10,
+        wave: 5,
+        max_per_algorithm: 40,
+    };
+
+    // Tenants 1 and 3 run to convergence; tenant 2 is checkpointed after
+    // its first wave and finished in a brand-new service.
+    let mut campaigns: Vec<ServiceCampaign<_>> = (1..=3)
+        .map(|tenant| {
+            ServiceCampaign::new(
+                &service, &experiment, tenant, 1, config, criterion, schedule,
+                1000 + tenant, // per-tenant measurement seed
+                13,
+            )
+            .expect("admission")
+        })
+        .collect();
+
+    println!("three tenants measuring Fig. 1 through one service…");
+    let checkpoint = {
+        let wave = campaigns[1].wave().expect("wave");
+        println!(
+            "  tenant 2   wave 1: {} classes, stable run {}",
+            wave.clustering.num_classes(),
+            wave.stable_run
+        );
+        campaigns[1].checkpoint().expect("checkpoint")
+    };
+    println!("checkpoint: {} bytes (versioned, checksummed)", checkpoint.len());
+
+    for (i, tenant) in [(0usize, 1u64), (2, 3)] {
+        while !campaigns[i].converged() && campaigns[i].budget_remaining() {
+            campaigns[i].wave().expect("wave");
+        }
+        let wave = campaigns[i].last_wave().expect("scored");
+        println!(
+            "  tenant {tenant}   converged after {} waves ({} measurements/alg)",
+            wave.waves,
+            campaigns[i].measurements_per_algorithm()
+        );
+    }
+
+    // Simulate a restart: the first service disappears, tenant 2 resumes
+    // from its checkpoint in a fresh service (different shard count, same
+    // results — placement is a pure function of the key).
+    drop(campaigns);
+    let stats = service.stats();
+    drop(service);
+    let comparator = BootstrapComparator::with_config(
+        42,
+        BootstrapConfig {
+            reps: 30,
+            ..Default::default()
+        },
+    );
+    let fresh = SessionService::new(
+        comparator,
+        3,
+        Parallelism::auto(),
+        ServiceLimits::default(),
+    );
+    let mut resumed =
+        ServiceCampaign::resume(&fresh, &experiment, 2, 1, schedule, &checkpoint)
+            .expect("restore");
+    while !resumed.converged() && resumed.budget_remaining() {
+        let wave = resumed.wave().expect("wave");
+        println!(
+            "  tenant 2   wave {} (restored): {} classes, stable run {}",
+            wave.waves,
+            wave.clustering.num_classes(),
+            wave.stable_run
+        );
+    }
+
+    println!("\nfinal clustering of the restored tenant 2:");
+    let wave = resumed.last_wave().expect("scored");
+    let labels = experiment.labels();
+    for class in 1..=wave.clustering.num_classes() {
+        let members: Vec<String> = wave
+            .clustering
+            .class(class)
+            .iter()
+            .map(|a| format!("{} ({:.2})", labels[a.algorithm], a.score))
+            .collect();
+        println!("  C{class}: {}", members.join(", "));
+    }
+    println!(
+        "\nfirst service stats: {} requests, {} rejections, {} batches, {} waves, {} evictions",
+        stats.requests, stats.rejections, stats.batches, stats.waves, stats.evictions
+    );
+}

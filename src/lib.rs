@@ -22,7 +22,11 @@
 //!   [`ClusterSession`](crate::core::session::ClusterSession),
 //! * [`workloads`] — the paper's Fig. 1 and Table I experiments end to
 //!   end, batch or adaptive
-//!   ([`measure_until_converged_seeded`](crate::workloads::adaptive::measure_until_converged_seeded)).
+//!   ([`measure_until_converged_seeded`](crate::workloads::adaptive::measure_until_converged_seeded)),
+//! * [`service`] — the multi-tenant hosted session service
+//!   ([`SessionService`](crate::service::SessionService)): sharded
+//!   registry, deterministic batch scheduler, admission control, and
+//!   checkpoint/restore.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +56,7 @@ pub use relperf_core as core;
 pub use relperf_linalg as linalg;
 pub use relperf_measure as measure;
 pub use relperf_parallel as parallel;
+pub use relperf_service as service;
 pub use relperf_sim as sim;
 pub use relperf_workloads as workloads;
 
@@ -73,6 +78,10 @@ pub mod prelude {
         ThreeWayComparator,
     };
     pub use relperf_parallel::{parallel_map_indexed, parallel_map_indexed_with, Parallelism};
+    pub use relperf_service::{
+        OpOutcome, OpResponse, ServiceCampaign, ServiceError, ServiceLimits, ServiceStats,
+        SessionOp, SessionService, SessionSpec,
+    };
     pub use relperf_sim::presets;
     pub use relperf_sim::{Loc, Platform, Task};
     pub use relperf_workloads::adaptive::{
@@ -94,5 +103,6 @@ mod tests {
         let _ = crate::sim::presets::fig1_platform();
         let _ = crate::core::sort::SortState::initial(3);
         let _ = crate::workloads::experiment::Experiment::fig1();
+        let _ = crate::service::ServiceLimits::default();
     }
 }

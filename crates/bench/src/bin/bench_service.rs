@@ -1,15 +1,25 @@
 //! Machine-readable benchmark of the multi-tenant session service:
-//! scheduler throughput and batch-drain latency across tenant counts ×
-//! scheduler thread counts, serial vs parallel scheduler. Writes
+//! wave-completion latency and scheduler throughput across tenant counts,
+//! synchronous drain loop vs pipelined background scheduler. Writes
 //! `BENCH_service.json`.
 //!
-//! Each configuration hosts `tenants` concurrent sessions (4 algorithms
-//! each), submits waves of `Extend` ops plus a `Score` per tenant, and
-//! drains one scheduler batch per wave; the timed unit is the batch drain
-//! (admission is microseconds next to the bootstrap clustering it
-//! schedules). Serial and parallel schedulers produce bit-identical
-//! tables — asserted here before any timing — so the numbers compare
-//! speed, never results.
+//! The sweep runs 1 → 128 tenants against a registry whose tight
+//! configuration holds at most 64 resident sessions (16 shards × 4
+//! slots): above that, snapshot-on-evict kicks in and sessions commute
+//! between residency and the spill store every wave. Before any timing,
+//! each tenant count is driven three ways — roomy synchronous (the
+//! reference, nothing ever spills), tight synchronous, and tight
+//! pipelined — and all three final score tables are asserted
+//! bit-identical; above capacity the tight runs are additionally required
+//! to show `spills > 0` and `rehydrations > 0`, so the numbers measure a
+//! registry that really is thrashing, with identical results.
+//!
+//! The latency unit is **per-tenant wave completion**: the time from a
+//! tenant's `submit_all` of one wave (4 `Extend` + 1 `Score`) to its
+//! responses being available. In the synchronous mode every tenant waits
+//! for the full `run_batch`; in the pipelined mode scheduler threads
+//! drain shards independently, so early tenants complete while later
+//! ones are still queuing.
 //!
 //! Run from the workspace root:
 //!
@@ -17,9 +27,11 @@
 //! cargo run --release -p relperf-bench --bin bench_service
 //! ```
 //!
-//! Single-core container caveat: with one hardware thread the parallel
-//! scheduler ≈ serial; the interesting signal there is that fan-out adds
-//! no overhead. On multi-core hosts the tenant waves genuinely overlap.
+//! Single-core container caveat: with one hardware thread the pipelined
+//! scheduler timeslices rather than overlaps, so its throughput ≈ the
+//! synchronous loop; the signal to check there is bit-identity under
+//! spill churn and that pipelining adds no overhead. On multi-core hosts
+//! the shard partitions genuinely run in parallel.
 
 use rand::prelude::*;
 use relperf_core::cluster::{ClusterConfig, Parallelism, ScoreTable};
@@ -28,11 +40,15 @@ use relperf_measure::compare::{BootstrapComparator, BootstrapConfig};
 use relperf_measure::Sample;
 use relperf_service::prelude::*;
 use relperf_service::service::SessionService;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const ALGORITHMS: usize = 4;
-const WAVES: usize = 10;
+const WAVES: usize = 6;
 const WAVE_SIZE: usize = 5;
+const SHARDS: usize = 16;
+/// Tight registry: 16 shards × 4 slots = 64 resident sessions. The
+/// sweep's top tenant counts exceed this on purpose.
+const TIGHT_SLOTS: usize = 4;
 
 fn comparator() -> BootstrapComparator {
     BootstrapComparator::with_config(
@@ -49,23 +65,48 @@ fn noisy(center: f64, n: usize, seed: u64) -> Vec<f64> {
     (0..n).map(|_| center + rng.random_range(-0.2..0.2)).collect()
 }
 
+fn wave_ops(tenant: u64, wave: usize) -> Vec<SessionOp> {
+    let mut ops: Vec<SessionOp> = (0..ALGORITHMS)
+        .map(|alg| SessionOp::Extend {
+            alg,
+            values: noisy(
+                1.0 + alg as f64,
+                WAVE_SIZE,
+                (tenant << 32) ^ ((wave as u64) << 8) ^ alg as u64,
+            ),
+        })
+        .collect();
+    ops.push(SessionOp::Score);
+    ops
+}
+
+fn limits(tight: bool) -> ServiceLimits {
+    if tight {
+        ServiceLimits {
+            sessions_per_shard: TIGHT_SLOTS,
+            ..ServiceLimits::default()
+        }
+    } else {
+        ServiceLimits::default()
+    }
+}
+
 struct RunResult {
     /// Final score table per tenant (for the bit-identity assertion).
     tables: Vec<ScoreTable>,
     /// Ops executed.
     ops: usize,
-    /// Per-batch drain latencies in seconds.
-    batch_latencies: Vec<f64>,
+    /// Per-tenant wave-completion latencies in seconds.
+    latencies: Vec<f64>,
+    /// Total wall time spent driving waves.
+    total_s: f64,
+    stats: ServiceStats,
 }
 
-/// Drives `tenants` sessions through `WAVES` waves on one service.
-fn drive(tenants: u64, scheduler: Parallelism) -> RunResult {
-    let service = SessionService::new(
-        comparator(),
-        16,
-        scheduler,
-        ServiceLimits::default(),
-    );
+fn create_all<C: relperf_measure::ScratchThreeWayComparator + Send + Sync>(
+    service: &SessionService<C>,
+    tenants: u64,
+) {
     let config = ClusterConfig::with_repetitions(50);
     for t in 0..tenants {
         service
@@ -81,116 +122,221 @@ fn drive(tenants: u64, scheduler: Parallelism) -> RunResult {
             )
             .expect("admission");
     }
+}
+
+fn final_tables(per_tenant: &mut [Vec<ScoreTable>]) -> Vec<ScoreTable> {
+    per_tenant
+        .iter_mut()
+        .map(|waves| waves.pop().expect("every tenant scored"))
+        .collect()
+}
+
+/// The PR-5-style synchronous loop: submit every tenant's wave, then one
+/// blocking `run_batch`. A `ShardFull` during registry thrash (every
+/// resident has queued ops, so there is no idle victim to spill) is
+/// handled the way a sync caller must: drain, then retry.
+fn drive_sync(tenants: u64, tight: bool) -> RunResult {
+    let service = SessionService::new(comparator(), SHARDS, Parallelism::serial(), limits(tight));
+    create_all(&service, tenants);
+    let mut per_tenant: Vec<Vec<ScoreTable>> = (0..tenants).map(|_| Vec::new()).collect();
+    let mut latencies = Vec::new();
     let mut ops = 0usize;
-    let mut batch_latencies = Vec::with_capacity(WAVES);
-    let mut tables: Vec<ScoreTable> = Vec::new();
+    let started = Instant::now();
     for wave in 0..WAVES {
-        for t in 0..tenants {
-            for alg in 0..ALGORITHMS {
-                service
-                    .submit(
-                        t,
-                        1,
-                        SessionOp::Extend {
-                            alg,
-                            values: noisy(
-                                1.0 + alg as f64,
-                                WAVE_SIZE,
-                                (t << 32) ^ ((wave as u64) << 8) ^ alg as u64,
-                            ),
-                        },
-                    )
-                    .expect("admission");
-                ops += 1;
+        let mut submit_at: Vec<Option<Instant>> = vec![None; tenants as usize];
+        // Absorbs one drain's responses: a tenant's Scored response marks
+        // its wave complete (mid-wave retry drains count too — their
+        // responses must not be dropped).
+        let absorb = |responses: Vec<OpResponse>,
+                          per_tenant: &mut Vec<Vec<ScoreTable>>,
+                          latencies: &mut Vec<f64>,
+                          submit_at: &[Option<Instant>]| {
+            let done = Instant::now();
+            for r in responses {
+                if let Ok(OpOutcome::Scored(w)) = &r.result {
+                    let t = r.key.tenant as usize;
+                    per_tenant[t].push(w.table.clone());
+                    let at = submit_at[t].expect("scored before submitting");
+                    latencies.push(done.duration_since(at).as_secs_f64());
+                } else {
+                    r.result.as_ref().expect("scripted ops never fail");
+                }
             }
-            service.submit(t, 1, SessionOp::Score).expect("admission");
-            ops += 1;
+        };
+        for t in 0..tenants {
+            let mut group = wave_ops(t, wave);
+            submit_at[t as usize] = Some(Instant::now());
+            let seqs = loop {
+                match service.submit_all(t, 1, std::mem::take(&mut group)) {
+                    Ok(seqs) => break seqs,
+                    Err(ServiceError::ShardFull { .. }) => {
+                        // No idle victim to spill: drain queued work, retry.
+                        let responses = service.run_batch();
+                        absorb(responses, &mut per_tenant, &mut latencies, &submit_at);
+                        group = wave_ops(t, wave);
+                    }
+                    Err(e) => panic!("admission failed: {e}"),
+                }
+            };
+            ops += seqs.len();
         }
-        let start = Instant::now();
         let responses = service.run_batch();
-        batch_latencies.push(start.elapsed().as_secs_f64());
-        assert_eq!(responses.len(), (tenants as usize) * (ALGORITHMS + 1));
-        if wave == WAVES - 1 {
-            tables = responses
-                .into_iter()
-                .filter_map(|r| match r.result.expect("scripted ops never fail") {
-                    OpOutcome::Scored(w) => Some(w.table),
-                    _ => None,
-                })
-                .collect();
-        }
+        absorb(responses, &mut per_tenant, &mut latencies, &submit_at);
     }
     RunResult {
-        tables,
+        tables: final_tables(&mut per_tenant),
         ops,
-        batch_latencies,
+        latencies,
+        total_s: started.elapsed().as_secs_f64(),
+        stats: service.stats(),
+    }
+}
+
+/// The pipelined runtime: background scheduler threads drain shard
+/// partitions on their own cadence; the driver only submits and awaits.
+fn drive_pipelined(tenants: u64, tight: bool, threads: usize) -> RunResult {
+    let service = SessionService::new(comparator(), SHARDS, Parallelism::serial(), limits(tight));
+    create_all(&service, tenants);
+    let rt = ServiceRuntime::start(
+        service,
+        RuntimeConfig {
+            scheduler_threads: threads,
+            cadence: Duration::from_micros(200),
+            ..Default::default()
+        },
+    );
+    let mut per_tenant: Vec<Vec<ScoreTable>> = (0..tenants).map(|_| Vec::new()).collect();
+    let mut latencies = Vec::new();
+    let mut ops = 0usize;
+    let started = Instant::now();
+    for wave in 0..WAVES {
+        let mut submitted_at: Vec<(u64, Instant, Vec<u64>)> = Vec::new();
+        for t in 0..tenants {
+            let mut group = wave_ops(t, wave);
+            let at = Instant::now();
+            let seqs = loop {
+                match rt.submit_all(t, 1, std::mem::take(&mut group)) {
+                    Ok(seqs) => break seqs,
+                    Err(ServiceError::ShardFull { .. }) => {
+                        // The background threads are already draining;
+                        // yield and retry like a real client under
+                        // backpressure.
+                        std::thread::sleep(Duration::from_micros(200));
+                        group = wave_ops(t, wave);
+                    }
+                    Err(e) => panic!("admission failed: {e}"),
+                }
+            };
+            ops += seqs.len();
+            submitted_at.push((t, at, seqs));
+        }
+        for (t, at, seqs) in &submitted_at {
+            let responses = rt
+                .await_responses(*t, seqs, Duration::from_secs(600))
+                .expect("pipelined wave");
+            latencies.push(at.elapsed().as_secs_f64());
+            for r in responses {
+                if let Ok(OpOutcome::Scored(w)) = &r.result {
+                    per_tenant[*t as usize].push(w.table.clone());
+                } else {
+                    r.result.as_ref().expect("scripted ops never fail");
+                }
+            }
+        }
+    }
+    let stats = rt.stats();
+    rt.shutdown();
+    RunResult {
+        tables: final_tables(&mut per_tenant),
+        ops,
+        latencies,
+        total_s: started.elapsed().as_secs_f64(),
+        stats,
     }
 }
 
 struct Entry {
     tenants: u64,
-    scheduler: &'static str,
-    threads: usize,
+    mode: &'static str,
     ops: usize,
     total_s: f64,
     ops_per_s: f64,
     p50_ms: f64,
     p99_ms: f64,
+    spills: u64,
+    rehydrations: u64,
+}
+
+fn entry(tenants: u64, mode: &'static str, r: &RunResult) -> Entry {
+    let latencies = Sample::new(r.latencies.clone()).expect("non-empty");
+    Entry {
+        tenants,
+        mode,
+        ops: r.ops,
+        total_s: r.total_s,
+        ops_per_s: r.ops as f64 / r.total_s,
+        p50_ms: latencies.quantile(0.5) * 1e3,
+        p99_ms: latencies.quantile(0.99) * 1e3,
+        spills: r.stats.spills,
+        rehydrations: r.stats.rehydrations,
+    }
 }
 
 fn main() {
+    let capacity = (SHARDS * TIGHT_SLOTS) as u64;
     let mut entries: Vec<Entry> = Vec::new();
-    for &tenants in &[1u64, 4, 16] {
-        // Bit-identity across schedulers first — the numbers below compare
-        // speed of identical results.
-        let serial = drive(tenants, Parallelism::serial());
-        let parallel = drive(tenants, Parallelism::auto());
+    for &tenants in &[1u64, 4, 16, 64, 128] {
+        // Bit-identity first: roomy sync is the reference; tight sync and
+        // tight pipelined must match it exactly even while the registry
+        // spills and rehydrates under them.
+        let reference = drive_sync(tenants, false);
+        let sync = drive_sync(tenants, true);
+        let pipelined = drive_pipelined(tenants, true, 2);
         assert_eq!(
-            serial.tables, parallel.tables,
-            "schedulers diverged at {tenants} tenants"
+            reference.tables, sync.tables,
+            "tight sync diverged at {tenants} tenants"
         );
-
-        for (label, threads, result) in [
-            ("serial", 1usize, serial),
-            ("parallel", 0usize, parallel),
-        ] {
-            let total_s: f64 = result.batch_latencies.iter().sum();
-            let latencies = Sample::new(result.batch_latencies.clone()).expect("non-empty");
-            entries.push(Entry {
-                tenants,
-                scheduler: label,
-                threads,
-                ops: result.ops,
-                total_s,
-                ops_per_s: result.ops as f64 / total_s,
-                p50_ms: latencies.quantile(0.5) * 1e3,
-                p99_ms: latencies.quantile(0.99) * 1e3,
-            });
+        assert_eq!(
+            reference.tables, pipelined.tables,
+            "pipelined diverged at {tenants} tenants"
+        );
+        if tenants > capacity {
+            for (label, r) in [("sync", &sync), ("pipelined", &pipelined)] {
+                assert!(
+                    r.stats.spills > 0 && r.stats.rehydrations > 0,
+                    "{label} at {tenants} tenants (> {capacity} slots) never spilled: {:?}",
+                    r.stats
+                );
+            }
         }
+        entries.push(entry(tenants, "sync", &sync));
+        entries.push(entry(tenants, "pipelined", &pipelined));
     }
 
     println!(
-        "{:<8} {:<10} {:>8} {:>12} {:>12} {:>10} {:>10}",
-        "tenants", "scheduler", "ops", "total [s]", "ops/s", "p50 [ms]", "p99 [ms]"
+        "{:<8} {:<10} {:>8} {:>12} {:>12} {:>10} {:>10} {:>8} {:>8}",
+        "tenants", "mode", "ops", "total [s]", "ops/s", "p50 [ms]", "p99 [ms]", "spills", "rehyd"
     );
     let mut json = String::from(
-        "{\n  \"bench\": \"service\",\n  \"units\": {\"throughput\": \"ops/s\", \"latency\": \"ms per scheduler batch\"},\n  \"note\": \"10 waves x (4 Extend + 1 Score) per tenant; serial vs parallel schedulers asserted bit-identical before timing\",\n  \"entries\": [\n",
+        "{\n  \"bench\": \"service\",\n  \"units\": {\"throughput\": \"ops/s\", \"latency\": \"ms per tenant wave (submit -> responses available)\"},\n  \"registry\": {\"shards\": 16, \"sessions_per_shard\": 4, \"resident_capacity\": 64},\n  \"note\": \"6 waves x (4 Extend + 1 Score) per tenant; roomy-sync reference vs tight-sync vs tight-pipelined asserted bit-identical before timing; above 64 tenants the tight registry must spill and rehydrate\",\n  \"entries\": [\n",
     );
     for (i, e) in entries.iter().enumerate() {
         println!(
-            "{:<8} {:<10} {:>8} {:>12.4} {:>12.1} {:>10.3} {:>10.3}",
-            e.tenants, e.scheduler, e.ops, e.total_s, e.ops_per_s, e.p50_ms, e.p99_ms
+            "{:<8} {:<10} {:>8} {:>12.4} {:>12.1} {:>10.3} {:>10.3} {:>8} {:>8}",
+            e.tenants, e.mode, e.ops, e.total_s, e.ops_per_s, e.p50_ms, e.p99_ms, e.spills,
+            e.rehydrations
         );
         json.push_str(&format!(
-            "    {{\"tenants\": {}, \"scheduler\": \"{}\", \"threads\": {}, \"ops\": {}, \"total_s\": {:.6}, \"ops_per_s\": {:.1}, \"batch_p50_ms\": {:.4}, \"batch_p99_ms\": {:.4}}}{}\n",
+            "    {{\"tenants\": {}, \"mode\": \"{}\", \"ops\": {}, \"total_s\": {:.6}, \"ops_per_s\": {:.1}, \"wave_p50_ms\": {:.4}, \"wave_p99_ms\": {:.4}, \"spills\": {}, \"rehydrations\": {}}}{}\n",
             e.tenants,
-            e.scheduler,
-            e.threads,
+            e.mode,
             e.ops,
             e.total_s,
             e.ops_per_s,
             e.p50_ms,
             e.p99_ms,
+            e.spills,
+            e.rehydrations,
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }

@@ -240,20 +240,44 @@ impl<C: ScratchThreeWayComparator + Sync> ClusterSession<C> {
         criterion: ConvergenceCriterion,
         state: SessionState,
     ) -> Self {
-        let mut session =
-            Self::with_criterion(state.samples.len(), comparator, config, seed, criterion);
-        assert_eq!(
-            state.dirty.len(),
-            state.samples.len(),
-            "dirty flags must cover every algorithm"
-        );
-        if let Some(table) = &state.table {
-            assert_eq!(
-                table.num_algorithms(),
-                state.samples.len(),
-                "score table must cover every algorithm"
-            );
+        match Self::try_restore(comparator, config, seed, criterion, state) {
+            Ok(session) => session,
+            Err(what) => panic!("{what}"),
         }
+    }
+
+    /// The non-panicking form of [`restore`](ClusterSession::restore) —
+    /// the rehydration hook the hosted service uses when a spilled
+    /// session's snapshot bytes come back to life on a tenant's touch:
+    /// every inconsistency is reported as a typed message instead of
+    /// taking the process down.
+    ///
+    /// Validation mirrors the constructor panics plus
+    /// [`SessionState::check_consistent`].
+    pub fn try_restore(
+        comparator: C,
+        config: ClusterConfig,
+        seed: u64,
+        criterion: ConvergenceCriterion,
+        state: SessionState,
+    ) -> Result<Self, &'static str> {
+        if state.samples.is_empty() {
+            return Err("need at least one algorithm");
+        }
+        if config.repetitions == 0 {
+            return Err("need at least one repetition");
+        }
+        if criterion.try_validate().is_err() {
+            return Err("invalid convergence criterion");
+        }
+        state.check_consistent()?;
+        let mut session = Self::with_criterion(
+            state.samples.len(),
+            comparator,
+            config,
+            seed,
+            criterion,
+        );
         session.samples = state.samples;
         session.dirty = state.dirty;
         session.ingested = state.ingested;
@@ -261,7 +285,7 @@ impl<C: ScratchThreeWayComparator + Sync> ClusterSession<C> {
         session.waves = state.waves;
         session.stable_run = state.stable_run;
         session.converged = state.converged;
-        session
+        Ok(session)
     }
 
     /// Exports everything a checkpoint must carry to rebuild this session
@@ -500,6 +524,34 @@ pub struct SessionState {
     pub stable_run: usize,
     /// Whether the criterion has been met.
     pub converged: bool,
+}
+
+impl SessionState {
+    /// Checks the cross-field invariants a session relies on: the dirty
+    /// flags and the score table (when present) must cover exactly the
+    /// same algorithms as `samples`. Callers that assemble a state from
+    /// untrusted bytes (the service snapshot codec, spill rehydration)
+    /// route through this instead of hitting the constructor panics.
+    pub fn check_consistent(&self) -> Result<(), &'static str> {
+        if self.dirty.len() != self.samples.len() {
+            return Err("dirty flags must cover every algorithm");
+        }
+        if let Some(table) = &self.table {
+            if table.num_algorithms() != self.samples.len() {
+                return Err("score table must cover every algorithm");
+            }
+        }
+        Ok(())
+    }
+
+    /// Measurements held across all algorithms — the summary the service
+    /// caches for spilled sessions so status reads stay cheap.
+    pub fn total_measurements(&self) -> usize {
+        self.samples
+            .iter()
+            .map(|s| s.as_ref().map_or(0, relperf_measure::Sample::len))
+            .sum()
+    }
 }
 
 /// `true` when the two clusterings assign every algorithm the same class.
@@ -945,6 +997,63 @@ mod tests {
             ConvergenceCriterion::default(),
             state,
         );
+    }
+
+    #[test]
+    fn try_restore_reports_typed_inconsistencies() {
+        let good = |p: usize| SessionState {
+            samples: (0..p).map(|_| None).collect(),
+            dirty: vec![false; p],
+            ingested: false,
+            table: None,
+            waves: 0,
+            stable_run: 0,
+            converged: false,
+        };
+        let cmp = || MedianComparator::new(0.05);
+        let cfg = ClusterConfig::with_repetitions(5);
+        let crit = ConvergenceCriterion::default();
+        assert!(ClusterSession::try_restore(cmp(), cfg, 0, crit, good(2)).is_ok());
+        assert_eq!(
+            ClusterSession::try_restore(cmp(), cfg, 0, crit, good(0)).err(),
+            Some("need at least one algorithm")
+        );
+        let mut ragged = good(2);
+        ragged.dirty.pop();
+        assert_eq!(
+            ClusterSession::try_restore(cmp(), cfg, 0, crit, ragged).err(),
+            Some("dirty flags must cover every algorithm")
+        );
+        let mut bad_table = good(2);
+        bad_table.table = Some(crate::cluster::ScoreTable::from_rows(
+            vec![vec![1.0], vec![0.0], vec![0.0]],
+            1,
+        ));
+        assert_eq!(
+            ClusterSession::try_restore(cmp(), cfg, 0, crit, bad_table).err(),
+            Some("score table must cover every algorithm")
+        );
+        assert_eq!(
+            ClusterSession::try_restore(
+                cmp(),
+                ClusterConfig::with_repetitions(0),
+                0,
+                crit,
+                good(1)
+            )
+            .err(),
+            Some("need at least one repetition")
+        );
+        let bad_crit = ConvergenceCriterion {
+            stable_waves: 0,
+            score_tol: 0.1,
+        };
+        assert_eq!(
+            ClusterSession::try_restore(cmp(), cfg, 0, bad_crit, good(1)).err(),
+            Some("invalid convergence criterion")
+        );
+        // The state summary used for spilled-session status reads.
+        assert_eq!(good(3).total_measurements(), 0);
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Wire client and in-process duplex transport.
+//!
+//! [`WireClient`] drives the [`crate::wire`] protocol over any
+//! `Read + Write` stream — a [`DuplexPipe`] end for in-process use, a
+//! `UnixStream` for a socket server (see [`crate::wire::serve_unix`]).
+//! Every method is a strict request/response round trip; service-side
+//! rejections come back as typed
+//! [`ClientError::Service`] values, so a remote caller
+//! sheds load (`TenantBusy`, `QueueFull`, `Overloaded`) exactly like an
+//! in-process one.
+//!
+//! The [`DuplexPipe`] is a pair of bounded-unbounded byte queues with
+//! condvar wakeups — the smallest transport that exercises the real
+//! streaming frame reader (partial reads, interleaved frames, clean
+//! close) without touching the filesystem or network, which keeps the
+//! fault-injection tests hermetic and deterministic.
+
+use crate::error::ServiceError;
+use crate::runtime::{RuntimeError, RuntimeHandle};
+use crate::service::{OpResponse, SessionOp, SessionSpec, SessionStatus};
+use crate::stats::ServiceStats;
+use crate::wire::{
+    self, decode_response, encode_request, read_frame, write_frame, Request, Response, WireError,
+};
+use relperf_measure::ScratchThreeWayComparator;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// In-process duplex transport
+// ---------------------------------------------------------------------
+
+/// One direction of the pipe: a byte queue plus its wakeup.
+struct Channel {
+    state: Mutex<ChannelState>,
+    ready: Condvar,
+}
+
+struct ChannelState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Channel {
+    fn new() -> Arc<Self> {
+        Arc::new(Channel {
+            state: Mutex::new(ChannelState {
+                buf: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("pipe poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// One end of an in-process duplex byte stream (see [`duplex`]).
+///
+/// `Read` blocks until bytes arrive or the peer closes (then returns
+/// `Ok(0)`, the standard EOF). `Write` never blocks (the buffer is
+/// unbounded — wire frames are small and strictly request/response) and
+/// fails with `BrokenPipe` after the peer is gone.
+pub struct DuplexPipe {
+    recv: Arc<Channel>,
+    send: Arc<Channel>,
+}
+
+/// A connected pair of in-process stream ends: what one end writes, the
+/// other reads, in order.
+pub fn duplex() -> (DuplexPipe, DuplexPipe) {
+    let a_to_b = Channel::new();
+    let b_to_a = Channel::new();
+    (
+        DuplexPipe {
+            recv: Arc::clone(&b_to_a),
+            send: Arc::clone(&a_to_b),
+        },
+        DuplexPipe {
+            recv: a_to_b,
+            send: b_to_a,
+        },
+    )
+}
+
+impl Read for DuplexPipe {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.recv.state.lock().expect("pipe poisoned");
+        while state.buf.is_empty() {
+            if state.closed {
+                return Ok(0);
+            }
+            state = self
+                .recv
+                .ready
+                .wait(state)
+                .expect("pipe poisoned");
+        }
+        let n = out.len().min(state.buf.len());
+        for slot in out.iter_mut().take(n) {
+            *slot = state.buf.pop_front().expect("checked non-empty");
+        }
+        Ok(n)
+    }
+}
+
+impl Write for DuplexPipe {
+    fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        let mut state = self.send.state.lock().expect("pipe poisoned");
+        if state.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer closed the pipe",
+            ));
+        }
+        state.buf.extend(bytes);
+        drop(state);
+        self.send.ready.notify_all();
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for DuplexPipe {
+    fn drop(&mut self) {
+        // Closing either end unblocks both directions: our reader side so
+        // the peer's writes fail fast, our writer side so the peer's
+        // blocked read returns EOF.
+        self.recv.close();
+        self.send.close();
+    }
+}
+
+impl fmt::Debug for DuplexPipe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DuplexPipe").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The service rejected the request (admission control, backpressure,
+    /// load shedding, bad spec …) — same typed vocabulary as in-process.
+    Service(ServiceError),
+    /// The runtime gave up waiting for responses.
+    Wait(RuntimeError),
+    /// Framing, codec, or transport failure.
+    Wire(WireError),
+    /// The server answered with a response type the request cannot
+    /// produce — a protocol bug, not tenant input.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Service(e) => write!(f, "service rejected the request: {e}"),
+            ClientError::Wait(e) => write!(f, "wait failed: {e}"),
+            ClientError::Wire(e) => write!(f, "wire failure: {e}"),
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A synchronous wire-protocol client over any duplex byte stream.
+#[derive(Debug)]
+pub struct WireClient<S> {
+    stream: S,
+}
+
+impl<S: Read + Write> WireClient<S> {
+    /// Wraps an already-connected duplex stream (e.g. a `UnixStream`).
+    pub fn new(stream: S) -> Self {
+        WireClient { stream }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let payload = read_frame(&mut self.stream, wire::MAX_FRAME_PAYLOAD)?;
+        Ok(decode_response(&payload)?)
+    }
+
+    /// Opens a fresh session on the served runtime.
+    pub fn create_session(
+        &mut self,
+        tenant: u64,
+        session: u64,
+        spec: SessionSpec,
+    ) -> Result<(), ClientError> {
+        match self.call(&Request::CreateSession {
+            tenant,
+            session,
+            spec,
+        })? {
+            Response::Created => Ok(()),
+            Response::Error { error } => Err(ClientError::Service(error)),
+            _ => Err(ClientError::Protocol("unexpected response to CreateSession")),
+        }
+    }
+
+    /// Rebuilds a session from snapshot bytes.
+    pub fn restore_session(
+        &mut self,
+        tenant: u64,
+        session: u64,
+        bytes: Vec<u8>,
+    ) -> Result<(), ClientError> {
+        match self.call(&Request::RestoreSession {
+            tenant,
+            session,
+            bytes,
+        })? {
+            Response::Restored => Ok(()),
+            Response::Error { error } => Err(ClientError::Service(error)),
+            _ => Err(ClientError::Protocol("unexpected response to RestoreSession")),
+        }
+    }
+
+    /// Atomically submits an op group, returning the admission tickets.
+    /// Backpressure and shedding come back as
+    /// [`ClientError::Service`] with the same typed errors
+    /// (`TenantBusy`, `QueueFull`, `Overloaded`) an in-process caller
+    /// sees.
+    pub fn submit(
+        &mut self,
+        tenant: u64,
+        session: u64,
+        ops: Vec<SessionOp>,
+    ) -> Result<Vec<u64>, ClientError> {
+        match self.call(&Request::Submit {
+            tenant,
+            session,
+            ops,
+        })? {
+            Response::Submitted { seqs } => Ok(seqs),
+            Response::Error { error } => Err(ClientError::Service(error)),
+            _ => Err(ClientError::Protocol("unexpected response to Submit")),
+        }
+    }
+
+    /// Blocks until the named tickets have responses, then returns them
+    /// sorted by seq.
+    pub fn await_responses(
+        &mut self,
+        tenant: u64,
+        seqs: &[u64],
+        timeout: Duration,
+    ) -> Result<Vec<OpResponse>, ClientError> {
+        match self.call(&Request::Await {
+            tenant,
+            seqs: seqs.to_vec(),
+            timeout_ms: timeout.as_millis().min(u64::MAX as u128) as u64,
+        })? {
+            Response::Responses { responses } => Ok(responses),
+            Response::WaitError { error } => Err(ClientError::Wait(error)),
+            Response::Error { error } => Err(ClientError::Service(error)),
+            _ => Err(ClientError::Protocol("unexpected response to Await")),
+        }
+    }
+
+    /// Drains whatever responses are already delivered for the tenant.
+    pub fn collect_ready(&mut self, tenant: u64) -> Result<Vec<OpResponse>, ClientError> {
+        match self.call(&Request::Collect { tenant })? {
+            Response::Responses { responses } => Ok(responses),
+            _ => Err(ClientError::Protocol("unexpected response to Collect")),
+        }
+    }
+
+    /// Reads one session's status summary (`None`: not hosted, not
+    /// spilled).
+    pub fn session_status(
+        &mut self,
+        tenant: u64,
+        session: u64,
+    ) -> Result<Option<SessionStatus>, ClientError> {
+        match self.call(&Request::Status { tenant, session })? {
+            Response::Status { status } => Ok(status),
+            _ => Err(ClientError::Protocol("unexpected response to Status")),
+        }
+    }
+
+    /// Reads the service-wide counters.
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { stats } => Ok(stats),
+            _ => Err(ClientError::Protocol("unexpected response to Stats")),
+        }
+    }
+
+    /// Closes the connection cleanly (the server acknowledges and hangs
+    /// up).
+    pub fn goodbye(mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Goodbye)? {
+            Response::Goodbye => Ok(()),
+            _ => Err(ClientError::Protocol("unexpected response to Goodbye")),
+        }
+    }
+}
+
+impl WireClient<DuplexPipe> {
+    /// Spawns an in-process server thread over a [`duplex`] pipe and
+    /// returns the connected client plus the server's join handle (which
+    /// resolves once the client says [`goodbye`](WireClient::goodbye) or
+    /// drops).
+    pub fn connect_in_proc<C>(
+        handle: RuntimeHandle<C>,
+    ) -> (Self, JoinHandle<Result<(), WireError>>)
+    where
+        C: ScratchThreeWayComparator + Send + Sync + 'static,
+    {
+        let (client_end, mut server_end) = duplex();
+        let server = std::thread::spawn(move || wire::serve_connection(&handle, &mut server_end));
+        (WireClient::new(client_end), server)
+    }
+}

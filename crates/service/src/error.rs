@@ -49,6 +49,16 @@ pub enum ServiceError {
         /// The per-shard depth cap.
         cap: usize,
     },
+    /// Load shedding: the whole service's backlog of admitted-but-not-yet
+    /// -executed ops crossed the [`max_backlog`](crate::service::ServiceLimits::max_backlog)
+    /// watermark. Shed requests are cheap to reject and cheap to retry
+    /// after the scheduler catches up.
+    Overloaded {
+        /// Admitted-but-unexecuted ops at rejection time.
+        backlog: usize,
+        /// The configured watermark.
+        cap: usize,
+    },
     /// The shard is at session capacity and every resident session has
     /// pending ops, so none can be evicted.
     ShardFull {
@@ -111,6 +121,10 @@ impl fmt::Display for ServiceError {
             ServiceError::QueueFull { shard, depth, cap } => {
                 write!(f, "shard {shard} queue holds {depth} ops (cap {cap})")
             }
+            ServiceError::Overloaded { backlog, cap } => write!(
+                f,
+                "service backlog holds {backlog} admitted ops (shed watermark {cap})"
+            ),
             ServiceError::ShardFull { shard, capacity } => write!(
                 f,
                 "shard {shard} hosts {capacity} sessions and none are idle"

@@ -10,17 +10,31 @@
 //!
 //! * [`service`] — the [`SessionService`]: a
 //!   **sharded registry** (fixed array of mutex-guarded shards, lock per
-//!   shard, capacity-bounded with LRU idle eviction) plus a
-//!   **deterministic batch scheduler** that drains queued `Push` /
-//!   `Extend` / `Score` / `Snapshot` / `Close` ops in `(tenant, seq)`
-//!   order and fans independent sessions' score waves across worker
-//!   threads. For any request interleaving, shard count, and thread count
-//!   the served results are **bit-identical** to driving each session
-//!   directly.
-//! * [`error`] — typed admission/backpressure errors: the service rejects,
-//!   it never panics on tenant input and never blocks a caller.
-//! * [`stats`] — atomic counters (requests, rejections, batches, waves,
-//!   evictions) read as one [`ServiceStats`].
+//!   shard, capacity-bounded with **snapshot-on-evict**: the LRU idle
+//!   session spills to its own codec bytes and rehydrates transparently
+//!   on the next touch) plus a **deterministic batch scheduler** that
+//!   drains queued `Push` / `Extend` / `Score` / `Snapshot` / `Close`
+//!   ops in `(tenant, seq)` order and fans independent sessions' score
+//!   waves across worker threads. For any request interleaving, shard
+//!   count, and thread count the served results are **bit-identical** to
+//!   driving each session directly.
+//! * [`runtime`] — the pipelined front half: [`ServiceRuntime`] spawns
+//!   background scheduler threads that drain disjoint shard partitions
+//!   on a bounded cadence (slow tenants stop convoying fast ones) and
+//!   route responses into per-tenant mailboxes;
+//!   `scheduler_threads: 0` is a fully synchronous, deterministic
+//!   drive-on-drain mode.
+//! * [`wire`] + [`client`] — a length-prefixed, checksummed binary wire
+//!   protocol (same LE/FNV dialect as the snapshot codec) with a
+//!   [`WireClient`] over in-process duplex pipes or unix sockets;
+//!   decoding is total (fuzzed byte-by-byte) and admission rejections
+//!   travel as typed wire errors.
+//! * [`error`] — typed admission/backpressure/shedding errors: the
+//!   service rejects, it never panics on tenant input and never blocks a
+//!   caller.
+//! * [`stats`] — atomic counters (request-, op-, and lifecycle-level:
+//!   spills, rehydrations, shed load) read as one [`ServiceStats`],
+//!   with quiesced-identity guarantees the overload tests pin down.
 //! * [`snapshot`] — a hand-rolled, versioned, checksummed binary
 //!   checkpoint format (no serde — offline constraint): samples,
 //!   convergence state, score table, and carried measurement RNG states. A
@@ -56,30 +70,39 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod client;
 pub mod error;
+pub mod runtime;
 pub mod service;
 pub mod snapshot;
 pub mod stats;
+pub mod wire;
 
 pub use campaign::ServiceCampaign;
+pub use client::{ClientError, WireClient};
 pub use error::ServiceError;
+pub use runtime::{RuntimeConfig, RuntimeError, RuntimeHandle, ServiceRuntime};
 pub use service::{
     OpOutcome, OpResponse, SessionKey, SessionOp, SessionService, SessionSpec, SessionStatus,
     ServiceLimits, SharedComparator, WaveOutcome,
 };
 pub use snapshot::{SessionSnapshot, SnapshotError};
 pub use stats::ServiceStats;
+pub use wire::WireError;
 
 /// The commonly used service surface, re-exported flat.
 pub mod prelude {
     pub use crate::campaign::ServiceCampaign;
+    pub use crate::client::{ClientError, WireClient};
     pub use crate::error::ServiceError;
+    pub use crate::runtime::{RuntimeConfig, RuntimeError, RuntimeHandle, ServiceRuntime};
     pub use crate::service::{
         OpOutcome, OpResponse, SessionKey, SessionOp, SessionService, SessionSpec, SessionStatus,
         ServiceLimits, WaveOutcome,
     };
     pub use crate::snapshot::{SessionSnapshot, SnapshotError};
     pub use crate::stats::ServiceStats;
+    pub use crate::wire::WireError;
     pub use relperf_core::cluster::{ClusterConfig, Parallelism};
     pub use relperf_core::session::ConvergenceCriterion;
 }

@@ -1,0 +1,471 @@
+//! The pipelined front half of the service: background scheduler threads
+//! plus per-tenant response mailboxes.
+//!
+//! [`SessionService`] by itself is passive — someone must call
+//! [`run_batch`](SessionService::run_batch), and with one synchronous
+//! driver every tenant's latency is convoyed behind the slowest session
+//! in the batch (the PR-5 bench shows p99 growing linearly with tenant
+//! count for exactly this reason). [`ServiceRuntime`] fixes the shape of
+//! the problem rather than the constant: it spawns `N` **scheduler
+//! threads**, thread `t` owning the shards `s ≡ t (mod N)`, each draining
+//! only its own shards via
+//! [`run_shard_batch`](SessionService::run_shard_batch) on a bounded
+//! cadence. A slow session now delays its own shard's batch — tenants
+//! hashed to other shards keep their latency regardless.
+//!
+//! # Mailboxes
+//!
+//! Batch responses are routed into a per-tenant **mailbox** instead of
+//! being returned to whoever happened to drain the batch. Callers collect
+//! with [`collect_ready`](RuntimeHandle::collect_ready) (non-blocking) or
+//! [`await_responses`](RuntimeHandle::await_responses) (blocking with a
+//! deadline, satisfied by a condvar signal from the delivering worker).
+//! Mailboxes are bounded ([`RuntimeConfig::mailbox_cap`]); a tenant that
+//! never collects loses its **oldest** responses first — the runtime
+//! never blocks a scheduler thread on a lazy client.
+//!
+//! # Determinism
+//!
+//! The runtime only moves *when* batches are cut, never *what* a session
+//! computes: a session's ops still execute in `(tenant, seq)` order
+//! inside whichever batch drains them, so served tables remain
+//! bit-identical to direct [`ClusterSession`](relperf_core::session::ClusterSession)
+//! drives for any thread count and cadence — property-tested in
+//! `tests/pipeline.rs`.
+//!
+//! # Synchronous mode
+//!
+//! `scheduler_threads == 0` spawns nothing: batches run inline inside
+//! `await_responses` / `collect_ready` ("drive-on-drain"). This mode is
+//! fully deterministic end to end — no timing anywhere — and is what the
+//! fuzz and overload tests pin their golden values against; it is also
+//! the natural fallback when the `parallel` feature is compiled out.
+
+use crate::error::ServiceError;
+use crate::service::{OpResponse, SessionOp, SessionService, SessionSpec, SessionStatus};
+use crate::stats::ServiceStats;
+use relperf_measure::ScratchThreeWayComparator;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle, Thread};
+use std::time::{Duration, Instant};
+
+/// How the background scheduler is shaped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Scheduler threads. Thread `t` owns shards `s ≡ t (mod threads)`;
+    /// `0` means synchronous drive-on-drain mode (no threads, batches run
+    /// inline in `await_responses` / `collect_ready`).
+    pub scheduler_threads: usize,
+    /// How long an idle scheduler thread sleeps between queue polls.
+    /// Submissions unpark the owning thread immediately, so the cadence
+    /// bounds wake-up latency only when the unpark signal is missed.
+    pub cadence: Duration,
+    /// Responses kept per tenant mailbox; beyond this the oldest are
+    /// dropped (the runtime never blocks a worker on a lazy client).
+    pub mailbox_cap: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            scheduler_threads: 2,
+            cadence: Duration::from_millis(1),
+            mailbox_cap: 16384,
+        }
+    }
+}
+
+/// Why a blocking runtime call gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The runtime was shut down while the caller waited.
+    Stopped,
+    /// The deadline passed with `missing` awaited responses still
+    /// undelivered (or, in synchronous mode, the queues drained dry
+    /// without producing them — e.g. they were delivered to a different
+    /// collector or dropped by a full mailbox).
+    Timeout {
+        /// Awaited responses still missing when the caller gave up.
+        missing: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Stopped => write!(f, "runtime stopped while waiting"),
+            RuntimeError::Timeout { missing } => {
+                write!(f, "gave up waiting with {missing} response(s) missing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// State shared between the runtime owner, its scheduler threads, and any
+/// number of [`RuntimeHandle`] clones.
+struct Shared<C: ScratchThreeWayComparator + Send + Sync> {
+    service: SessionService<C>,
+    config: RuntimeConfig,
+    /// Per-tenant delivered-response queues, with `delivered` signalled on
+    /// every non-empty delivery.
+    mailboxes: Mutex<HashMap<u64, VecDeque<OpResponse>>>,
+    delivered: Condvar,
+    stop: AtomicBool,
+    /// Scheduler thread handles for submit-side unparking (empty in
+    /// synchronous mode).
+    workers: Mutex<Vec<Thread>>,
+}
+
+impl<C: ScratchThreeWayComparator + Send + Sync> Shared<C> {
+    fn sync_mode(&self) -> bool {
+        self.config.scheduler_threads == 0
+    }
+
+    /// Routes one batch's responses into the tenants' mailboxes.
+    fn deliver(&self, responses: Vec<OpResponse>) {
+        if responses.is_empty() {
+            return;
+        }
+        let mut boxes = self.mailboxes.lock().expect("mailboxes poisoned");
+        for r in responses {
+            let mailbox = boxes.entry(r.key.tenant).or_default();
+            mailbox.push_back(r);
+            while mailbox.len() > self.config.mailbox_cap {
+                mailbox.pop_front();
+            }
+        }
+        drop(boxes);
+        self.delivered.notify_all();
+    }
+
+    /// Wakes the scheduler thread owning `shard` (no-op in sync mode).
+    fn kick(&self, shard: usize) {
+        let workers = self.workers.lock().expect("workers poisoned");
+        if !workers.is_empty() {
+            workers[shard % workers.len()].unpark();
+        }
+    }
+
+    /// Runs one inline batch over every shard and delivers it —
+    /// synchronous mode's scheduling step. Returns how many responses
+    /// the batch produced.
+    fn drive_once(&self) -> usize {
+        let responses = self.service.run_batch();
+        let n = responses.len();
+        self.deliver(responses);
+        n
+    }
+}
+
+/// Counts how many of `seqs` are not yet in the tenant's mailbox.
+fn missing_count(
+    boxes: &HashMap<u64, VecDeque<OpResponse>>,
+    tenant: u64,
+    seqs: &[u64],
+) -> usize {
+    match boxes.get(&tenant) {
+        None => seqs.len(),
+        Some(mailbox) => seqs
+            .iter()
+            .filter(|s| !mailbox.iter().any(|r| r.seq == **s))
+            .count(),
+    }
+}
+
+/// Removes exactly `seqs` from the tenant's mailbox (all known present),
+/// returning them sorted by seq; unrelated responses stay queued.
+fn extract(
+    boxes: &mut HashMap<u64, VecDeque<OpResponse>>,
+    tenant: u64,
+    seqs: &[u64],
+) -> Vec<OpResponse> {
+    let mailbox = boxes.get_mut(&tenant).expect("caller verified presence");
+    let mut out: Vec<OpResponse> = Vec::with_capacity(seqs.len());
+    mailbox.retain(|r| {
+        if seqs.contains(&r.seq) {
+            out.push(r.clone());
+            false
+        } else {
+            true
+        }
+    });
+    if mailbox.is_empty() {
+        boxes.remove(&tenant);
+    }
+    out.sort_by_key(|r| r.seq);
+    out
+}
+
+/// The owning half of the pipelined runtime: holds the scheduler threads
+/// and stops them on [`shutdown`](ServiceRuntime::shutdown) (or drop).
+/// All request-side methods live on [`RuntimeHandle`], which this type
+/// [`Deref`](std::ops::Deref)s to — wire servers clone handles freely.
+pub struct ServiceRuntime<C: ScratchThreeWayComparator + Send + Sync + 'static> {
+    handle: RuntimeHandle<C>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+/// A cheap cloneable reference to a running [`ServiceRuntime`] — the
+/// submit/collect surface handed to wire connection handlers.
+pub struct RuntimeHandle<C: ScratchThreeWayComparator + Send + Sync>(Arc<Shared<C>>);
+
+impl<C: ScratchThreeWayComparator + Send + Sync> Clone for RuntimeHandle<C> {
+    fn clone(&self) -> Self {
+        RuntimeHandle(Arc::clone(&self.0))
+    }
+}
+
+impl<C: ScratchThreeWayComparator + Send + Sync + 'static> ServiceRuntime<C> {
+    /// Wraps `service` and starts the scheduler threads (none in
+    /// synchronous mode — see the [module docs](self)).
+    pub fn start(service: SessionService<C>, config: RuntimeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            mailboxes: Mutex::new(HashMap::new()),
+            delivered: Condvar::new(),
+            stop: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut joins = Vec::new();
+        let n = config.scheduler_threads;
+        for t in 0..n {
+            let shard_count = shared.service.num_shards();
+            let worker = Arc::clone(&shared);
+            let join = thread::Builder::new()
+                .name(format!("relperf-sched-{t}"))
+                .spawn(move || {
+                    // Thread t drains shards t, t+n, t+2n, … — a fixed
+                    // partition, so no two threads ever race on a shard's
+                    // queue and a slow shard only delays its own owner.
+                    let owned: Vec<usize> = (t..shard_count).step_by(n).collect();
+                    while !worker.stop.load(Ordering::Acquire) {
+                        let responses = worker.service.run_shard_batch(owned.iter().copied());
+                        if responses.is_empty() {
+                            thread::park_timeout(worker.config.cadence);
+                        } else {
+                            worker.deliver(responses);
+                        }
+                    }
+                })
+                .expect("spawn scheduler thread");
+            joins.push(join);
+        }
+        {
+            let mut workers = shared.workers.lock().expect("workers poisoned");
+            *workers = joins.iter().map(|j| j.thread().clone()).collect();
+        }
+        ServiceRuntime {
+            handle: RuntimeHandle(shared),
+            joins,
+        }
+    }
+
+    /// A cloneable submit/collect handle (e.g. one per wire connection).
+    pub fn handle(&self) -> RuntimeHandle<C> {
+        self.handle.clone()
+    }
+
+    /// Stops the scheduler threads and joins them. Queued-but-undrained
+    /// ops stay queued in the underlying service; undelivered mailbox
+    /// contents are dropped with the runtime.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.handle.0.stop.store(true, Ordering::Release);
+        {
+            let workers = self.handle.0.workers.lock().expect("workers poisoned");
+            for w in workers.iter() {
+                w.unpark();
+            }
+        }
+        self.handle.0.delivered.notify_all();
+        for join in self.joins.drain(..) {
+            let _ = join.join();
+        }
+    }
+}
+
+impl<C: ScratchThreeWayComparator + Send + Sync + 'static> Drop for ServiceRuntime<C> {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl<C: ScratchThreeWayComparator + Send + Sync + 'static> std::ops::Deref for ServiceRuntime<C> {
+    type Target = RuntimeHandle<C>;
+
+    fn deref(&self) -> &RuntimeHandle<C> {
+        &self.handle
+    }
+}
+
+impl<C: ScratchThreeWayComparator + Send + Sync> RuntimeHandle<C> {
+    /// The wrapped service, for admission calls the runtime does not
+    /// intercept (status reads, stats, limits).
+    pub fn service(&self) -> &SessionService<C> {
+        &self.0.service
+    }
+
+    /// [`SessionService::create_session`] pass-through.
+    pub fn create_session(
+        &self,
+        tenant: u64,
+        session: u64,
+        spec: SessionSpec,
+    ) -> Result<(), ServiceError> {
+        self.0.service.create_session(tenant, session, spec)
+    }
+
+    /// [`SessionService::restore_session`] pass-through.
+    pub fn restore_session(
+        &self,
+        tenant: u64,
+        session: u64,
+        bytes: &[u8],
+    ) -> Result<(), ServiceError> {
+        self.0.service.restore_session(tenant, session, bytes)
+    }
+
+    /// Enqueues one op and wakes the owning scheduler thread. The
+    /// response lands in the tenant's mailbox.
+    pub fn submit(&self, tenant: u64, session: u64, op: SessionOp) -> Result<u64, ServiceError> {
+        let seqs = self.submit_all(tenant, session, vec![op])?;
+        Ok(seqs[0])
+    }
+
+    /// Atomic group enqueue ([`SessionService::submit_all`]) plus a wake
+    /// of the owning scheduler thread.
+    pub fn submit_all(
+        &self,
+        tenant: u64,
+        session: u64,
+        ops: Vec<SessionOp>,
+    ) -> Result<Vec<u64>, ServiceError> {
+        let seqs = self.0.service.submit_all(tenant, session, ops)?;
+        if !seqs.is_empty() && !self.0.sync_mode() {
+            self.0.kick(self.0.service.shard_index(tenant, session));
+        }
+        Ok(seqs)
+    }
+
+    /// Non-blocking drain of the tenant's whole mailbox (synchronous mode
+    /// runs one inline batch first so there is something to drain).
+    pub fn collect_ready(&self, tenant: u64) -> Vec<OpResponse> {
+        if self.0.sync_mode() {
+            self.0.drive_once();
+        }
+        let mut boxes = self.0.mailboxes.lock().expect("mailboxes poisoned");
+        boxes
+            .remove(&tenant)
+            .map(|mailbox| mailbox.into())
+            .unwrap_or_default()
+    }
+
+    /// Blocks until every ticket in `seqs` has a delivered response (then
+    /// removes and returns exactly those, sorted by seq — unrelated
+    /// responses stay queued), the runtime stops, or `timeout` passes.
+    ///
+    /// Synchronous mode ignores `timeout` and instead drives inline
+    /// batches until the tickets resolve or the queues run dry.
+    pub fn await_responses(
+        &self,
+        tenant: u64,
+        seqs: &[u64],
+        timeout: Duration,
+    ) -> Result<Vec<OpResponse>, RuntimeError> {
+        if seqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.0.sync_mode() {
+            return self.await_sync(tenant, seqs);
+        }
+        let deadline = Instant::now() + timeout;
+        let mut boxes = self.0.mailboxes.lock().expect("mailboxes poisoned");
+        loop {
+            let missing = missing_count(&boxes, tenant, seqs);
+            if missing == 0 {
+                return Ok(extract(&mut boxes, tenant, seqs));
+            }
+            if self.0.stop.load(Ordering::Acquire) {
+                return Err(RuntimeError::Stopped);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RuntimeError::Timeout { missing });
+            }
+            let (guard, _) = self
+                .0
+                .delivered
+                .wait_timeout(boxes, deadline - now)
+                .expect("mailboxes poisoned");
+            boxes = guard;
+        }
+    }
+
+    /// Synchronous-mode wait: drive inline batches until the tickets
+    /// resolve; dry queues with tickets still missing is a typed timeout.
+    fn await_sync(&self, tenant: u64, seqs: &[u64]) -> Result<Vec<OpResponse>, RuntimeError> {
+        loop {
+            {
+                let mut boxes = self.0.mailboxes.lock().expect("mailboxes poisoned");
+                let missing = missing_count(&boxes, tenant, seqs);
+                if missing == 0 {
+                    return Ok(extract(&mut boxes, tenant, seqs));
+                }
+                if self.0.stop.load(Ordering::Acquire) {
+                    return Err(RuntimeError::Stopped);
+                }
+            }
+            if self.0.drive_once() == 0 {
+                let boxes = self.0.mailboxes.lock().expect("mailboxes poisoned");
+                let missing = missing_count(&boxes, tenant, seqs);
+                if missing == 0 {
+                    drop(boxes);
+                    continue;
+                }
+                return Err(RuntimeError::Timeout { missing });
+            }
+        }
+    }
+
+    /// [`SessionService::session_status`] pass-through.
+    pub fn session_status(&self, tenant: u64, session: u64) -> Option<SessionStatus> {
+        self.0.service.session_status(tenant, session)
+    }
+
+    /// [`SessionService::stats`] pass-through.
+    pub fn stats(&self) -> ServiceStats {
+        self.0.service.stats()
+    }
+
+    /// Whether this runtime runs batches inline (no scheduler threads).
+    pub fn is_sync(&self) -> bool {
+        self.0.sync_mode()
+    }
+}
+
+impl<C: ScratchThreeWayComparator + Send + Sync> fmt::Debug for RuntimeHandle<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuntimeHandle")
+            .field("sync", &self.0.sync_mode())
+            .field("config", &self.0.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<C: ScratchThreeWayComparator + Send + Sync + 'static> fmt::Debug for ServiceRuntime<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceRuntime")
+            .field("scheduler_threads", &self.joins.len())
+            .field("config", &self.handle.0.config)
+            .finish_non_exhaustive()
+    }
+}

@@ -10,8 +10,25 @@
 //! stable across runs and no global lock exists anywhere: admission takes
 //! one shard lock; the scheduler takes each shard lock briefly to drain
 //! its queue and to check sessions in and out. Shards are
-//! capacity-bounded; an over-capacity insert evicts the least-recently
-//! used *idle* (no pending ops) session, or rejects when none is idle.
+//! capacity-bounded; an over-capacity insert **spills** the
+//! least-recently used *idle* (no pending ops) session to its own
+//! snapshot bytes (see below), or rejects when none is idle.
+//!
+//! # Snapshot-on-evict
+//!
+//! Registry capacity is a residency bound, not a session ceiling. When a
+//! shard is full, the LRU idle resident is serialized through the
+//! [`crate::snapshot`] codec and parked in the shard's **spill store**;
+//! the next op addressed to a spilled session transparently rehydrates it
+//! (decoding the bytes, restoring the session, spilling someone else if
+//! the shard is still full) before the op is enqueued. Because the codec
+//! round-trip is bit-exact, a session that was spilled and rehydrated
+//! mid-campaign continues wave-for-wave identically to one that never
+//! left memory — the golden test in `tests/checkpoint.rs` pins this down.
+//! The spill store is itself bounded ([`ServiceLimits::spill_per_shard`]);
+//! beyond it the oldest snapshot is dropped for good (a hard eviction),
+//! and `spill_per_shard: 0` disables spilling entirely, restoring plain
+//! LRU eviction.
 //!
 //! # Deterministic batch scheduling
 //!
@@ -34,10 +51,14 @@
 //! Every rejection is a typed [`ServiceError`] and every accepted op
 //! eventually gets a response from `run_batch` — the service never blocks
 //! a caller and never panics on tenant input. Per-tenant in-flight caps
-//! and per-shard queue depth bounds provide backpressure under overload.
+//! and per-shard queue depth bounds provide backpressure under overload,
+//! and a service-wide **load shedder** rejects new ops with
+//! [`ServiceError::Overloaded`] once the backlog of admitted-but-not-yet
+//! -executed ops crosses [`ServiceLimits::max_backlog`] — cheap to
+//! reject, cheap to retry once the scheduler catches up.
 
 use crate::error::ServiceError;
-use crate::snapshot::{self, SessionSnapshot};
+use crate::snapshot::{self, SessionSnapshot, SnapshotError};
 use crate::stats::{ServiceStats, StatCounters};
 use relperf_core::cluster::{ClusterConfig, Clustering, Parallelism, ScoreTable};
 use relperf_core::session::{ClusterSession, ConvergenceCriterion};
@@ -157,13 +178,21 @@ pub struct OpResponse {
 /// Capacity bounds enforced by admission control.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceLimits {
-    /// Hosted sessions per shard; the LRU idle session is evicted to admit
-    /// a new one beyond this.
+    /// Hosted sessions per shard; the LRU idle session is spilled (or,
+    /// with spilling disabled, evicted) to admit a new one beyond this.
     pub sessions_per_shard: usize,
     /// Queued ops per tenant across all shards (in-flight cap).
     pub tenant_in_flight: usize,
     /// Queued ops per shard (queue-depth backpressure).
     pub shard_queue_depth: usize,
+    /// Spilled session snapshots kept per shard (see the [module
+    /// docs](self)). `0` disables snapshot-on-evict: over-capacity
+    /// inserts drop the LRU idle session for good.
+    pub spill_per_shard: usize,
+    /// Service-wide load-shedding watermark: once `ops_admitted -
+    /// ops_executed` would exceed this, new ops are rejected with
+    /// [`ServiceError::Overloaded`] until the scheduler catches up.
+    pub max_backlog: usize,
 }
 
 impl Default for ServiceLimits {
@@ -174,6 +203,8 @@ impl Default for ServiceLimits {
             sessions_per_shard: 1024,
             tenant_in_flight: 4096,
             shard_queue_depth: 65536,
+            spill_per_shard: 4096,
+            max_backlog: 1 << 20,
         }
     }
 }
@@ -191,6 +222,10 @@ pub struct SessionStatus {
     pub converged: bool,
     /// Ops currently queued against this session.
     pub pending: usize,
+    /// Whether the session currently lives in the spill store (as
+    /// snapshot bytes) rather than in memory. A spilled session is still
+    /// fully addressable — its next op rehydrates it.
+    pub spilled: bool,
 }
 
 /// Shares one comparator instance across every hosted session: all three
@@ -289,10 +324,25 @@ struct QueuedOp {
     op: SessionOp,
 }
 
-/// One shard: a slice of the session map plus its request queue, guarded
-/// by a single mutex (lock per shard, never a global lock).
+/// A session parked in the spill store: its snapshot bytes plus the
+/// cached summary so status reads stay answerable without decoding.
+struct Spilled {
+    bytes: Vec<u8>,
+    algorithms: usize,
+    total_measurements: usize,
+    waves: usize,
+    converged: bool,
+    /// Carried from the resident entry so rehydration order follows true
+    /// recency, and the spill store's own LRU drop is well-defined.
+    last_used: u64,
+}
+
+/// One shard: a slice of the session map, the spill store, and the
+/// shard's request queue, guarded by a single mutex (lock per shard,
+/// never a global lock).
 struct Shard<C: ScratchThreeWayComparator + Send + Sync> {
     sessions: HashMap<SessionKey, Hosted<C>>,
+    spilled: HashMap<SessionKey, Spilled>,
     queue: Vec<QueuedOp>,
 }
 
@@ -345,6 +395,7 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
                 .map(|_| {
                     Mutex::new(Shard {
                         sessions: HashMap::new(),
+                        spilled: HashMap::new(),
                         queue: Vec::new(),
                     })
                 })
@@ -447,40 +498,27 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
         // `restore_snapshot` accepts caller-built values — re-check them
         // typed so the session constructors below can never panic on
         // tenant input.
-        let p = snap.state.samples.len();
-        if p == 0 {
+        if snap.state.samples.is_empty() {
             return Err(ServiceError::NoAlgorithms);
         }
         if snap.config.repetitions == 0 {
             return Err(ServiceError::NoRepetitions);
         }
         snap.criterion.try_validate()?;
-        if snap.state.dirty.len() != p
-            || snap
-                .state
-                .table
-                .as_ref()
-                .is_some_and(|t| t.num_algorithms() != p)
-        {
-            return Err(ServiceError::BadSnapshot(
-                crate::snapshot::SnapshotError::Malformed(
-                    "snapshot state vectors disagree about the algorithm count",
-                ),
-            ));
-        }
-        let session_obj = ClusterSession::restore(
+        let session_obj = ClusterSession::try_restore(
             SharedComparator(Arc::clone(&self.comparator)),
             snap.config,
             snap.seed,
             snap.criterion,
             snap.state,
-        );
+        )
+        .map_err(|what| ServiceError::BadSnapshot(SnapshotError::Malformed(what)))?;
         self.insert(SessionKey { tenant, session }, session_obj)
     }
 
-    /// Registers a session, evicting the LRU idle resident when the shard
-    /// is at capacity. Checked-out and pending-op sessions are never
-    /// evicted.
+    /// Registers a session, spilling (or, with spilling disabled,
+    /// evicting) the LRU idle resident when the shard is at capacity.
+    /// Checked-out and pending-op sessions are never displaced.
     fn insert(
         &self,
         key: SessionKey,
@@ -488,34 +526,133 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
     ) -> Result<(), ServiceError> {
         let idx = self.shard_of(key);
         let tick = self.tick();
-        let mut shard = self.shard(idx);
-        if shard.sessions.contains_key(&key) {
+        let mut guard = self.shard(idx);
+        self.insert_locked(&mut guard, idx, key, session, tick)
+    }
+
+    /// [`insert`](Self::insert) against an already-locked shard — shared
+    /// with the rehydration path, which must make room while holding the
+    /// shard lock (re-locking would deadlock).
+    fn insert_locked(
+        &self,
+        shard: &mut Shard<C>,
+        idx: usize,
+        key: SessionKey,
+        session: ClusterSession<SharedComparator<C>>,
+        tick: u64,
+    ) -> Result<(), ServiceError> {
+        if shard.sessions.contains_key(&key) || shard.spilled.contains_key(&key) {
             return Err(ServiceError::SessionExists {
                 tenant: key.tenant,
                 session: key.session,
             });
         }
         if shard.sessions.len() >= self.limits.sessions_per_shard {
-            let victim = shard
-                .sessions
-                .iter()
-                .filter(|(_, h)| h.pending == 0 && h.session.is_some())
-                .min_by_key(|(k, h)| (h.last_used, **k))
-                .map(|(k, _)| *k);
-            match victim {
-                Some(v) => {
-                    shard.sessions.remove(&v);
-                    StatCounters::bump(&self.stats.evictions);
-                }
-                None => {
-                    return Err(ServiceError::ShardFull {
-                        shard: idx,
-                        capacity: self.limits.sessions_per_shard,
-                    })
-                }
-            }
+            self.make_room(shard, idx)?;
         }
         shard.sessions.insert(key, Hosted::new(session, tick));
+        Ok(())
+    }
+
+    /// Frees one residency slot in `shard`: the LRU idle resident is
+    /// serialized into the spill store, or dropped for good when spilling
+    /// is disabled. Fails typed with `ShardFull` when every resident is
+    /// checked out or has pending ops.
+    fn make_room(&self, shard: &mut Shard<C>, idx: usize) -> Result<(), ServiceError> {
+        let victim = shard
+            .sessions
+            .iter()
+            .filter(|(_, h)| h.pending == 0 && h.session.is_some())
+            .min_by_key(|(k, h)| (h.last_used, **k))
+            .map(|(k, _)| *k);
+        let Some(v) = victim else {
+            return Err(ServiceError::ShardFull {
+                shard: idx,
+                capacity: self.limits.sessions_per_shard,
+            });
+        };
+        let hosted = shard.sessions.remove(&v).expect("victim is resident");
+        if self.limits.spill_per_shard == 0 {
+            StatCounters::bump(&self.stats.evictions);
+            return Ok(());
+        }
+        let session = hosted.session.expect("victim is idle (checked in)");
+        let snap = SessionSnapshot {
+            config: session.config(),
+            seed: session.seed(),
+            criterion: session.criterion(),
+            state: session.export_state(),
+            rng_states: Vec::new(),
+        };
+        shard.spilled.insert(
+            v,
+            Spilled {
+                bytes: snapshot::encode(&snap),
+                algorithms: hosted.algorithms,
+                total_measurements: hosted.total_measurements,
+                waves: hosted.waves,
+                converged: hosted.converged,
+                last_used: hosted.last_used,
+            },
+        );
+        StatCounters::bump(&self.stats.spills);
+        // The spill store is itself bounded; beyond the cap the oldest
+        // snapshot is dropped for good (a hard eviction).
+        while shard.spilled.len() > self.limits.spill_per_shard {
+            let oldest = shard
+                .spilled
+                .iter()
+                .min_by_key(|(k, s)| (s.last_used, **k))
+                .map(|(k, _)| *k)
+                .expect("spill store is non-empty");
+            shard.spilled.remove(&oldest);
+            StatCounters::bump(&self.stats.evictions);
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a spilled session in place (shard lock held), making room
+    /// by spilling someone else if necessary. On `ShardFull` the snapshot
+    /// goes back into the spill store untouched, so the session survives
+    /// the failed touch and the caller can retry after the backlog drains.
+    fn rehydrate_locked(
+        &self,
+        shard: &mut Shard<C>,
+        idx: usize,
+        key: SessionKey,
+        tick: u64,
+    ) -> Result<(), ServiceError> {
+        let spilled = shard
+            .spilled
+            .remove(&key)
+            .expect("caller checked the spill store");
+        let rebuilt = snapshot::decode(&spilled.bytes)
+            .map_err(ServiceError::from)
+            .and_then(|snap| {
+                ClusterSession::try_restore(
+                    SharedComparator(Arc::clone(&self.comparator)),
+                    snap.config,
+                    snap.seed,
+                    snap.criterion,
+                    snap.state,
+                )
+                .map_err(|what| ServiceError::BadSnapshot(SnapshotError::Malformed(what)))
+            });
+        let session = match rebuilt {
+            Ok(session) => session,
+            Err(e) => {
+                // Unreachable for bytes the spill path itself encoded,
+                // but stay total: the entry is dropped and the error
+                // surfaces typed.
+                StatCounters::bump(&self.stats.evictions);
+                return Err(e);
+            }
+        };
+        if let Err(e) = self.insert_locked(shard, idx, key, session, tick) {
+            shard.spilled.insert(key, spilled);
+            return Err(e);
+        }
+        StatCounters::bump(&self.stats.rehydrations);
         Ok(())
     }
 
@@ -544,9 +681,14 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
         }
         let n = ops.len() as u64;
         self.stats.requests.fetch_add(n, Ordering::Relaxed);
+        self.stats.ops_submitted.fetch_add(n, Ordering::Relaxed);
         self.enqueue_all(tenant, session, ops)
+            .inspect(|_| {
+                self.stats.ops_admitted.fetch_add(n, Ordering::Relaxed);
+            })
             .inspect_err(|_| {
                 self.stats.rejections.fetch_add(n, Ordering::Relaxed);
+                self.stats.ops_rejected.fetch_add(n, Ordering::Relaxed);
             })
     }
 
@@ -558,7 +700,19 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
     ) -> Result<Vec<u64>, ServiceError> {
         let key = SessionKey { tenant, session };
         let n = ops.len();
-        // Reserve the in-flight slots first (tenant lock), then validate
+        // Load shedding first — one relaxed read, no lock. The backlog is
+        // a cross-counter snapshot (see `stats`), so the watermark is
+        // approximate under concurrency, which is exactly what a shedder
+        // wants: cheap, monotone-ish, and typed.
+        let backlog = self.stats.backlog();
+        if backlog.saturating_add(n as u64) > self.limits.max_backlog as u64 {
+            self.stats.shed.fetch_add(n as u64, Ordering::Relaxed);
+            return Err(ServiceError::Overloaded {
+                backlog: backlog as usize,
+                cap: self.limits.max_backlog,
+            });
+        }
+        // Reserve the in-flight slots next (tenant lock), then validate
         // under the shard lock; the two locks are never held together.
         {
             let mut tenants = self.tenants.lock().expect("tenant map poisoned");
@@ -574,16 +728,26 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
         }
         let idx = self.shard_of(key);
         let tick = self.tick();
-        let result = {
+        let result = 'admit: {
             let mut guard = self.shard(idx);
             let shard = &mut *guard;
             if shard.queue.len() + n > self.limits.shard_queue_depth {
-                Err(ServiceError::QueueFull {
+                break 'admit Err(ServiceError::QueueFull {
                     shard: idx,
                     depth: shard.queue.len(),
                     cap: self.limits.shard_queue_depth,
-                })
-            } else {
+                });
+            }
+            // Transparent rehydration: a touch on a spilled session pulls
+            // it back into residency before the op is enqueued. Failure
+            // (no idle victim to displace) is typed and leaves the
+            // snapshot parked.
+            if !shard.sessions.contains_key(&key) && shard.spilled.contains_key(&key) {
+                if let Err(e) = self.rehydrate_locked(shard, idx, key, tick) {
+                    break 'admit Err(e);
+                }
+            }
+            {
                 match shard.sessions.get_mut(&key) {
                     None => Err(ServiceError::SessionUnknown { tenant, session }),
                     Some(hosted) => {
@@ -651,11 +815,36 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
     /// to the next batch (their responses arrive there) — never lost,
     /// never run out of order.
     pub fn run_batch(&self) -> Vec<OpResponse> {
-        StatCounters::bump(&self.stats.batches);
+        self.run_shard_batch(0..self.shards.len())
+    }
+
+    /// [`run_batch`](Self::run_batch) over a subset of shards — the
+    /// primitive the background scheduler builds on: each scheduler
+    /// thread drains only the shards it owns, so one slow session delays
+    /// its own shard's batch, never the whole service's.
+    ///
+    /// Determinism is unaffected: a session lives entirely in one shard,
+    /// so its ops are always drained together and in `(tenant, seq)`
+    /// order, whatever partition of shards the callers use.
+    ///
+    /// An all-empty subset returns immediately without counting a batch,
+    /// so a polling scheduler does not inflate `batches` while idle.
+    ///
+    /// # Panics
+    /// Panics when a shard index is out of range
+    /// (`>= `[`num_shards`](Self::num_shards)).
+    pub fn run_shard_batch(&self, shards: impl IntoIterator<Item = usize>) -> Vec<OpResponse> {
         let mut entries: Vec<QueuedOp> = Vec::new();
-        for idx in 0..self.shards.len() {
-            entries.append(&mut self.shard(idx).queue);
+        for idx in shards {
+            let mut shard = self.shard(idx);
+            if !shard.queue.is_empty() {
+                entries.append(&mut shard.queue);
+            }
         }
+        if entries.is_empty() {
+            return Vec::new();
+        }
+        StatCounters::bump(&self.stats.batches);
         entries.sort_by_key(|e| (e.key.tenant, e.seq));
 
         // Group per session, preserving the global (tenant, seq) order
@@ -748,35 +937,74 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
         for (tenant, n) in executed_per_tenant {
             self.release_in_flight(tenant, n);
         }
+        self.stats
+            .ops_executed
+            .fetch_add(responses.len() as u64, Ordering::Relaxed);
         responses.sort_by_key(|r| (r.key.tenant, r.seq));
         responses
     }
 
     /// A cheap status read of one hosted session (served from the cached
     /// summary, so it stays answerable while a batch has the session
-    /// checked out).
+    /// checked out — and while the session sits in the spill store).
     pub fn session_status(&self, tenant: u64, session: u64) -> Option<SessionStatus> {
         let key = SessionKey { tenant, session };
         let shard = self.shard(self.shard_of(key));
-        shard.sessions.get(&key).map(|h| SessionStatus {
-            algorithms: h.algorithms,
-            total_measurements: h.total_measurements,
-            waves: h.waves,
-            converged: h.converged,
-            pending: h.pending,
+        if let Some(h) = shard.sessions.get(&key) {
+            return Some(SessionStatus {
+                algorithms: h.algorithms,
+                total_measurements: h.total_measurements,
+                waves: h.waves,
+                converged: h.converged,
+                pending: h.pending,
+                spilled: false,
+            });
+        }
+        shard.spilled.get(&key).map(|s| SessionStatus {
+            algorithms: s.algorithms,
+            total_measurements: s.total_measurements,
+            waves: s.waves,
+            converged: s.converged,
+            pending: 0,
+            spilled: true,
         })
     }
 
-    /// Number of sessions currently hosted across all shards.
+    /// Number of sessions currently resident in memory across all shards
+    /// (spilled sessions not included — see
+    /// [`num_spilled`](Self::num_spilled)).
     pub fn num_sessions(&self) -> usize {
         (0..self.shards.len())
             .map(|i| self.shard(i).sessions.len())
             .sum()
     }
 
+    /// Number of sessions currently parked in the spill stores as
+    /// snapshot bytes.
+    pub fn num_spilled(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).spilled.len())
+            .sum()
+    }
+
+    /// Ops currently sitting in shard queues — admitted but not yet
+    /// drained by a batch.
+    pub fn queued_ops(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).queue.len())
+            .sum()
+    }
+
     /// Number of registry shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The shard index hosting `(tenant, session)` — a pure function of
+    /// the key, exposed so schedulers partitioning shards across threads
+    /// (see [`crate::runtime`]) can route wake-ups.
+    pub fn shard_index(&self, tenant: u64, session: u64) -> usize {
+        self.shard_of(SessionKey { tenant, session })
     }
 
     /// The service's capacity limits.

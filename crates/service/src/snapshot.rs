@@ -125,9 +125,10 @@ impl fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {}
 
 /// FNV-1a 64-bit hash — small, allocation-free, and plenty for integrity
-/// checking of local checkpoints (this is corruption detection, not
-/// cryptographic authentication).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// checking of local checkpoints and wire frames (this is corruption
+/// detection, not cryptographic authentication). Shared with the wire
+/// protocol (`crate::wire`), which reuses the same framing discipline.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -136,35 +137,44 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-struct Writer {
-    buf: Vec<u8>,
+/// The little-endian byte sink shared by the snapshot codec and the wire
+/// protocol — both speak the same framing dialect (LE integers, `f64` as
+/// raw bits, FNV-1a 64 trailer).
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u16(&mut self, v: u16) {
+    pub(crate) fn u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
-    fn flag(&mut self, v: bool) {
+    pub(crate) fn flag(&mut self, v: bool) {
         self.u8(v as u8);
     }
 }
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+/// The bounds-checked little-endian reader shared with the wire protocol.
+/// Every accessor is total: running off the end or hitting an impossible
+/// tag is a typed [`SnapshotError`], never a panic.
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         if self.pos + n > self.bytes.len() {
             return Err(SnapshotError::Truncated { offset: self.pos });
         }
@@ -172,19 +182,19 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(slice)
     }
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.take(1)?[0])
     }
-    fn u16(&mut self) -> Result<u16, SnapshotError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, SnapshotError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
     }
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
-    fn f64(&mut self) -> Result<f64, SnapshotError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, SnapshotError> {
         Ok(f64::from_bits(self.u64()?))
     }
-    fn flag(&mut self, what: &'static str) -> Result<bool, SnapshotError> {
+    pub(crate) fn flag(&mut self, what: &'static str) -> Result<bool, SnapshotError> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -194,7 +204,7 @@ impl<'a> Reader<'a> {
     /// A length that must still fit in the remaining bytes if each element
     /// occupies at least `elem_size` bytes — rejects absurd lengths before
     /// any allocation.
-    fn len(&mut self, elem_size: usize) -> Result<usize, SnapshotError> {
+    pub(crate) fn len(&mut self, elem_size: usize) -> Result<usize, SnapshotError> {
         let n = self.u64()?;
         let remaining = (self.bytes.len() - self.pos) as u64;
         if n.saturating_mul(elem_size as u64) > remaining {

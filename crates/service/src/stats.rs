@@ -6,6 +6,19 @@
 //! (a reader racing a writer may see `requests` bumped before the matching
 //! `rejections`), which is the usual metrics contract: monotone
 //! per-counter, approximate in cross-section.
+//!
+//! Two counter families coexist:
+//!
+//! * **request-level** (`requests` / `rejections`) — every admission
+//!   attempt, whether a `create_session`, a `restore_session`, or a
+//!   submitted op.
+//! * **op-level** (`ops_submitted` / `ops_admitted` / `ops_rejected` /
+//!   `ops_executed`) — only ops presented to `submit` / `submit_all`.
+//!   Once the service quiesces these obey two exact identities the
+//!   overload tests pin down: `ops_submitted == ops_admitted +
+//!   ops_rejected`, and `ops_admitted - ops_executed` is the scheduler
+//!   **backlog** — the quantity the [`Overloaded`](crate::error::ServiceError::Overloaded)
+//!   load-shedding watermark is measured against.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -17,11 +30,27 @@ pub(crate) struct StatCounters {
     pub batches: AtomicU64,
     pub waves: AtomicU64,
     pub evictions: AtomicU64,
+    pub ops_submitted: AtomicU64,
+    pub ops_admitted: AtomicU64,
+    pub ops_rejected: AtomicU64,
+    pub ops_executed: AtomicU64,
+    pub spills: AtomicU64,
+    pub rehydrations: AtomicU64,
+    pub shed: AtomicU64,
 }
 
 impl StatCounters {
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Admitted-but-unexecuted ops — the scheduler backlog the load
+    /// shedder watches. Saturating: a racing reader may observe
+    /// `ops_executed` ahead of `ops_admitted` for an instant.
+    pub fn backlog(&self) -> u64 {
+        self.ops_admitted
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.ops_executed.load(Ordering::Relaxed))
     }
 
     pub fn snapshot(&self) -> ServiceStats {
@@ -31,6 +60,13 @@ impl StatCounters {
             batches: self.batches.load(Ordering::Relaxed),
             waves: self.waves.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            ops_submitted: self.ops_submitted.load(Ordering::Relaxed),
+            ops_admitted: self.ops_admitted.load(Ordering::Relaxed),
+            ops_rejected: self.ops_rejected.load(Ordering::Relaxed),
+            ops_executed: self.ops_executed.load(Ordering::Relaxed),
+            spills: self.spills.load(Ordering::Relaxed),
+            rehydrations: self.rehydrations.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -45,10 +81,29 @@ pub struct ServiceStats {
     /// Requests rejected with a typed error (admission control or
     /// backpressure).
     pub rejections: u64,
-    /// Scheduler batches drained by `run_batch`.
+    /// Scheduler batches drained by `run_batch` / `run_shard_batch`.
     pub batches: u64,
     /// `Score` ops executed across all sessions.
     pub waves: u64,
-    /// Idle sessions evicted to admit new ones.
+    /// Sessions dropped for good: evicted with spilling disabled, or
+    /// pushed out of a full spill store.
     pub evictions: u64,
+    /// Ops presented to `submit` / `submit_all`
+    /// (`== ops_admitted + ops_rejected` once quiesced).
+    pub ops_submitted: u64,
+    /// Ops accepted into a shard queue.
+    pub ops_admitted: u64,
+    /// Ops turned away with a typed error (including shed ones).
+    pub ops_rejected: u64,
+    /// Ops answered by a scheduler batch (successfully or with a typed
+    /// per-op error). `ops_admitted - ops_executed` is the live backlog.
+    pub ops_executed: u64,
+    /// Idle sessions spilled to snapshot bytes on eviction.
+    pub spills: u64,
+    /// Spilled sessions transparently rebuilt on a tenant's touch.
+    pub rehydrations: u64,
+    /// Ops rejected specifically by the backlog watermark
+    /// ([`Overloaded`](crate::error::ServiceError::Overloaded)); a subset
+    /// of `ops_rejected`.
+    pub shed: u64,
 }

@@ -1,0 +1,1176 @@
+//! Length-prefixed binary wire protocol for the service runtime.
+//!
+//! The wire format speaks the same dialect as the [`crate::snapshot`]
+//! codec — little-endian integers, `f64` as raw bits, an FNV-1a 64
+//! trailer — and literally shares its `Writer`/`Reader` plumbing, so the
+//! two formats cannot drift apart in framing discipline. One **frame**
+//! is:
+//!
+//! ```text
+//! magic "RPWP" | version u16 | payload_len u32 | payload … | fnv1a64
+//! ```
+//!
+//! with the checksum computed over everything preceding it (magic,
+//! version, and length included — a flipped bit *anywhere* in the frame
+//! is caught). The payload is one [`Request`] or [`Response`] message.
+//!
+//! # Totality
+//!
+//! Decoding is **total**: every truncation, every single-byte flip, every
+//! length-prefix lie, and every impossible tag yields a typed
+//! [`WireError`], never a panic and never a silently different message —
+//! fuzzed exhaustively in `tests/wire.rs`. Admission rejections
+//! ([`TenantBusy`](crate::error::ServiceError::TenantBusy),
+//! [`QueueFull`](crate::error::ServiceError::QueueFull),
+//! [`Overloaded`](crate::error::ServiceError::Overloaded), …) travel as
+//! fully-typed [`Response::Error`] values, so a wire client sheds load
+//! exactly like an in-process caller.
+//!
+//! # Lossy corners
+//!
+//! Two round-trip caveats, both deliberate: a
+//! [`SnapshotError::Malformed`] inside a transported error loses its
+//! `&'static str` detail (the variant survives, the message cannot cross
+//! an address space), and a [`WaveOutcome`]'s clustering is re-derived on
+//! decode via
+//! [`ScoreTable::final_assignment`](relperf_core::cluster::ScoreTable::final_assignment)
+//! — which is bit-identical, since the assignment is a pure function of
+//! the table.
+
+use crate::error::ServiceError;
+use crate::runtime::{RuntimeError, RuntimeHandle};
+use crate::service::{
+    OpOutcome, OpResponse, SessionKey, SessionOp, SessionSpec, SessionStatus, WaveOutcome,
+};
+use crate::snapshot::{fnv1a64, Reader, SnapshotError, Writer};
+use crate::stats::ServiceStats;
+use relperf_core::cluster::{ClusterConfig, PairSchedule, Parallelism, ScoreTable};
+use relperf_core::session::{ConvergenceCriterion, CriterionError};
+use relperf_measure::sample::SampleError;
+use relperf_measure::ScratchThreeWayComparator;
+use std::fmt;
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// Frame magic: **R**el**P**erf **W**ire **P**rotocol.
+pub const MAGIC: [u8; 4] = *b"RPWP";
+/// Wire format version this build speaks.
+pub const VERSION: u16 = 1;
+/// Frame header length: magic + version + payload length.
+const HEADER_LEN: usize = 4 + 2 + 4;
+/// Checksum trailer length.
+const TRAILER_LEN: usize = 8;
+/// Largest payload [`read_frame`] accepts — a stated length beyond this
+/// is rejected *before* any allocation, so a length-prefix lie cannot
+/// balloon memory.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+/// Why a frame or message failed to decode (or a stream failed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The bytes ended before the field at `offset` could be read.
+    Truncated {
+        /// Offset of the first missing byte.
+        offset: usize,
+    },
+    /// The frame does not start with [`MAGIC`].
+    BadMagic,
+    /// The frame names a protocol version this build does not speak.
+    UnsupportedVersion(u16),
+    /// The frame checksum does not match its content.
+    ChecksumMismatch {
+        /// Checksum carried in the frame.
+        stored: u64,
+        /// Checksum computed over the received bytes.
+        computed: u64,
+    },
+    /// The length prefix disagrees with the actual frame size.
+    LengthMismatch {
+        /// Payload length the prefix claimed.
+        stated: usize,
+        /// Payload length actually present.
+        actual: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversized {
+        /// The stated payload length.
+        len: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// A checksum-valid payload that is semantically impossible (unknown
+    /// tag, impossible flag, …).
+    Malformed(&'static str),
+    /// Bytes left over after a complete message.
+    TrailingBytes {
+        /// How many bytes were left.
+        extra: usize,
+    },
+    /// The peer closed the stream cleanly between frames.
+    Closed,
+    /// The underlying transport failed.
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { offset } => {
+                write!(f, "frame truncated: needed a byte at offset {offset}")
+            }
+            WireError::BadMagic => write!(f, "not a wire frame (bad magic)"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "frame checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            WireError::LengthMismatch { stated, actual } => write!(
+                f,
+                "length prefix says {stated} payload byte(s) but {actual} are present"
+            ),
+            WireError::Oversized { len, cap } => {
+                write!(f, "frame payload of {len} byte(s) exceeds the {cap}-byte cap")
+            }
+            WireError::Malformed(what) => write!(f, "malformed wire message: {what}"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} byte(s) left over after the message")
+            }
+            WireError::Closed => write!(f, "peer closed the stream"),
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<SnapshotError> for WireError {
+    /// The shared `Reader` reports in [`SnapshotError`]; lift its typed
+    /// failures into the wire vocabulary unchanged.
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            SnapshotError::Truncated { offset } => WireError::Truncated { offset },
+            SnapshotError::BadMagic => WireError::BadMagic,
+            SnapshotError::UnsupportedVersion(v) => WireError::UnsupportedVersion(v),
+            SnapshotError::ChecksumMismatch { stored, computed } => {
+                WireError::ChecksumMismatch { stored, computed }
+            }
+            SnapshotError::Malformed(what) => WireError::Malformed(what),
+            SnapshotError::TrailingBytes { extra } => WireError::TrailingBytes { extra },
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Wraps `payload` in a checksummed frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= u32::MAX as usize,
+        "payload exceeds the u32 length prefix"
+    );
+    let mut w = Writer {
+        buf: Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN),
+    };
+    w.buf.extend_from_slice(&MAGIC);
+    w.u16(VERSION);
+    w.u32(payload.len() as u32);
+    w.buf.extend_from_slice(payload);
+    let checksum = fnv1a64(&w.buf);
+    w.u64(checksum);
+    w.buf
+}
+
+/// Unwraps one complete frame from a byte slice, validating checksum,
+/// magic, version, and the length prefix. Total: every corruption is a
+/// typed [`WireError`].
+pub fn decode_frame(bytes: &[u8]) -> Result<&[u8], WireError> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(WireError::Truncated {
+            offset: bytes.len(),
+        });
+    }
+    // Checksum first: it covers the header too, so any flipped bit in
+    // magic/version/length is caught here with certainty.
+    let body_len = bytes.len() - TRAILER_LEN;
+    let stored = u64::from_le_bytes(bytes[body_len..].try_into().expect("8 bytes"));
+    let computed = fnv1a64(&bytes[..body_len]);
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { stored, computed });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let stated = u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes")) as usize;
+    let actual = body_len - HEADER_LEN;
+    if stated != actual {
+        return Err(WireError::LengthMismatch { stated, actual });
+    }
+    Ok(&bytes[HEADER_LEN..body_len])
+}
+
+/// Writes one frame to a stream.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    w.write_all(&encode_frame(payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from a stream, enforcing `max_payload` *before*
+/// allocating. A clean EOF at a frame boundary is [`WireError::Closed`];
+/// an EOF mid-frame is a truncation.
+pub fn read_frame<R: Read>(r: &mut R, max_payload: usize) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    // Distinguish "peer hung up between frames" from "frame cut short":
+    // probe the first byte with a plain read.
+    let mut got = 0;
+    while got == 0 {
+        match r.read(&mut header[..1])? {
+            0 => return Err(WireError::Closed),
+            n => got = n,
+        }
+    }
+    r.read_exact(&mut header[1..])
+        .map_err(|_| WireError::Truncated { offset: 1 })?;
+    if header[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let stated = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")) as usize;
+    if stated > max_payload {
+        return Err(WireError::Oversized {
+            len: stated,
+            cap: max_payload,
+        });
+    }
+    let mut rest = vec![0u8; stated + TRAILER_LEN];
+    r.read_exact(&mut rest)
+        .map_err(|_| WireError::Truncated {
+            offset: HEADER_LEN,
+        })?;
+    let stored = u64::from_le_bytes(rest[stated..].try_into().expect("8 bytes"));
+    let mut body = Vec::with_capacity(HEADER_LEN + stated);
+    body.extend_from_slice(&header);
+    body.extend_from_slice(&rest[..stated]);
+    let computed = fnv1a64(&body);
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { stored, computed });
+    }
+    body.drain(..HEADER_LEN);
+    Ok(body)
+}
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a fresh session.
+    CreateSession {
+        /// Owning tenant.
+        tenant: u64,
+        /// Session id within the tenant.
+        session: u64,
+        /// The session spec.
+        spec: SessionSpec,
+    },
+    /// Rebuild a session from snapshot bytes.
+    RestoreSession {
+        /// Owning tenant.
+        tenant: u64,
+        /// Session id within the tenant.
+        session: u64,
+        /// [`crate::snapshot`] codec bytes.
+        bytes: Vec<u8>,
+    },
+    /// Atomically enqueue an op group against one session.
+    Submit {
+        /// Owning tenant.
+        tenant: u64,
+        /// Session id within the tenant.
+        session: u64,
+        /// The ops, in order.
+        ops: Vec<SessionOp>,
+    },
+    /// Block until the named tickets have responses (or the deadline).
+    Await {
+        /// The collecting tenant.
+        tenant: u64,
+        /// Tickets to wait for.
+        seqs: Vec<u64>,
+        /// Deadline in milliseconds (ignored by synchronous runtimes).
+        timeout_ms: u64,
+    },
+    /// Drain whatever responses are already delivered for a tenant.
+    Collect {
+        /// The collecting tenant.
+        tenant: u64,
+    },
+    /// Read one session's status summary.
+    Status {
+        /// Owning tenant.
+        tenant: u64,
+        /// Session id within the tenant.
+        session: u64,
+    },
+    /// Read the service-wide counters.
+    Stats,
+    /// Close the connection cleanly.
+    Goodbye,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `CreateSession` succeeded.
+    Created,
+    /// `RestoreSession` succeeded.
+    Restored,
+    /// `Submit` admitted the whole group; tickets in op order.
+    Submitted {
+        /// The admission tickets.
+        seqs: Vec<u64>,
+    },
+    /// `Await` / `Collect` delivered these responses.
+    Responses {
+        /// The delivered responses, sorted by seq.
+        responses: Vec<OpResponse>,
+    },
+    /// `Status` answer (`None`: no such session anywhere).
+    Status {
+        /// The summary, if the session exists.
+        status: Option<SessionStatus>,
+    },
+    /// `Stats` answer.
+    Stats {
+        /// The counter snapshot.
+        stats: ServiceStats,
+    },
+    /// The request was rejected or failed, fully typed.
+    Error {
+        /// The service-side error.
+        error: ServiceError,
+    },
+    /// `Await` gave up (stopped or timed out).
+    WaitError {
+        /// Why the wait ended without responses.
+        error: RuntimeError,
+    },
+    /// Goodbye acknowledged; the server closes after sending this.
+    Goodbye,
+}
+
+// --- value codecs (shared Reader/Writer; Reader errors are lifted to
+// --- WireError by the top-level decode fns) ---
+
+fn enc_config(w: &mut Writer, c: &ClusterConfig) {
+    w.u64(c.repetitions as u64);
+    w.u64(c.parallelism.threads as u64);
+    w.u64(c.parallelism.chunk as u64);
+    w.u8(match c.schedule {
+        PairSchedule::OnDemand => 0,
+        PairSchedule::Batched => 1,
+    });
+}
+
+fn dec_config(r: &mut Reader) -> Result<ClusterConfig, SnapshotError> {
+    let repetitions = r.u64()? as usize;
+    let threads = r.u64()? as usize;
+    let chunk = r.u64()? as usize;
+    let schedule = match r.u8()? {
+        0 => PairSchedule::OnDemand,
+        1 => PairSchedule::Batched,
+        _ => return Err(SnapshotError::Malformed("unknown pair schedule")),
+    };
+    Ok(ClusterConfig {
+        repetitions,
+        parallelism: Parallelism { threads, chunk },
+        schedule,
+    })
+}
+
+fn enc_spec(w: &mut Writer, s: &SessionSpec) {
+    w.u64(s.algorithms as u64);
+    enc_config(w, &s.config);
+    w.u64(s.seed);
+    w.u64(s.criterion.stable_waves as u64);
+    w.f64(s.criterion.score_tol);
+}
+
+fn dec_spec(r: &mut Reader) -> Result<SessionSpec, SnapshotError> {
+    // Semantic validation (zero algorithms, bad criterion, …) is the
+    // service's job and stays typed there; the wire only carries values.
+    Ok(SessionSpec {
+        algorithms: r.u64()? as usize,
+        config: dec_config(r)?,
+        seed: r.u64()?,
+        criterion: ConvergenceCriterion {
+            stable_waves: r.u64()? as usize,
+            score_tol: r.f64()?,
+        },
+    })
+}
+
+fn enc_bytes(w: &mut Writer, bytes: &[u8]) {
+    w.u64(bytes.len() as u64);
+    w.buf.extend_from_slice(bytes);
+}
+
+fn dec_bytes(r: &mut Reader) -> Result<Vec<u8>, SnapshotError> {
+    let len = r.len(1)?;
+    Ok(r.take(len)?.to_vec())
+}
+
+fn enc_seqs(w: &mut Writer, seqs: &[u64]) {
+    w.u64(seqs.len() as u64);
+    for &s in seqs {
+        w.u64(s);
+    }
+}
+
+fn dec_seqs(r: &mut Reader) -> Result<Vec<u64>, SnapshotError> {
+    let len = r.len(8)?;
+    (0..len).map(|_| r.u64()).collect()
+}
+
+fn enc_op(w: &mut Writer, op: &SessionOp) {
+    match op {
+        SessionOp::Push { alg, value } => {
+            w.u8(0);
+            w.u64(*alg as u64);
+            w.f64(*value);
+        }
+        SessionOp::Extend { alg, values } => {
+            w.u8(1);
+            w.u64(*alg as u64);
+            w.u64(values.len() as u64);
+            for &v in values {
+                w.f64(v);
+            }
+        }
+        SessionOp::Score => w.u8(2),
+        SessionOp::Snapshot => w.u8(3),
+        SessionOp::Close => w.u8(4),
+    }
+}
+
+fn dec_op(r: &mut Reader) -> Result<SessionOp, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => SessionOp::Push {
+            alg: r.u64()? as usize,
+            // Non-finite values pass through: the service rejects them
+            // typed (`BadSample`) at execution, same as in-proc callers.
+            value: r.f64()?,
+        },
+        1 => {
+            let alg = r.u64()? as usize;
+            let len = r.len(8)?;
+            let values = (0..len).map(|_| r.f64()).collect::<Result<_, _>>()?;
+            SessionOp::Extend { alg, values }
+        }
+        2 => SessionOp::Score,
+        3 => SessionOp::Snapshot,
+        4 => SessionOp::Close,
+        _ => return Err(SnapshotError::Malformed("unknown session op tag")),
+    })
+}
+
+fn enc_table(w: &mut Writer, table: &ScoreTable) {
+    let rows = table.score_rows();
+    w.u64(rows.len() as u64);
+    w.u64(rows[0].len() as u64);
+    w.u64(table.num_classes() as u64);
+    for row in rows {
+        for &s in row {
+            w.f64(s);
+        }
+    }
+}
+
+fn dec_table(r: &mut Reader) -> Result<ScoreTable, SnapshotError> {
+    // Re-validate everything `ScoreTable::from_rows` asserts, so a forged
+    // message is a typed error rather than a panic.
+    let p = r.len(8)?;
+    if p == 0 {
+        return Err(SnapshotError::Malformed("zero-row score table"));
+    }
+    let width = r.len(8)?;
+    if width == 0 {
+        return Err(SnapshotError::Malformed("zero-width score rows"));
+    }
+    let max_rank = r.u64()? as usize;
+    if max_rank > width {
+        return Err(SnapshotError::Malformed("num_classes exceeds row width"));
+    }
+    let mut rows = Vec::with_capacity(p);
+    for _ in 0..p {
+        let mut row = Vec::with_capacity(width);
+        for _ in 0..width {
+            let s = r.f64()?;
+            if !s.is_finite() {
+                return Err(SnapshotError::Malformed("non-finite score"));
+            }
+            row.push(s);
+        }
+        rows.push(row);
+    }
+    Ok(ScoreTable::from_rows(rows, max_rank))
+}
+
+fn enc_wave(w: &mut Writer, wave: &WaveOutcome) {
+    // The clustering is NOT encoded: it is a pure function of the table
+    // (`final_assignment`), re-derived bit-identically on decode.
+    enc_table(w, &wave.table);
+    w.flag(wave.converged);
+    w.u64(wave.waves as u64);
+    w.u64(wave.stable_run as u64);
+}
+
+fn dec_wave(r: &mut Reader) -> Result<WaveOutcome, SnapshotError> {
+    let table = dec_table(r)?;
+    Ok(WaveOutcome {
+        clustering: table.final_assignment(),
+        table,
+        converged: r.flag("converged flag")?,
+        waves: r.u64()? as usize,
+        stable_run: r.u64()? as usize,
+    })
+}
+
+fn enc_service_error(w: &mut Writer, e: &ServiceError) {
+    match e {
+        ServiceError::SessionExists { tenant, session } => {
+            w.u8(0);
+            w.u64(*tenant);
+            w.u64(*session);
+        }
+        ServiceError::SessionUnknown { tenant, session } => {
+            w.u8(1);
+            w.u64(*tenant);
+            w.u64(*session);
+        }
+        ServiceError::TenantBusy {
+            tenant,
+            in_flight,
+            cap,
+        } => {
+            w.u8(2);
+            w.u64(*tenant);
+            w.u64(*in_flight as u64);
+            w.u64(*cap as u64);
+        }
+        ServiceError::QueueFull { shard, depth, cap } => {
+            w.u8(3);
+            w.u64(*shard as u64);
+            w.u64(*depth as u64);
+            w.u64(*cap as u64);
+        }
+        ServiceError::Overloaded { backlog, cap } => {
+            w.u8(4);
+            w.u64(*backlog as u64);
+            w.u64(*cap as u64);
+        }
+        ServiceError::ShardFull { shard, capacity } => {
+            w.u8(5);
+            w.u64(*shard as u64);
+            w.u64(*capacity as u64);
+        }
+        ServiceError::NoAlgorithms => w.u8(6),
+        ServiceError::NoRepetitions => w.u8(7),
+        ServiceError::InvalidCriterion(c) => {
+            w.u8(8);
+            match c {
+                CriterionError::ZeroStableWaves => w.u8(0),
+                CriterionError::BadTolerance { score_tol } => {
+                    w.u8(1);
+                    w.f64(*score_tol);
+                }
+            }
+        }
+        ServiceError::AlgorithmOutOfRange { alg, p } => {
+            w.u8(9);
+            w.u64(*alg as u64);
+            w.u64(*p as u64);
+        }
+        ServiceError::NotReadyToScore { missing } => {
+            w.u8(10);
+            w.u64(*missing as u64);
+        }
+        ServiceError::ResponseLost { seq } => {
+            w.u8(11);
+            w.u64(*seq);
+        }
+        ServiceError::BadSample(s) => {
+            w.u8(12);
+            match s {
+                SampleError::Empty => w.u8(0),
+                SampleError::NonFinite(i) => {
+                    w.u8(1);
+                    w.u64(*i as u64);
+                }
+            }
+        }
+        ServiceError::BadSnapshot(s) => {
+            w.u8(13);
+            match s {
+                SnapshotError::Truncated { offset } => {
+                    w.u8(0);
+                    w.u64(*offset as u64);
+                }
+                SnapshotError::BadMagic => w.u8(1),
+                SnapshotError::UnsupportedVersion(v) => {
+                    w.u8(2);
+                    w.u16(*v);
+                }
+                SnapshotError::ChecksumMismatch { stored, computed } => {
+                    w.u8(3);
+                    w.u64(*stored);
+                    w.u64(*computed);
+                }
+                // Lossy: the &'static str detail cannot cross an address
+                // space; the variant survives with a fixed message.
+                SnapshotError::Malformed(_) => w.u8(4),
+                SnapshotError::TrailingBytes { extra } => {
+                    w.u8(5);
+                    w.u64(*extra as u64);
+                }
+            }
+        }
+    }
+}
+
+fn dec_service_error(r: &mut Reader) -> Result<ServiceError, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => ServiceError::SessionExists {
+            tenant: r.u64()?,
+            session: r.u64()?,
+        },
+        1 => ServiceError::SessionUnknown {
+            tenant: r.u64()?,
+            session: r.u64()?,
+        },
+        2 => ServiceError::TenantBusy {
+            tenant: r.u64()?,
+            in_flight: r.u64()? as usize,
+            cap: r.u64()? as usize,
+        },
+        3 => ServiceError::QueueFull {
+            shard: r.u64()? as usize,
+            depth: r.u64()? as usize,
+            cap: r.u64()? as usize,
+        },
+        4 => ServiceError::Overloaded {
+            backlog: r.u64()? as usize,
+            cap: r.u64()? as usize,
+        },
+        5 => ServiceError::ShardFull {
+            shard: r.u64()? as usize,
+            capacity: r.u64()? as usize,
+        },
+        6 => ServiceError::NoAlgorithms,
+        7 => ServiceError::NoRepetitions,
+        8 => ServiceError::InvalidCriterion(match r.u8()? {
+            0 => CriterionError::ZeroStableWaves,
+            1 => CriterionError::BadTolerance {
+                score_tol: r.f64()?,
+            },
+            _ => return Err(SnapshotError::Malformed("unknown criterion error tag")),
+        }),
+        9 => ServiceError::AlgorithmOutOfRange {
+            alg: r.u64()? as usize,
+            p: r.u64()? as usize,
+        },
+        10 => ServiceError::NotReadyToScore {
+            missing: r.u64()? as usize,
+        },
+        11 => ServiceError::ResponseLost { seq: r.u64()? },
+        12 => ServiceError::BadSample(match r.u8()? {
+            0 => SampleError::Empty,
+            1 => SampleError::NonFinite(r.u64()? as usize),
+            _ => return Err(SnapshotError::Malformed("unknown sample error tag")),
+        }),
+        13 => ServiceError::BadSnapshot(match r.u8()? {
+            0 => SnapshotError::Truncated {
+                offset: r.u64()? as usize,
+            },
+            1 => SnapshotError::BadMagic,
+            2 => SnapshotError::UnsupportedVersion(r.u16()?),
+            3 => SnapshotError::ChecksumMismatch {
+                stored: r.u64()?,
+                computed: r.u64()?,
+            },
+            4 => SnapshotError::Malformed("detail lost in wire transit"),
+            5 => SnapshotError::TrailingBytes {
+                extra: r.u64()? as usize,
+            },
+            _ => return Err(SnapshotError::Malformed("unknown snapshot error tag")),
+        }),
+        _ => return Err(SnapshotError::Malformed("unknown service error tag")),
+    })
+}
+
+fn enc_outcome(w: &mut Writer, o: &OpOutcome) {
+    match o {
+        OpOutcome::Ingested => w.u8(0),
+        OpOutcome::Scored(wave) => {
+            w.u8(1);
+            enc_wave(w, wave);
+        }
+        OpOutcome::Snapshot(bytes) => {
+            w.u8(2);
+            enc_bytes(w, bytes);
+        }
+        OpOutcome::Closed => w.u8(3),
+    }
+}
+
+fn dec_outcome(r: &mut Reader) -> Result<OpOutcome, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => OpOutcome::Ingested,
+        1 => OpOutcome::Scored(dec_wave(r)?),
+        2 => OpOutcome::Snapshot(dec_bytes(r)?),
+        3 => OpOutcome::Closed,
+        _ => return Err(SnapshotError::Malformed("unknown op outcome tag")),
+    })
+}
+
+fn enc_op_response(w: &mut Writer, resp: &OpResponse) {
+    w.u64(resp.key.tenant);
+    w.u64(resp.key.session);
+    w.u64(resp.seq);
+    match &resp.result {
+        Ok(o) => {
+            w.flag(true);
+            enc_outcome(w, o);
+        }
+        Err(e) => {
+            w.flag(false);
+            enc_service_error(w, e);
+        }
+    }
+}
+
+fn dec_op_response(r: &mut Reader) -> Result<OpResponse, SnapshotError> {
+    let key = SessionKey {
+        tenant: r.u64()?,
+        session: r.u64()?,
+    };
+    let seq = r.u64()?;
+    let result = if r.flag("op result flag")? {
+        Ok(dec_outcome(r)?)
+    } else {
+        Err(dec_service_error(r)?)
+    };
+    Ok(OpResponse { key, seq, result })
+}
+
+fn enc_responses(w: &mut Writer, responses: &[OpResponse]) {
+    w.u64(responses.len() as u64);
+    for r in responses {
+        enc_op_response(w, r);
+    }
+}
+
+fn dec_responses(r: &mut Reader) -> Result<Vec<OpResponse>, SnapshotError> {
+    // Each response is at least key (16) + seq (8) + result flag (1).
+    let len = r.len(25)?;
+    (0..len).map(|_| dec_op_response(r)).collect()
+}
+
+fn enc_status(w: &mut Writer, s: &SessionStatus) {
+    w.u64(s.algorithms as u64);
+    w.u64(s.total_measurements as u64);
+    w.u64(s.waves as u64);
+    w.flag(s.converged);
+    w.u64(s.pending as u64);
+    w.flag(s.spilled);
+}
+
+fn dec_status(r: &mut Reader) -> Result<SessionStatus, SnapshotError> {
+    Ok(SessionStatus {
+        algorithms: r.u64()? as usize,
+        total_measurements: r.u64()? as usize,
+        waves: r.u64()? as usize,
+        converged: r.flag("converged flag")?,
+        pending: r.u64()? as usize,
+        spilled: r.flag("spilled flag")?,
+    })
+}
+
+fn enc_stats(w: &mut Writer, s: &ServiceStats) {
+    for v in [
+        s.requests,
+        s.rejections,
+        s.batches,
+        s.waves,
+        s.evictions,
+        s.ops_submitted,
+        s.ops_admitted,
+        s.ops_rejected,
+        s.ops_executed,
+        s.spills,
+        s.rehydrations,
+        s.shed,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn dec_stats(r: &mut Reader) -> Result<ServiceStats, SnapshotError> {
+    Ok(ServiceStats {
+        requests: r.u64()?,
+        rejections: r.u64()?,
+        batches: r.u64()?,
+        waves: r.u64()?,
+        evictions: r.u64()?,
+        ops_submitted: r.u64()?,
+        ops_admitted: r.u64()?,
+        ops_rejected: r.u64()?,
+        ops_executed: r.u64()?,
+        spills: r.u64()?,
+        rehydrations: r.u64()?,
+        shed: r.u64()?,
+    })
+}
+
+fn enc_runtime_error(w: &mut Writer, e: &RuntimeError) {
+    match e {
+        RuntimeError::Stopped => w.u8(0),
+        RuntimeError::Timeout { missing } => {
+            w.u8(1);
+            w.u64(*missing as u64);
+        }
+    }
+}
+
+fn dec_runtime_error(r: &mut Reader) -> Result<RuntimeError, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => RuntimeError::Stopped,
+        1 => RuntimeError::Timeout {
+            missing: r.u64()? as usize,
+        },
+        _ => return Err(SnapshotError::Malformed("unknown runtime error tag")),
+    })
+}
+
+// --- message codecs ---
+
+/// Serializes a request message (frame separately with
+/// [`encode_frame`] / [`write_frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    match req {
+        Request::CreateSession {
+            tenant,
+            session,
+            spec,
+        } => {
+            w.u8(0);
+            w.u64(*tenant);
+            w.u64(*session);
+            enc_spec(&mut w, spec);
+        }
+        Request::RestoreSession {
+            tenant,
+            session,
+            bytes,
+        } => {
+            w.u8(1);
+            w.u64(*tenant);
+            w.u64(*session);
+            enc_bytes(&mut w, bytes);
+        }
+        Request::Submit {
+            tenant,
+            session,
+            ops,
+        } => {
+            w.u8(2);
+            w.u64(*tenant);
+            w.u64(*session);
+            w.u64(ops.len() as u64);
+            for op in ops {
+                enc_op(&mut w, op);
+            }
+        }
+        Request::Await {
+            tenant,
+            seqs,
+            timeout_ms,
+        } => {
+            w.u8(3);
+            w.u64(*tenant);
+            enc_seqs(&mut w, seqs);
+            w.u64(*timeout_ms);
+        }
+        Request::Collect { tenant } => {
+            w.u8(4);
+            w.u64(*tenant);
+        }
+        Request::Status { tenant, session } => {
+            w.u8(5);
+            w.u64(*tenant);
+            w.u64(*session);
+        }
+        Request::Stats => w.u8(6),
+        Request::Goodbye => w.u8(7),
+    }
+    w.buf
+}
+
+/// Deserializes a request message (payload already frame-verified).
+/// Total: any corruption is a typed [`WireError`].
+pub fn decode_request(bytes: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let req = match r.u8()? {
+        0 => Request::CreateSession {
+            tenant: r.u64()?,
+            session: r.u64()?,
+            spec: dec_spec(&mut r)?,
+        },
+        1 => Request::RestoreSession {
+            tenant: r.u64()?,
+            session: r.u64()?,
+            bytes: dec_bytes(&mut r)?,
+        },
+        2 => {
+            let tenant = r.u64()?;
+            let session = r.u64()?;
+            let len = r.len(1)?;
+            let ops = (0..len)
+                .map(|_| dec_op(&mut r))
+                .collect::<Result<_, _>>()?;
+            Request::Submit {
+                tenant,
+                session,
+                ops,
+            }
+        }
+        3 => Request::Await {
+            tenant: r.u64()?,
+            seqs: dec_seqs(&mut r)?,
+            timeout_ms: r.u64()?,
+        },
+        4 => Request::Collect { tenant: r.u64()? },
+        5 => Request::Status {
+            tenant: r.u64()?,
+            session: r.u64()?,
+        },
+        6 => Request::Stats,
+        7 => Request::Goodbye,
+        _ => return Err(WireError::Malformed("unknown request tag")),
+    };
+    if r.pos != bytes.len() {
+        return Err(WireError::TrailingBytes {
+            extra: bytes.len() - r.pos,
+        });
+    }
+    Ok(req)
+}
+
+/// Serializes a response message.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    match resp {
+        Response::Created => w.u8(0),
+        Response::Restored => w.u8(1),
+        Response::Submitted { seqs } => {
+            w.u8(2);
+            enc_seqs(&mut w, seqs);
+        }
+        Response::Responses { responses } => {
+            w.u8(3);
+            enc_responses(&mut w, responses);
+        }
+        Response::Status { status } => {
+            w.u8(4);
+            match status {
+                None => w.flag(false),
+                Some(s) => {
+                    w.flag(true);
+                    enc_status(&mut w, s);
+                }
+            }
+        }
+        Response::Stats { stats } => {
+            w.u8(5);
+            enc_stats(&mut w, stats);
+        }
+        Response::Error { error } => {
+            w.u8(6);
+            enc_service_error(&mut w, error);
+        }
+        Response::WaitError { error } => {
+            w.u8(7);
+            enc_runtime_error(&mut w, error);
+        }
+        Response::Goodbye => w.u8(8),
+    }
+    w.buf
+}
+
+/// Deserializes a response message. Total, like [`decode_request`].
+pub fn decode_response(bytes: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let resp = match r.u8()? {
+        0 => Response::Created,
+        1 => Response::Restored,
+        2 => Response::Submitted {
+            seqs: dec_seqs(&mut r)?,
+        },
+        3 => Response::Responses {
+            responses: dec_responses(&mut r)?,
+        },
+        4 => Response::Status {
+            status: if r.flag("status presence flag")? {
+                Some(dec_status(&mut r)?)
+            } else {
+                None
+            },
+        },
+        5 => Response::Stats {
+            stats: dec_stats(&mut r)?,
+        },
+        6 => Response::Error {
+            error: dec_service_error(&mut r)?,
+        },
+        7 => Response::WaitError {
+            error: dec_runtime_error(&mut r)?,
+        },
+        8 => Response::Goodbye,
+        _ => return Err(WireError::Malformed("unknown response tag")),
+    };
+    if r.pos != bytes.len() {
+        return Err(WireError::TrailingBytes {
+            extra: bytes.len() - r.pos,
+        });
+    }
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// Applies one request against the runtime, producing the response and
+/// whether the connection should close after sending it.
+fn apply<C: ScratchThreeWayComparator + Send + Sync>(
+    handle: &RuntimeHandle<C>,
+    req: Request,
+) -> (Response, bool) {
+    let resp = match req {
+        Request::CreateSession {
+            tenant,
+            session,
+            spec,
+        } => match handle.create_session(tenant, session, spec) {
+            Ok(()) => Response::Created,
+            Err(error) => Response::Error { error },
+        },
+        Request::RestoreSession {
+            tenant,
+            session,
+            bytes,
+        } => match handle.restore_session(tenant, session, &bytes) {
+            Ok(()) => Response::Restored,
+            Err(error) => Response::Error { error },
+        },
+        Request::Submit {
+            tenant,
+            session,
+            ops,
+        } => match handle.submit_all(tenant, session, ops) {
+            Ok(seqs) => Response::Submitted { seqs },
+            Err(error) => Response::Error { error },
+        },
+        Request::Await {
+            tenant,
+            seqs,
+            timeout_ms,
+        } => match handle.await_responses(tenant, &seqs, Duration::from_millis(timeout_ms)) {
+            Ok(responses) => Response::Responses { responses },
+            Err(error) => Response::WaitError { error },
+        },
+        Request::Collect { tenant } => Response::Responses {
+            responses: handle.collect_ready(tenant),
+        },
+        Request::Status { tenant, session } => Response::Status {
+            status: handle.session_status(tenant, session),
+        },
+        Request::Stats => Response::Stats {
+            stats: handle.stats(),
+        },
+        Request::Goodbye => return (Response::Goodbye, true),
+    };
+    (resp, false)
+}
+
+/// Serves one duplex connection until `Goodbye`, clean peer close, or a
+/// wire error. Framing corruption closes the connection (after a bad
+/// frame the stream can no longer be trusted to be in sync) — the typed
+/// error is returned to the *server* caller; the client observes
+/// [`WireError::Closed`].
+pub fn serve_connection<C, S>(handle: &RuntimeHandle<C>, stream: &mut S) -> Result<(), WireError>
+where
+    C: ScratchThreeWayComparator + Send + Sync,
+    S: Read + Write,
+{
+    loop {
+        let payload = match read_frame(stream, MAX_FRAME_PAYLOAD) {
+            Ok(p) => p,
+            Err(WireError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let request = decode_request(&payload)?;
+        let (response, goodbye) = apply(handle, request);
+        write_frame(stream, &encode_response(&response))?;
+        if goodbye {
+            return Ok(());
+        }
+    }
+}
+
+/// Accepts unix-socket connections and serves each on its own thread.
+/// With `max_connections: Some(n)`, returns after accepting `n`
+/// connections (all of them served to completion); with `None`, loops
+/// until `accept` fails.
+#[cfg(unix)]
+pub fn serve_unix<C>(
+    handle: RuntimeHandle<C>,
+    listener: std::os::unix::net::UnixListener,
+    max_connections: Option<usize>,
+) -> std::io::Result<()>
+where
+    C: ScratchThreeWayComparator + Send + Sync + 'static,
+{
+    let mut served = Vec::new();
+    let mut accepted = 0usize;
+    while max_connections.is_none_or(|n| accepted < n) {
+        let (mut stream, _) = listener.accept()?;
+        accepted += 1;
+        let conn_handle = handle.clone();
+        served.push(std::thread::spawn(move || {
+            let _ = serve_connection(&conn_handle, &mut stream);
+        }));
+    }
+    for join in served {
+        let _ = join.join();
+    }
+    Ok(())
+}

@@ -76,6 +76,7 @@ fn overload_hits_tenant_cap_then_queue_depth() {
         sessions_per_shard: 8,
         tenant_in_flight: 4,
         shard_queue_depth: 6,
+        ..ServiceLimits::default()
     });
     s.create_session(1, 1, SessionSpec::new(1, 7)).unwrap();
     s.create_session(2, 1, SessionSpec::new(1, 7)).unwrap();
@@ -127,6 +128,7 @@ fn submit_all_is_atomic_under_rejection() {
         sessions_per_shard: 8,
         tenant_in_flight: 3,
         shard_queue_depth: 64,
+        ..ServiceLimits::default()
     });
     s.create_session(1, 1, SessionSpec::new(2, 7)).unwrap();
     let wave = |n: usize| -> Vec<SessionOp> {
@@ -163,10 +165,14 @@ fn submit_all_is_atomic_under_rejection() {
 
 #[test]
 fn shard_capacity_evicts_lru_idle_sessions_only() {
+    // spill_per_shard: 0 turns snapshot-on-evict off — this test pins the
+    // plain hard-eviction semantics (the spill path has its own tests).
     let s = tiny_service(ServiceLimits {
         sessions_per_shard: 2,
         tenant_in_flight: 64,
         shard_queue_depth: 64,
+        spill_per_shard: 0,
+        ..ServiceLimits::default()
     });
     s.create_session(1, 1, SessionSpec::new(1, 7)).unwrap();
     s.create_session(1, 2, SessionSpec::new(1, 7)).unwrap();
@@ -313,10 +319,85 @@ fn stats_count_requests_waves_and_batches() {
     s.submit(1, 1, SessionOp::Push { alg: 0, value: 1.0 }).unwrap();
     s.submit(1, 1, SessionOp::Score).unwrap();
     s.run_batch();
-    s.run_batch(); // empty batch still counts
+    s.run_batch(); // empty batch: counts nothing (idle pollers stay free)
     let stats = s.stats();
     assert_eq!(stats.requests, 3);
     assert_eq!(stats.rejections, 0);
     assert_eq!(stats.waves, 1);
-    assert_eq!(stats.batches, 2);
+    assert_eq!(stats.batches, 1);
+    // Op-level identities (quiesced): every submitted op was admitted and
+    // executed, nothing queued, nothing shed.
+    assert_eq!(stats.ops_submitted, 2);
+    assert_eq!(stats.ops_admitted + stats.ops_rejected, stats.ops_submitted);
+    assert_eq!(stats.ops_executed, stats.ops_admitted);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(s.queued_ops(), 0);
+}
+
+/// Snapshot-on-evict: with spilling on, a displaced LRU session is not
+/// gone — it is parked as snapshot bytes, reports `spilled` status, and
+/// the next op addressed to it transparently rehydrates it (displacing
+/// someone else in turn).
+#[test]
+fn evicted_sessions_spill_and_rehydrate_on_touch() {
+    let s = tiny_service(ServiceLimits {
+        sessions_per_shard: 2,
+        tenant_in_flight: 64,
+        shard_queue_depth: 64,
+        spill_per_shard: 8,
+        ..ServiceLimits::default()
+    });
+    s.create_session(1, 1, SessionSpec::new(1, 7)).unwrap();
+    s.create_session(1, 2, SessionSpec::new(1, 7)).unwrap();
+    // Touch session 1 so session 2 is the LRU, then overflow the shard.
+    s.submit(1, 1, SessionOp::Push { alg: 0, value: 1.0 }).unwrap();
+    s.run_batch();
+    s.create_session(1, 3, SessionSpec::new(1, 7)).unwrap();
+
+    assert_eq!(s.num_sessions(), 2);
+    assert_eq!(s.num_spilled(), 1);
+    let status = s.session_status(1, 2).expect("spilled, not gone");
+    assert!(status.spilled);
+    assert_eq!(s.stats().spills, 1);
+    assert_eq!(s.stats().evictions, 0, "spilled sessions are not lost");
+
+    // A duplicate create on the spilled key is still SessionExists.
+    assert!(matches!(
+        s.create_session(1, 2, SessionSpec::new(1, 7)),
+        Err(ServiceError::SessionExists { .. })
+    ));
+
+    // Touching the spilled session rehydrates it; its measurements are
+    // intact and someone else got spilled to make room.
+    let seq = s.submit(1, 2, SessionOp::Push { alg: 0, value: 2.0 }).unwrap();
+    assert!(!s.session_status(1, 2).unwrap().spilled);
+    assert_eq!(s.stats().rehydrations, 1);
+    assert_eq!(s.num_sessions(), 2);
+    assert_eq!(s.num_spilled(), 1);
+    let responses = s.run_batch();
+    assert!(responses.iter().any(|r| r.seq == seq && r.result.is_ok()));
+    assert_eq!(s.session_status(1, 2).unwrap().total_measurements, 1);
+}
+
+/// The spill store is bounded: beyond `spill_per_shard` the oldest
+/// snapshot is dropped for good, counted as a hard eviction.
+#[test]
+fn spill_store_overflow_drops_oldest_for_good() {
+    let s = tiny_service(ServiceLimits {
+        sessions_per_shard: 1,
+        tenant_in_flight: 64,
+        shard_queue_depth: 64,
+        spill_per_shard: 1,
+        ..ServiceLimits::default()
+    });
+    s.create_session(1, 1, SessionSpec::new(1, 7)).unwrap();
+    s.create_session(1, 2, SessionSpec::new(1, 7)).unwrap(); // spills 1
+    s.create_session(1, 3, SessionSpec::new(1, 7)).unwrap(); // spills 2, drops 1
+    assert_eq!(s.num_sessions(), 1);
+    assert_eq!(s.num_spilled(), 1);
+    assert!(s.session_status(1, 1).is_none(), "oldest spill dropped");
+    assert!(s.session_status(1, 2).unwrap().spilled);
+    let stats = s.stats();
+    assert_eq!(stats.spills, 2);
+    assert_eq!(stats.evictions, 1);
 }

@@ -103,6 +103,59 @@ fn snapshot_restore_continue_matches_uninterrupted_run() {
     }
 }
 
+/// The snapshot-on-evict golden: a session forced out of residency
+/// mid-campaign (spilled to codec bytes by registry pressure) and
+/// rehydrated by its next touch continues wave-for-wave bit-identically
+/// to a session that never left memory.
+#[test]
+fn evicted_and_rehydrated_session_is_wave_for_wave_identical() {
+    // Roomy reference service: the session never leaves memory.
+    let uninterrupted = service(4);
+    uninterrupted.create_session(1, 9, SessionSpec::new(2, 33)).unwrap();
+    // One-shard, two-slot service: creating filler sessions forces the
+    // session under test out of residency between waves.
+    let tight = SessionService::new(
+        comparator(),
+        1,
+        Parallelism::auto(),
+        ServiceLimits {
+            sessions_per_shard: 2,
+            spill_per_shard: 16,
+            ..ServiceLimits::default()
+        },
+    );
+    tight.create_session(1, 9, SessionSpec::new(2, 33)).unwrap();
+
+    for wave in 0..4 {
+        if wave == 1 || wave == 3 {
+            // Fill the shard with fresher sessions; the session under
+            // test is the LRU idle resident and must spill.
+            for filler in 0..2 {
+                let key = 100 + wave * 10 + filler;
+                let _ = tight.create_session(2, key, SessionSpec::new(1, 7));
+                tight
+                    .submit(2, key, SessionOp::Push { alg: 0, value: 1.0 })
+                    .unwrap();
+            }
+            tight.run_batch();
+            assert!(
+                tight.session_status(1, 9).expect("spilled, not gone").spilled,
+                "registry pressure must have spilled the session before wave {wave}"
+            );
+        }
+        let a = submit_wave(&uninterrupted, 1, 9, wave);
+        let b = submit_wave(&tight, 1, 9, wave); // touch rehydrates
+        assert!(!tight.session_status(1, 9).unwrap().spilled);
+        let wa = scored(&uninterrupted.run_batch(), a);
+        let wb = scored(&tight.run_batch(), b);
+        assert_eq!(wa, wb, "wave {wave} diverged across spill/rehydrate");
+    }
+    let stats = tight.stats();
+    assert!(stats.spills >= 2, "expected at least two spills, got {}", stats.spills);
+    assert!(stats.rehydrations >= 2);
+    assert_eq!(stats.evictions, 0, "nothing was dropped for good");
+}
+
 #[test]
 fn restore_rejects_corrupt_and_duplicate() {
     let s = service(2);

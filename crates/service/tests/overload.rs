@@ -1,0 +1,264 @@
+//! Overload injection: a tenant flood is shed with *typed* wire errors
+//! (`TenantBusy`, `QueueFull`, `Overloaded`), the op-level counters stay
+//! consistent (`admitted + rejected == submitted`, quiesced
+//! `executed == admitted`), and tenants that survive the storm produce
+//! waves bit-identical to an unloaded run.
+
+use relperf_core::cluster::Parallelism;
+use relperf_measure::compare::MedianComparator;
+use relperf_service::prelude::*;
+use relperf_service::service::SessionService;
+use std::time::Duration;
+
+fn runtime(limits: ServiceLimits) -> ServiceRuntime<MedianComparator> {
+    let service = SessionService::new(MedianComparator::new(0.05), 2, Parallelism::serial(), limits);
+    // Synchronous drive-on-drain mode: every admission decision and every
+    // batch is deterministic, so the shed/admit split is exactly
+    // reproducible.
+    ServiceRuntime::start(
+        service,
+        RuntimeConfig {
+            scheduler_threads: 0,
+            ..Default::default()
+        },
+    )
+}
+
+/// After every scenario the op ledger must balance.
+fn assert_ledger_consistent(stats: &ServiceStats, quiesced: bool) {
+    assert_eq!(
+        stats.ops_admitted + stats.ops_rejected,
+        stats.ops_submitted,
+        "every submitted op is either admitted or rejected: {stats:?}"
+    );
+    assert!(stats.shed <= stats.ops_rejected, "shed is a subset of rejections");
+    if quiesced {
+        assert_eq!(
+            stats.ops_executed, stats.ops_admitted,
+            "quiesced service has executed everything it admitted: {stats:?}"
+        );
+    }
+}
+
+/// A tenant flooding past its in-flight cap gets `TenantBusy` over the
+/// wire — a typed error value, not a dropped connection — and the ledger
+/// balances afterwards.
+#[test]
+fn tenant_flood_is_shed_with_typed_tenant_busy() {
+    let rt = runtime(ServiceLimits {
+        tenant_in_flight: 4,
+        ..ServiceLimits::default()
+    });
+    let (mut client, server) = WireClient::connect_in_proc(rt.handle());
+    client.create_session(7, 1, SessionSpec::new(1, 3)).unwrap();
+
+    let mut admitted = Vec::new();
+    let mut busy = 0usize;
+    for i in 0..12 {
+        match client.submit(7, 1, vec![SessionOp::Push { alg: 0, value: i as f64 }]) {
+            Ok(mut seqs) => admitted.append(&mut seqs),
+            Err(ClientError::Service(ServiceError::TenantBusy { tenant, in_flight, cap })) => {
+                assert_eq!(tenant, 7);
+                assert_eq!(cap, 4);
+                assert!(in_flight >= cap);
+                busy += 1;
+            }
+            Err(other) => panic!("expected TenantBusy, got {other:?}"),
+        }
+    }
+    assert_eq!(admitted.len(), 4, "exactly the cap is admitted");
+    assert_eq!(busy, 8, "everything past the cap is typed-rejected");
+
+    // Draining unblocks the tenant: the flood was shed, not fatal.
+    let responses = client
+        .await_responses(7, &admitted, Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(responses.len(), 4);
+    assert!(responses.iter().all(|r| matches!(r.result, Ok(OpOutcome::Ingested))));
+    client.submit(7, 1, vec![SessionOp::Push { alg: 0, value: 99.0 }]).unwrap();
+    let _ = client.collect_ready(7).unwrap();
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.ops_submitted, 13);
+    assert_eq!(stats.ops_rejected, 8);
+    assert_eq!(stats.shed, 0, "per-tenant backpressure is not service-wide shedding");
+    assert_ledger_consistent(&stats, true);
+    client.goodbye().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// A shard queue filling up yields `QueueFull` with the shard's identity
+/// and depth — backpressure is per-shard, so the flood names its victim.
+#[test]
+fn shard_queue_backpressure_is_typed_queue_full() {
+    let rt = runtime(ServiceLimits {
+        shard_queue_depth: 3,
+        ..ServiceLimits::default()
+    });
+    let (mut client, server) = WireClient::connect_in_proc(rt.handle());
+    client.create_session(1, 1, SessionSpec::new(1, 3)).unwrap();
+
+    let mut admitted = 0usize;
+    let mut full = 0usize;
+    for i in 0..9 {
+        match client.submit(1, 1, vec![SessionOp::Push { alg: 0, value: i as f64 }]) {
+            Ok(_) => admitted += 1,
+            Err(ClientError::Service(ServiceError::QueueFull { depth, cap, .. })) => {
+                assert_eq!(cap, 3);
+                assert!(depth >= cap);
+                full += 1;
+            }
+            Err(other) => panic!("expected QueueFull, got {other:?}"),
+        }
+    }
+    assert_eq!(admitted, 3);
+    assert_eq!(full, 6);
+    let _ = client.collect_ready(1).unwrap(); // quiesce
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.ops_rejected, 6);
+    assert_ledger_consistent(&stats, true);
+    client.goodbye().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// The service-wide backlog watermark sheds load with `Overloaded` (and
+/// counts it in `shed`); once the scheduler catches up, admission
+/// recovers.
+#[test]
+fn backlog_watermark_sheds_typed_overloaded_and_recovers() {
+    let rt = runtime(ServiceLimits {
+        max_backlog: 2,
+        ..ServiceLimits::default()
+    });
+    let (mut client, server) = WireClient::connect_in_proc(rt.handle());
+    client.create_session(5, 1, SessionSpec::new(1, 11)).unwrap();
+
+    let mut admitted = Vec::new();
+    let mut shed = 0usize;
+    for i in 0..6 {
+        match client.submit(5, 1, vec![SessionOp::Push { alg: 0, value: i as f64 }]) {
+            Ok(mut seqs) => admitted.append(&mut seqs),
+            Err(ClientError::Service(ServiceError::Overloaded { backlog, cap })) => {
+                assert_eq!(cap, 2);
+                assert!(backlog >= 2);
+                shed += 1;
+            }
+            Err(other) => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+    assert_eq!(admitted.len(), 2, "watermark admits exactly the backlog cap");
+    assert_eq!(shed, 4);
+
+    // A whole group above the watermark is shed atomically: all or
+    // nothing, no partial admission.
+    assert!(matches!(
+        client.submit(
+            5,
+            1,
+            vec![
+                SessionOp::Push { alg: 0, value: 1.0 },
+                SessionOp::Push { alg: 0, value: 2.0 },
+                SessionOp::Push { alg: 0, value: 3.0 },
+            ],
+        ),
+        Err(ClientError::Service(ServiceError::Overloaded { .. }))
+    ));
+
+    // Drain → backlog returns to zero → admission recovers.
+    let responses = client
+        .await_responses(5, &admitted, Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(responses.len(), 2);
+    client.submit(5, 1, vec![SessionOp::Push { alg: 0, value: 10.0 }]).unwrap();
+    let _ = client.collect_ready(5).unwrap();
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.shed, 7, "4 singles + the atomic group of 3");
+    assert_eq!(stats.ops_rejected, 7);
+    assert_eq!(stats.ops_submitted, 10);
+    assert_ledger_consistent(&stats, true);
+    client.goodbye().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// The satellite's core claim: a tenant that survives a flood (its ops
+/// admitted while another tenant's are shed wholesale) scores waves
+/// bit-identical to the same session on an unloaded service.
+#[test]
+fn surviving_tenant_is_bit_identical_to_unloaded_run() {
+    // Unloaded reference: same session, no storm.
+    let calm = SessionService::new(
+        MedianComparator::new(0.05),
+        2,
+        Parallelism::serial(),
+        ServiceLimits::default(),
+    );
+    calm.create_session(1, 1, SessionSpec::new(2, 77)).unwrap();
+
+    // Stormy service: tenant 666 floods past its in-flight cap every
+    // wave while tenant 1 runs the identical campaign.
+    let rt = runtime(ServiceLimits {
+        tenant_in_flight: 3, // the survivor's 3-op wave exactly fits
+        ..ServiceLimits::default()
+    });
+    let (mut client, server) = WireClient::connect_in_proc(rt.handle());
+    client.create_session(1, 1, SessionSpec::new(2, 77)).unwrap();
+    client.create_session(666, 1, SessionSpec::new(1, 5)).unwrap();
+
+    for wave in 0..3u64 {
+        // The flood: far more ops than the cap admits.
+        let mut rejected = 0usize;
+        for i in 0..10 {
+            if client
+                .submit(666, 1, vec![SessionOp::Push { alg: 0, value: (wave * 10 + i) as f64 }])
+                .is_err()
+            {
+                rejected += 1;
+            }
+        }
+        assert!(rejected >= 7, "the storm must actually be shedding");
+
+        // The survivor's wave, identical ops on both services.
+        let values_a: Vec<f64> = (0..4).map(|i| 1.0 + (wave * 4 + i) as f64 * 0.01).collect();
+        let values_b: Vec<f64> = (0..4).map(|i| 2.0 - (wave * 4 + i) as f64 * 0.01).collect();
+        let ops = vec![
+            SessionOp::Extend { alg: 0, values: values_a },
+            SessionOp::Extend { alg: 1, values: values_b },
+            SessionOp::Score,
+        ];
+        let mut calm_seq = 0;
+        for op in ops.clone() {
+            calm_seq = calm.submit(1, 1, op).unwrap();
+        }
+        let calm_responses = calm.run_batch();
+        let calm_wave = calm_responses
+            .iter()
+            .find(|r| r.seq == calm_seq)
+            .map(|r| match r.result.clone().unwrap() {
+                OpOutcome::Scored(w) => w,
+                other => panic!("expected Scored, got {other:?}"),
+            })
+            .unwrap();
+
+        let seqs = client.submit(1, 1, ops).unwrap();
+        let responses = client
+            .await_responses(1, &seqs, Duration::from_secs(5))
+            .unwrap();
+        let Ok(OpOutcome::Scored(stormy_wave)) = &responses[2].result else {
+            panic!("survivor's Score failed under load: {:?}", responses[2].result);
+        };
+        assert_eq!(
+            stormy_wave, &calm_wave,
+            "wave {wave}: survivor diverged from the unloaded run"
+        );
+        // Flush whatever the flood got admitted so the next wave's cap
+        // check starts clean.
+        let _ = client.collect_ready(666).unwrap();
+    }
+
+    let stats = client.stats().unwrap();
+    assert!(stats.ops_rejected >= 21, "storm was shed: {stats:?}");
+    assert_ledger_consistent(&stats, true);
+    client.goodbye().unwrap();
+    server.join().unwrap().unwrap();
+}

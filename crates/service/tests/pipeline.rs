@@ -1,0 +1,325 @@
+//! Background-scheduler pipelining: tables served by the threaded
+//! runtime are bit-identical to direct `ClusterSession` drives for any
+//! interleaving and thread count, and a slow tenant does not convoy fast
+//! tenants that live on other scheduler threads' shards.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use relperf_core::cluster::{ClusterConfig, Parallelism, ScoreTable};
+use relperf_core::session::{ClusterSession, ConvergenceCriterion};
+use relperf_measure::compare::{BootstrapComparator, BootstrapConfig};
+use relperf_service::prelude::*;
+use relperf_service::service::SessionService;
+use std::time::Duration;
+
+fn comparator() -> BootstrapComparator {
+    BootstrapComparator::with_config(
+        5,
+        BootstrapConfig {
+            reps: 10,
+            ..Default::default()
+        },
+    )
+}
+
+fn noisy(center: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| center + rng.random_range(-0.2..0.2)).collect()
+}
+
+/// One tenant's scripted campaign (same shape as the synchronous
+/// determinism suite, driven through the pipelined runtime here).
+struct Script {
+    tenant: u64,
+    session: u64,
+    p: usize,
+    seed: u64,
+    waves: Vec<Vec<Vec<f64>>>,
+}
+
+fn scripts(num_tenants: usize, waves: usize, value_seed: u64) -> Vec<Script> {
+    (0..num_tenants as u64)
+        .map(|tenant| {
+            let p = 2 + (tenant as usize % 3);
+            Script {
+                tenant,
+                session: 100 + tenant,
+                p,
+                seed: 7 + tenant,
+                waves: (0..waves)
+                    .map(|w| {
+                        (0..p)
+                            .map(|alg| {
+                                noisy(
+                                    1.0 + alg as f64,
+                                    4,
+                                    value_seed ^ (tenant << 20) ^ ((w as u64) << 10) ^ alg as u64,
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+fn direct_tables(scripts: &[Script], cfg: ClusterConfig) -> Vec<Vec<ScoreTable>> {
+    let cmp = comparator();
+    scripts
+        .iter()
+        .map(|s| {
+            let mut session = ClusterSession::new(s.p, &cmp, cfg, s.seed);
+            s.waves
+                .iter()
+                .map(|wave| {
+                    for (alg, values) in wave.iter().enumerate() {
+                        session.extend(alg, values).unwrap();
+                    }
+                    session.score().clone()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Drives all scripts through a pipelined runtime: submissions follow
+/// `order` while background threads drain shards on their own cadence —
+/// the test never calls `run_batch` itself.
+fn pipelined_tables(
+    scripts: &[Script],
+    cfg: ClusterConfig,
+    shards: usize,
+    scheduler_threads: usize,
+    order: &[usize],
+) -> Vec<Vec<ScoreTable>> {
+    let service = SessionService::new(
+        comparator(),
+        shards,
+        Parallelism::serial(),
+        ServiceLimits::default(),
+    );
+    let rt = ServiceRuntime::start(
+        service,
+        RuntimeConfig {
+            scheduler_threads,
+            cadence: Duration::from_millis(1),
+            ..Default::default()
+        },
+    );
+    for s in scripts {
+        rt.create_session(
+            s.tenant,
+            s.session,
+            SessionSpec {
+                algorithms: s.p,
+                config: cfg,
+                seed: s.seed,
+                criterion: ConvergenceCriterion::default(),
+            },
+        )
+        .unwrap();
+    }
+    let mut score_seqs: Vec<Vec<u64>> = scripts.iter().map(|_| Vec::new()).collect();
+    let mut next_wave: Vec<usize> = vec![0; scripts.len()];
+    for &si in order {
+        let s = &scripts[si];
+        let wave = &s.waves[next_wave[si]];
+        next_wave[si] += 1;
+        let mut ops: Vec<SessionOp> = wave
+            .iter()
+            .enumerate()
+            .map(|(alg, values)| SessionOp::Extend {
+                alg,
+                values: values.clone(),
+            })
+            .collect();
+        ops.push(SessionOp::Score);
+        let seqs = rt.submit_all(s.tenant, s.session, ops).unwrap();
+        score_seqs[si].push(*seqs.last().unwrap());
+    }
+    let mut tables: Vec<Vec<ScoreTable>> = scripts.iter().map(|_| Vec::new()).collect();
+    for (si, s) in scripts.iter().enumerate() {
+        let responses = rt
+            .await_responses(s.tenant, &score_seqs[si], Duration::from_secs(60))
+            .unwrap();
+        for response in responses {
+            let OpOutcome::Scored(wave) = response.result.expect("scripted ops never fail") else {
+                panic!("awaited seqs are Score ops");
+            };
+            tables[si].push(wave.table);
+        }
+    }
+    rt.shutdown();
+    tables
+}
+
+/// Background threads, arbitrary cut of tenants across shards: every
+/// served table equals the direct drive.
+#[test]
+fn pipelined_runtime_matches_direct_sessions() {
+    let scripts = scripts(4, 3, 0x5EED);
+    let cfg = ClusterConfig {
+        repetitions: 15,
+        parallelism: Parallelism::serial(),
+        ..Default::default()
+    };
+    let reference = direct_tables(&scripts, cfg);
+    let round_robin: Vec<usize> = (0..3).flat_map(|_| 0..scripts.len()).collect();
+    for (shards, threads) in [(1, 1), (4, 2), (8, 3), (5, 4)] {
+        let got = pipelined_tables(&scripts, cfg, shards, threads, &round_robin);
+        assert_eq!(got, reference, "shards={shards} threads={threads}");
+    }
+    // And the synchronous fallback (threads=0) — the same entry points,
+    // no threads at all.
+    let got = pipelined_tables(&scripts, cfg, 4, 0, &round_robin);
+    assert_eq!(got, reference, "sync drive-on-drain mode");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The satellite's proptest: a slow tenant (heavy waves) interleaved
+    /// arbitrarily with fast ones under the background scheduler — all
+    /// tables still match the direct drives, regardless of shuffle,
+    /// shard count, and thread count.
+    #[test]
+    fn shuffled_pipelined_interleavings_are_bit_identical(
+        shuffle_seed in 0u64..1_000,
+        shards in 1usize..9,
+        threads in 1usize..5,
+    ) {
+        let mut scripts = scripts(3, 2, 0xFADE);
+        // Make tenant 0 the slow one: much larger waves.
+        for wave in &mut scripts[0].waves {
+            for (alg, values) in wave.iter_mut().enumerate() {
+                *values = noisy(1.0 + alg as f64, 64, 0xD1CE ^ alg as u64);
+            }
+        }
+        let cfg = ClusterConfig {
+            repetitions: 15,
+            parallelism: Parallelism::serial(),
+            ..Default::default()
+        };
+        let reference = direct_tables(&scripts, cfg);
+        let mut order: Vec<usize> = (0..scripts.len()).flat_map(|s| [s; 2]).collect();
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        order.shuffle(&mut rng);
+        let got = pipelined_tables(&scripts, cfg, shards, threads, &order);
+        prop_assert_eq!(got, reference);
+    }
+}
+
+/// The anti-convoy claim, asserted by delivery order rather than wall
+/// clock: while one scheduler thread grinds a slow tenant's expensive
+/// wave, the other thread serves a fast tenant's wave to completion —
+/// the fast responses arrive while the slow score is still in flight.
+#[test]
+fn slow_tenant_does_not_convoy_fast_tenants() {
+    let cmp = BootstrapComparator::with_config(
+        5,
+        BootstrapConfig {
+            reps: 4000,
+            ..Default::default()
+        },
+    );
+    let service = SessionService::new(cmp, 4, Parallelism::serial(), ServiceLimits::default());
+
+    // Pick session ids whose shards land on DIFFERENT scheduler threads
+    // (thread t owns shards ≡ t mod 2).
+    let slow_session = (0..)
+        .find(|&s| service.shard_index(1, s) % 2 == 0)
+        .unwrap();
+    let fast_session = (0..)
+        .find(|&s| service.shard_index(2, s) % 2 == 1)
+        .unwrap();
+
+    let rt = ServiceRuntime::start(
+        service,
+        RuntimeConfig {
+            scheduler_threads: 2,
+            cadence: Duration::from_millis(1),
+            ..Default::default()
+        },
+    );
+    let heavy_cfg = ClusterConfig {
+        repetitions: 40,
+        parallelism: Parallelism::serial(),
+        ..Default::default()
+    };
+    let light_cfg = ClusterConfig {
+        repetitions: 3,
+        parallelism: Parallelism::serial(),
+        ..Default::default()
+    };
+    rt.create_session(
+        1,
+        slow_session,
+        SessionSpec {
+            algorithms: 4,
+            config: heavy_cfg,
+            seed: 3,
+            criterion: ConvergenceCriterion::default(),
+        },
+    )
+    .unwrap();
+    rt.create_session(
+        2,
+        fast_session,
+        SessionSpec {
+            algorithms: 2,
+            config: light_cfg,
+            seed: 4,
+            criterion: ConvergenceCriterion::default(),
+        },
+    )
+    .unwrap();
+
+    // Kick off the slow tenant's expensive wave: large samples, many
+    // algorithms, thousands of bootstrap reps.
+    let mut slow_ops: Vec<SessionOp> = (0..4)
+        .map(|alg| SessionOp::Extend {
+            alg,
+            values: noisy(1.0 + alg as f64, 400, 0xBEEF ^ alg as u64),
+        })
+        .collect();
+    slow_ops.push(SessionOp::Score);
+    let slow_seqs = rt.submit_all(1, slow_session, slow_ops).unwrap();
+    // Give thread 0 a moment to check the batch out before racing it.
+    std::thread::sleep(Duration::from_millis(50));
+
+    // The fast tenant's tiny wave, owned by the OTHER thread.
+    let fast_seqs = rt
+        .submit_all(
+            2,
+            fast_session,
+            vec![
+                SessionOp::Extend { alg: 0, values: vec![1.0, 1.1, 0.9] },
+                SessionOp::Extend { alg: 1, values: vec![2.0, 2.1, 1.9] },
+                SessionOp::Score,
+            ],
+        )
+        .unwrap();
+    let fast = rt
+        .await_responses(2, &fast_seqs, Duration::from_secs(60))
+        .unwrap();
+    assert!(matches!(fast[2].result, Ok(OpOutcome::Scored(_))));
+
+    // Delivery-order proof of independence: the fast wave completed
+    // while the slow one was still being ground out.
+    assert!(
+        rt.collect_ready(1).is_empty(),
+        "slow tenant's wave finished before the fast tenant was served — \
+         the pipeline convoyed"
+    );
+
+    // The slow wave still completes and is still correct.
+    let slow = rt
+        .await_responses(1, &slow_seqs, Duration::from_secs(300))
+        .unwrap();
+    let Ok(OpOutcome::Scored(wave)) = &slow[4].result else {
+        panic!("slow score failed: {:?}", slow[4].result);
+    };
+    assert_eq!(wave.table.num_algorithms(), 4);
+    rt.shutdown();
+}

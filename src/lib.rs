@@ -25,8 +25,12 @@
 //!   ([`measure_until_converged_seeded`](crate::workloads::adaptive::measure_until_converged_seeded)),
 //! * [`service`] — the multi-tenant hosted session service
 //!   ([`SessionService`](crate::service::SessionService)): sharded
-//!   registry, deterministic batch scheduler, admission control, and
-//!   checkpoint/restore.
+//!   registry with snapshot-on-evict, deterministic batch scheduler,
+//!   pipelined background runtime
+//!   ([`ServiceRuntime`](crate::service::ServiceRuntime)), a checksummed
+//!   binary wire protocol with in-proc/unix clients
+//!   ([`WireClient`](crate::service::WireClient)), admission control and
+//!   load shedding, and checkpoint/restore.
 //!
 //! ## Quickstart
 //!
@@ -79,8 +83,9 @@ pub mod prelude {
     };
     pub use relperf_parallel::{parallel_map_indexed, parallel_map_indexed_with, Parallelism};
     pub use relperf_service::{
-        OpOutcome, OpResponse, ServiceCampaign, ServiceError, ServiceLimits, ServiceStats,
-        SessionOp, SessionService, SessionSpec,
+        ClientError, OpOutcome, OpResponse, RuntimeConfig, RuntimeError, ServiceCampaign,
+        ServiceError, ServiceLimits, ServiceRuntime, ServiceStats, SessionOp, SessionService,
+        SessionSpec, SessionStatus, WireClient, WireError,
     };
     pub use relperf_sim::presets;
     pub use relperf_sim::{Loc, Platform, Task};

@@ -188,16 +188,109 @@ impl From<WireError> for ClientError {
     }
 }
 
+/// A bounded, deterministic retry schedule for backpressure rejections
+/// (see [`WireClient::submit_with_retry`]).
+///
+/// Only the three *transient* admission errors are retried —
+/// [`TenantBusy`](ServiceError::TenantBusy),
+/// [`QueueFull`](ServiceError::QueueFull), and
+/// [`Overloaded`](ServiceError::Overloaded) — each of which guarantees
+/// the op group was **not** admitted, so a resubmit can never duplicate
+/// work. Everything else (bad specs, unknown sessions, wire faults, and
+/// in particular [`ServiceError::Journal`], whose `Crashed`/`Io` cases
+/// leave an ambiguous-commit window) aborts immediately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submission attempts (the first try included). Treated as at
+    /// least 1.
+    pub max_attempts: usize,
+    /// Sleep before retry *k* is `backoff_schedule[k-1]`, clamped to the
+    /// last entry once the schedule runs out. Empty means no sleeping —
+    /// useful against an in-process sync-mode server, where the
+    /// between-attempt [`collect_ready`](WireClient::collect_ready) drain
+    /// is what makes progress.
+    pub backoff_schedule: Vec<Duration>,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts with a doubling 1 ms / 2 ms / 4 ms backoff.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_schedule: vec![
+                Duration::from_millis(1),
+                Duration::from_millis(2),
+                Duration::from_millis(4),
+            ],
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// `attempts` tries with no sleeping between them — fully
+    /// deterministic, the right shape for tests and sync-mode runtimes.
+    pub fn immediate(attempts: usize) -> Self {
+        RetryPolicy {
+            max_attempts: attempts,
+            backoff_schedule: Vec::new(),
+        }
+    }
+
+    /// The sleep before retry number `retry` (1-based); `None` when the
+    /// schedule is empty.
+    pub fn backoff(&self, retry: usize) -> Option<Duration> {
+        let last = self.backoff_schedule.last()?;
+        Some(
+            *self
+                .backoff_schedule
+                .get(retry.saturating_sub(1))
+                .unwrap_or(last),
+        )
+    }
+}
+
+/// Client-side counters accumulated by
+/// [`submit_with_retry`](WireClient::submit_with_retry) over the client's
+/// lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryStats {
+    /// Submission attempts sent over the wire (first tries included).
+    pub attempts: u64,
+    /// Attempts that were retries of a backpressure rejection.
+    pub retries: u64,
+    /// Calls that exhausted their policy and surfaced the final error.
+    pub exhausted: u64,
+    /// Responses drained opportunistically between attempts.
+    pub drained_responses: u64,
+}
+
+/// What a successful [`submit_with_retry`](WireClient::submit_with_retry)
+/// returned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitOutcome {
+    /// Admission tickets of the accepted op group, in op order.
+    pub seqs: Vec<u64>,
+    /// Attempts this call used (1 = accepted first try).
+    pub attempts: usize,
+    /// Responses drained between attempts — already delivered to this
+    /// call, so a later `await_responses` will not see them again.
+    pub drained: Vec<OpResponse>,
+}
+
 /// A synchronous wire-protocol client over any duplex byte stream.
 #[derive(Debug)]
 pub struct WireClient<S> {
     stream: S,
+    retry_stats: RetryStats,
 }
 
 impl<S: Read + Write> WireClient<S> {
     /// Wraps an already-connected duplex stream (e.g. a `UnixStream`).
     pub fn new(stream: S) -> Self {
-        WireClient { stream }
+        WireClient {
+            stream,
+            retry_stats: RetryStats::default(),
+        }
     }
 
     fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
@@ -262,6 +355,67 @@ impl<S: Read + Write> WireClient<S> {
             Response::Error { error } => Err(ClientError::Service(error)),
             _ => Err(ClientError::Protocol("unexpected response to Submit")),
         }
+    }
+
+    /// [`submit`](WireClient::submit) with bounded, deterministic retry of
+    /// the transient backpressure rejections (`TenantBusy`, `QueueFull`,
+    /// `Overloaded`).
+    ///
+    /// Between attempts the client drains
+    /// [`collect_ready`](WireClient::collect_ready) — which both frees
+    /// tenant in-flight budget and, against a sync-mode runtime, *is* the
+    /// scheduling step that makes room — then sleeps the policy's backoff.
+    /// Each retried error guarantees the group was not admitted, so no op
+    /// is ever submitted twice; non-transient errors (including the
+    /// ambiguous [`ServiceError::Journal`] cases) abort on first sight.
+    /// Progress is tallied in [`retry_stats`](WireClient::retry_stats).
+    pub fn submit_with_retry(
+        &mut self,
+        tenant: u64,
+        session: u64,
+        ops: Vec<SessionOp>,
+        policy: &RetryPolicy,
+    ) -> Result<SubmitOutcome, ClientError> {
+        let max_attempts = policy.max_attempts.max(1);
+        let mut drained = Vec::new();
+        for attempt in 1..=max_attempts {
+            self.retry_stats.attempts += 1;
+            match self.submit(tenant, session, ops.clone()) {
+                Ok(seqs) => {
+                    return Ok(SubmitOutcome {
+                        seqs,
+                        attempts: attempt,
+                        drained,
+                    })
+                }
+                Err(ClientError::Service(
+                    e @ (ServiceError::TenantBusy { .. }
+                    | ServiceError::QueueFull { .. }
+                    | ServiceError::Overloaded { .. }),
+                )) => {
+                    if attempt == max_attempts {
+                        self.retry_stats.exhausted += 1;
+                        return Err(ClientError::Service(e));
+                    }
+                    self.retry_stats.retries += 1;
+                    let ready = self.collect_ready(tenant)?;
+                    self.retry_stats.drained_responses += ready.len() as u64;
+                    drained.extend(ready);
+                    if let Some(pause) = policy.backoff(attempt) {
+                        if !pause.is_zero() {
+                            std::thread::sleep(pause);
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on the final attempt")
+    }
+
+    /// The client-side retry counters accumulated so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
     }
 
     /// Blocks until the named tickets have responses, then returns them

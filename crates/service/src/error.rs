@@ -6,6 +6,7 @@
 //! as a [`ServiceError`] value, so one misbehaving tenant can neither take
 //! the process down nor wedge the scheduler.
 
+use crate::journal::{JournalError, JournalIoError};
 use crate::snapshot::SnapshotError;
 use relperf_core::session::CriterionError;
 use relperf_measure::sample::SampleError;
@@ -99,6 +100,14 @@ pub enum ServiceError {
     BadSample(SampleError),
     /// A snapshot failed to decode.
     BadSnapshot(SnapshotError),
+    /// The shard's durable journal failed (or was sealed by an earlier
+    /// failure): the op was **not** admitted and nothing was enqueued.
+    /// For [`JournalIoError::Crashed`]/[`JournalIoError::Io`] the record
+    /// may or may not have reached durable storage, so a client must not
+    /// blindly resubmit — recover the service and consult
+    /// [`session_status`](crate::service::SessionService::session_status)
+    /// first.
+    Journal(JournalIoError),
 }
 
 impl fmt::Display for ServiceError {
@@ -146,6 +155,7 @@ impl fmt::Display for ServiceError {
             ),
             ServiceError::BadSample(e) => write!(f, "measurement rejected: {e}"),
             ServiceError::BadSnapshot(e) => write!(f, "snapshot rejected: {e}"),
+            ServiceError::Journal(e) => write!(f, "admission not journaled: {e}"),
         }
     }
 }
@@ -169,3 +179,85 @@ impl From<SnapshotError> for ServiceError {
         ServiceError::BadSnapshot(e)
     }
 }
+
+impl From<JournalIoError> for ServiceError {
+    fn from(e: JournalIoError) -> Self {
+        ServiceError::Journal(e)
+    }
+}
+
+/// Why [`SessionService::recover`](crate::service::SessionService::recover)
+/// could not rebuild the service from its journal stores.
+///
+/// Recovery is **total and typed**: a torn final record is silently
+/// truncated (reported in the
+/// [`RecoveryReport`](crate::service::RecoveryReport), not an error),
+/// while anything that would silently lose or corrupt acknowledged state
+/// — an unreadable store, mid-journal corruption, a snapshot that no
+/// longer decodes — names the shard (and where applicable the byte
+/// offset or session) instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryError {
+    /// A store could not be read at all.
+    Store {
+        /// Index of the failing shard store.
+        shard: usize,
+        /// The underlying storage failure.
+        error: JournalIoError,
+    },
+    /// A base or journal stream failed to scan (bad magic, future
+    /// version, mid-stream corruption).
+    Journal {
+        /// Index of the failing shard store.
+        shard: usize,
+        /// The scan failure, with byte offset where applicable.
+        error: JournalError,
+    },
+    /// A journaled session could not be rebuilt (snapshot no longer
+    /// decodes, spec no longer validates, duplicate key across shards).
+    Session {
+        /// Index of the shard whose record failed.
+        shard: usize,
+        /// Owning tenant.
+        tenant: u64,
+        /// Session id within the tenant.
+        session: u64,
+        /// The underlying rejection.
+        error: ServiceError,
+    },
+    /// The post-recovery checkpoint (which makes the rebuilt state
+    /// durable and truncates torn tails) failed to install.
+    Checkpoint {
+        /// Index of the failing shard store.
+        shard: usize,
+        /// The underlying rejection.
+        error: ServiceError,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Store { shard, error } => {
+                write!(f, "shard {shard}: journal store unreadable: {error}")
+            }
+            RecoveryError::Journal { shard, error } => {
+                write!(f, "shard {shard}: {error}")
+            }
+            RecoveryError::Session {
+                shard,
+                tenant,
+                session,
+                error,
+            } => write!(
+                f,
+                "shard {shard}: session {session} of tenant {tenant} failed to rebuild: {error}"
+            ),
+            RecoveryError::Checkpoint { shard, error } => {
+                write!(f, "shard {shard}: post-recovery checkpoint failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}

@@ -41,9 +41,14 @@
 //! fuzz and overload tests pin their golden values against; it is also
 //! the natural fallback when the `parallel` feature is compiled out.
 
-use crate::error::ServiceError;
-use crate::service::{OpResponse, SessionOp, SessionService, SessionSpec, SessionStatus};
+use crate::error::{RecoveryError, ServiceError};
+use crate::journal::{JournalConfig, JournalStore};
+use crate::service::{
+    OpResponse, RecoveryReport, SessionOp, SessionService, SessionSpec, SessionStatus,
+    ServiceLimits,
+};
 use crate::stats::ServiceStats;
+use relperf_core::cluster::Parallelism;
 use relperf_measure::ScratchThreeWayComparator;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -266,6 +271,22 @@ impl<C: ScratchThreeWayComparator + Send + Sync + 'static> ServiceRuntime<C> {
         }
     }
 
+    /// Rebuilds a journaled service from its durable stores
+    /// ([`SessionService::recover`]) and starts a runtime over it in one
+    /// move — the restart path of a crashed pipelined deployment.
+    pub fn recover(
+        comparator: C,
+        scheduler: Parallelism,
+        limits: ServiceLimits,
+        journal_config: JournalConfig,
+        stores: Vec<Box<dyn JournalStore>>,
+        runtime_config: RuntimeConfig,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        let (service, report) =
+            SessionService::recover(comparator, scheduler, limits, journal_config, stores)?;
+        Ok((Self::start(service, runtime_config), report))
+    }
+
     /// A cloneable submit/collect handle (e.g. one per wire connection).
     pub fn handle(&self) -> RuntimeHandle<C> {
         self.handle.clone()
@@ -444,6 +465,17 @@ impl<C: ScratchThreeWayComparator + Send + Sync> RuntimeHandle<C> {
     /// [`SessionService::stats`] pass-through.
     pub fn stats(&self) -> ServiceStats {
         self.0.service.stats()
+    }
+
+    /// [`SessionService::flush_journals`] pass-through — force the group
+    /// commit boundary before a planned shutdown.
+    pub fn flush_journals(&self) -> Result<(), ServiceError> {
+        self.0.service.flush_journals()
+    }
+
+    /// [`SessionService::compact_all`] pass-through.
+    pub fn compact_all(&self) -> Result<usize, ServiceError> {
+        self.0.service.compact_all()
     }
 
     /// Whether this runtime runs batches inline (no scheduler threads).

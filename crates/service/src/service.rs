@@ -56,8 +56,24 @@
 //! [`ServiceError::Overloaded`] once the backlog of admitted-but-not-yet
 //! -executed ops crosses [`ServiceLimits::max_backlog`] — cheap to
 //! reject, cheap to retry once the scheduler catches up.
+//!
+//! # Durability (optional)
+//!
+//! A service built with [`SessionService::with_journal`] writes every
+//! admitted op group, create, and restore to a per-shard append-only
+//! journal (see [`crate::journal`]) *before* enqueuing, under the same
+//! shard lock — so the durable order equals the admission order.
+//! Executed batches advance a per-session applied-seq low-water mark,
+//! periodic checkpoints truncate the journal (compaction), and
+//! [`SessionService::recover`] rebuilds the whole service from the
+//! stores as snapshot + replay of the suffix; by the determinism
+//! contract above, recovered sessions continue wave-for-wave
+//! bit-identical to a run that never crashed.
 
-use crate::error::ServiceError;
+use crate::error::{RecoveryError, ServiceError};
+use crate::journal::{
+    self, CheckpointSession, JournalConfig, JournalIoError, JournalRecord, JournalStore,
+};
 use crate::snapshot::{self, SessionSnapshot, SnapshotError};
 use crate::stats::{ServiceStats, StatCounters};
 use relperf_core::cluster::{ClusterConfig, Clustering, Parallelism, ScoreTable};
@@ -291,6 +307,10 @@ struct Hosted<C: ScratchThreeWayComparator + Send + Sync> {
     /// Ops queued but not yet executed; only idle (`pending == 0`)
     /// sessions are evictable.
     pending: usize,
+    /// Highest op seq a batch has applied to this session — the durable
+    /// low-water mark carried into checkpoints so journal replay can
+    /// deduplicate (`None` until the first batch touches the session).
+    last_applied: Option<u64>,
 }
 
 impl<C: ScratchThreeWayComparator + Send + Sync> Hosted<C> {
@@ -302,6 +322,7 @@ impl<C: ScratchThreeWayComparator + Send + Sync> Hosted<C> {
             converged: false,
             last_used: tick,
             pending: 0,
+            last_applied: None,
             session: None,
         };
         hosted.refresh(&session);
@@ -335,6 +356,8 @@ struct Spilled {
     /// Carried from the resident entry so rehydration order follows true
     /// recency, and the spill store's own LRU drop is well-defined.
     last_used: u64,
+    /// Carried applied-seq low-water mark (see [`Hosted::last_applied`]).
+    last_applied: Option<u64>,
 }
 
 /// One shard: a slice of the session map, the spill store, and the
@@ -344,6 +367,68 @@ struct Shard<C: ScratchThreeWayComparator + Send + Sync> {
     sessions: HashMap<SessionKey, Hosted<C>>,
     spilled: HashMap<SessionKey, Spilled>,
     queue: Vec<QueuedOp>,
+    /// The shard's durable op journal; `None` on an unjournaled service.
+    journal: Option<ShardJournal>,
+}
+
+/// One shard's journal: the store plus group-commit bookkeeping, living
+/// inside the shard mutex so the durable order equals admission order.
+struct ShardJournal {
+    store: Box<dyn JournalStore>,
+    config: JournalConfig,
+    /// Journaled ops appended since the last sync (group commit counter).
+    unsynced: usize,
+    /// Journaled ops since the last checkpoint (auto-compaction counter).
+    since_checkpoint: usize,
+    /// Set on the first append/sync failure: the journal can no longer
+    /// vouch for durability, so journaled admissions are rejected with
+    /// [`JournalIoError::Sealed`] until the service is recovered.
+    sealed: bool,
+}
+
+impl ShardJournal {
+    fn new(store: Box<dyn JournalStore>, config: JournalConfig) -> Self {
+        ShardJournal {
+            store,
+            config,
+            unsynced: 0,
+            since_checkpoint: 0,
+            sealed: false,
+        }
+    }
+
+    /// Appends one framed record covering `ops` journaled ops, syncing at
+    /// the group-commit boundary. Any store failure seals the journal.
+    fn append(&mut self, bytes: &[u8], ops: usize, stats: &StatCounters) -> Result<(), ServiceError> {
+        if self.sealed {
+            return Err(ServiceError::Journal(JournalIoError::Sealed));
+        }
+        if let Err(e) = self.store.append(bytes) {
+            self.sealed = true;
+            return Err(ServiceError::Journal(e));
+        }
+        StatCounters::bump(&stats.journal_appends);
+        self.unsynced += ops;
+        self.since_checkpoint += ops;
+        if self.unsynced >= self.config.group_commit.max(1) {
+            self.sync(stats)?;
+        }
+        Ok(())
+    }
+
+    /// Forces the unsynced tail durable (end of a group-commit window).
+    fn sync(&mut self, stats: &StatCounters) -> Result<(), ServiceError> {
+        if self.sealed {
+            return Err(ServiceError::Journal(JournalIoError::Sealed));
+        }
+        if let Err(e) = self.store.sync() {
+            self.sealed = true;
+            return Err(ServiceError::Journal(e));
+        }
+        StatCounters::bump(&stats.journal_syncs);
+        self.unsynced = 0;
+        Ok(())
+    }
 }
 
 /// One scheduler work item: a session's checked-out state plus its op
@@ -385,18 +470,28 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
     /// # Panics
     /// Panics when `shards == 0` or a limit is zero.
     pub fn new(comparator: C, shards: usize, scheduler: Parallelism, limits: ServiceLimits) -> Self {
+        Self::from_arc(Arc::new(comparator), shards, scheduler, limits)
+    }
+
+    fn from_arc(
+        comparator: Arc<C>,
+        shards: usize,
+        scheduler: Parallelism,
+        limits: ServiceLimits,
+    ) -> Self {
         assert!(shards > 0, "need at least one shard");
         assert!(limits.sessions_per_shard > 0, "zero-capacity shards");
         assert!(limits.tenant_in_flight > 0, "zero tenant in-flight cap");
         assert!(limits.shard_queue_depth > 0, "zero queue depth");
         SessionService {
-            comparator: Arc::new(comparator),
+            comparator,
             shards: (0..shards)
                 .map(|_| {
                     Mutex::new(Shard {
                         sessions: HashMap::new(),
                         spilled: HashMap::new(),
                         queue: Vec::new(),
+                        journal: None,
                     })
                 })
                 .collect(),
@@ -407,6 +502,33 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
             clock: AtomicU64::new(0),
             stats: StatCounters::default(),
         }
+    }
+
+    /// A **journaled** service: one [`JournalStore`] per shard (the store
+    /// count *is* the shard count), every admission made durable before
+    /// it is enqueued. The stores are initialized with a fresh empty
+    /// checkpoint — this constructor starts a new durable history; use
+    /// [`recover`](Self::recover) to resume an existing one.
+    ///
+    /// # Panics
+    /// Panics when `stores` is empty or a limit is zero (same contract as
+    /// [`new`](Self::new)).
+    pub fn with_journal(
+        comparator: C,
+        scheduler: Parallelism,
+        limits: ServiceLimits,
+        config: JournalConfig,
+        stores: Vec<Box<dyn JournalStore>>,
+    ) -> Result<Self, ServiceError> {
+        assert!(!stores.is_empty(), "need at least one journal store");
+        let service = Self::from_arc(Arc::new(comparator), stores.len(), scheduler, limits);
+        for (idx, store) in stores.into_iter().enumerate() {
+            service.shard(idx).journal = Some(ShardJournal::new(store, config));
+        }
+        // Install empty checkpoints so every store holds a parseable
+        // durable history from the first moment.
+        service.compact_all()?;
+        Ok(service)
     }
 
     /// The shard hosting `key` — a pure function of the key, so placement
@@ -452,7 +574,11 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
             spec.seed,
             spec.criterion,
         );
-        self.insert(SessionKey { tenant, session }, session_obj)
+        self.insert(
+            SessionKey { tenant, session },
+            session_obj,
+            Some(JournalRecord::Create { tenant, session, spec }),
+        )
     }
 
     /// Rebuilds a session from checkpoint bytes produced by a `Snapshot`
@@ -513,21 +639,55 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
             snap.state,
         )
         .map_err(|what| ServiceError::BadSnapshot(SnapshotError::Malformed(what)))?;
-        self.insert(SessionKey { tenant, session }, session_obj)
+        // Journal the *validated* session's own export, not the caller's
+        // bytes: `try_restore` may still reject caller-built values the
+        // checks above cannot see, and replaying the record must decode
+        // back into exactly this state (carried RNG states are a campaign
+        // -layer concern and deliberately not journaled).
+        let record = JournalRecord::Restore {
+            tenant,
+            session,
+            snapshot: snapshot::encode(&SessionSnapshot {
+                config: session_obj.config(),
+                seed: session_obj.seed(),
+                criterion: session_obj.criterion(),
+                state: session_obj.export_state(),
+                rng_states: Vec::new(),
+            }),
+        };
+        self.insert(SessionKey { tenant, session }, session_obj, Some(record))
     }
 
     /// Registers a session, spilling (or, with spilling disabled,
     /// evicting) the LRU idle resident when the shard is at capacity.
     /// Checked-out and pending-op sessions are never displaced.
+    ///
+    /// On a journaled service, `record` is appended under the same shard
+    /// lock as the insert — so the durable order equals the registry
+    /// order — and a failed append undoes the insert: a create/restore
+    /// the journal cannot vouch for is rejected, not half-done.
     fn insert(
         &self,
         key: SessionKey,
         session: ClusterSession<SharedComparator<C>>,
+        record: Option<JournalRecord>,
     ) -> Result<(), ServiceError> {
         let idx = self.shard_of(key);
         let tick = self.tick();
         let mut guard = self.shard(idx);
-        self.insert_locked(&mut guard, idx, key, session, tick)
+        if guard.journal.as_ref().is_some_and(|j| j.sealed) {
+            return Err(ServiceError::Journal(JournalIoError::Sealed));
+        }
+        self.insert_locked(&mut guard, idx, key, session, tick)?;
+        let shard = &mut *guard;
+        if let (Some(record), Some(j)) = (record, shard.journal.as_mut()) {
+            let bytes = journal::encode_record(&record);
+            if let Err(e) = j.append(&bytes, 1, &self.stats) {
+                shard.sessions.remove(&key);
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 
     /// [`insert`](Self::insert) against an already-locked shard — shared
@@ -593,6 +753,7 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
                 waves: hosted.waves,
                 converged: hosted.converged,
                 last_used: hosted.last_used,
+                last_applied: hosted.last_applied,
             },
         );
         StatCounters::bump(&self.stats.spills);
@@ -651,6 +812,9 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
         if let Err(e) = self.insert_locked(shard, idx, key, session, tick) {
             shard.spilled.insert(key, spilled);
             return Err(e);
+        }
+        if let Some(h) = shard.sessions.get_mut(&key) {
+            h.last_applied = spilled.last_applied;
         }
         StatCounters::bump(&self.stats.rehydrations);
         Ok(())
@@ -738,6 +902,9 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
                     cap: self.limits.shard_queue_depth,
                 });
             }
+            if shard.journal.as_ref().is_some_and(|j| j.sealed) {
+                break 'admit Err(ServiceError::Journal(JournalIoError::Sealed));
+            }
             // Transparent rehydration: a touch on a spilled session pulls
             // it back into residency before the op is enqueued. Failure
             // (no idle victim to displace) is typed and leaves the
@@ -748,7 +915,8 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
                 }
             }
             {
-                match shard.sessions.get_mut(&key) {
+                let Shard { sessions, queue, journal, .. } = shard;
+                match sessions.get_mut(&key) {
                     None => Err(ServiceError::SessionUnknown { tenant, session }),
                     Some(hosted) => {
                         let p = hosted.algorithms;
@@ -763,12 +931,27 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
                         match bad_alg {
                             Some(alg) => Err(ServiceError::AlgorithmOutOfRange { alg, p }),
                             None => {
+                                let first = self.seq.fetch_add(n as u64, Ordering::Relaxed);
+                                // Durability before visibility: the whole
+                                // group becomes one journal record, under
+                                // this shard lock, before anything is
+                                // enqueued — a failed append admits
+                                // nothing (the seq tickets are burned,
+                                // which is harmless: they are monotone,
+                                // never dense).
+                                if let Some(j) = journal.as_mut() {
+                                    let bytes = journal::encode_ops_record(
+                                        tenant, session, first, &ops,
+                                    );
+                                    if let Err(e) = j.append(&bytes, n, &self.stats) {
+                                        break 'admit Err(e);
+                                    }
+                                }
                                 hosted.pending += n;
                                 hosted.last_used = tick;
-                                let first = self.seq.fetch_add(n as u64, Ordering::Relaxed);
                                 let seqs: Vec<u64> = (0..n as u64).map(|i| first + i).collect();
                                 for (seq, op) in seqs.iter().zip(ops) {
-                                    shard.queue.push(QueuedOp { key, seq: *seq, op });
+                                    queue.push(QueuedOp { key, seq: *seq, op });
                                 }
                                 Ok(seqs)
                             }
@@ -834,8 +1017,9 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
     /// Panics when a shard index is out of range
     /// (`>= `[`num_shards`](Self::num_shards)).
     pub fn run_shard_batch(&self, shards: impl IntoIterator<Item = usize>) -> Vec<OpResponse> {
+        let shard_indices: Vec<usize> = shards.into_iter().collect();
         let mut entries: Vec<QueuedOp> = Vec::new();
-        for idx in shards {
+        for &idx in &shard_indices {
             let mut shard = self.shard(idx);
             if !shard.queue.is_empty() {
                 entries.append(&mut shard.queue);
@@ -917,6 +1101,15 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
             if let Some(hosted) = shard.sessions.get_mut(&job.key) {
                 hosted.pending = hosted.pending.saturating_sub(responses.len());
                 hosted.last_used = tick;
+                // Advance the durable low-water mark over *every*
+                // responded seq, errored ops included — an errored
+                // `Extend` still ingests the values before the bad one,
+                // and replay executes it identically, so "applied" must
+                // mean "executed", not "succeeded".
+                if let Some(max_seq) = responses.iter().map(|r| r.seq).max() {
+                    hosted.last_applied =
+                        Some(hosted.last_applied.map_or(max_seq, |l| l.max(max_seq)));
+                }
                 match job.session {
                     Some(session) => {
                         hosted.refresh(&session);
@@ -940,8 +1133,26 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
         self.stats
             .ops_executed
             .fetch_add(responses.len() as u64, Ordering::Relaxed);
+        // Auto-compaction rides on the batch that crossed the threshold:
+        // the journal suffix a recovery would replay stays bounded.
+        for &idx in &shard_indices {
+            self.maybe_compact(idx);
+        }
         responses.sort_by_key(|r| (r.key.tenant, r.seq));
         responses
+    }
+
+    /// Compacts `idx` if its journal crossed the auto-compaction
+    /// threshold. Best-effort: a failed install seals the shard journal
+    /// and surfaces on the next journaled admission.
+    fn maybe_compact(&self, idx: usize) {
+        let mut guard = self.shard(idx);
+        let due = guard.journal.as_ref().is_some_and(|j| {
+            !j.sealed && j.config.compact_every > 0 && j.since_checkpoint >= j.config.compact_every
+        });
+        if due {
+            let _ = self.compact_locked(&mut guard);
+        }
     }
 
     /// A cheap status read of one hosted session (served from the cached
@@ -1016,6 +1227,408 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
     pub fn stats(&self) -> ServiceStats {
         self.stats.snapshot()
     }
+
+    // -- durability ---------------------------------------------------------
+
+    /// Installs a fresh checkpoint for shard `idx` and truncates its
+    /// journal (compaction): the base becomes one
+    /// [`Checkpoint`](JournalRecord::Checkpoint) over every resident and
+    /// spilled session, and the journal restarts holding only the ops
+    /// still queued (admitted, not yet executed). Returns `Ok(false)`
+    /// without touching anything when the shard has no journal or a
+    /// racing batch holds one of its sessions checked out (retry after
+    /// the batch).
+    ///
+    /// # Panics
+    /// Panics when `idx >= `[`num_shards`](Self::num_shards).
+    pub fn compact_shard(&self, idx: usize) -> Result<bool, ServiceError> {
+        let mut guard = self.shard(idx);
+        self.compact_locked(&mut guard)
+    }
+
+    /// [`compact_shard`](Self::compact_shard) over every shard; returns
+    /// how many shards installed a fresh checkpoint.
+    pub fn compact_all(&self) -> Result<usize, ServiceError> {
+        let mut compacted = 0;
+        for idx in 0..self.shards.len() {
+            if self.compact_shard(idx)? {
+                compacted += 1;
+            }
+        }
+        Ok(compacted)
+    }
+
+    /// Forces every shard journal's unsynced tail durable — the group
+    /// commit boundary a graceful shutdown (or a paranoid caller) wants
+    /// regardless of [`JournalConfig::group_commit`]. A no-op on an
+    /// unjournaled service.
+    pub fn flush_journals(&self) -> Result<(), ServiceError> {
+        for idx in 0..self.shards.len() {
+            let mut guard = self.shard(idx);
+            if let Some(j) = guard.journal.as_mut() {
+                if j.unsynced > 0 {
+                    j.sync(&self.stats)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn compact_locked(&self, shard: &mut Shard<C>) -> Result<bool, ServiceError> {
+        if shard.journal.is_none() {
+            return Ok(false);
+        }
+        if shard.journal.as_ref().is_some_and(|j| j.sealed) {
+            return Err(ServiceError::Journal(JournalIoError::Sealed));
+        }
+        if shard.sessions.values().any(|h| h.session.is_none()) {
+            // A racing batch holds a checkout; its check-in would not be
+            // in the checkpoint. Skip — the next batch retries.
+            return Ok(false);
+        }
+        // `seq_floor` is the next unissued ticket: every record this
+        // checkpoint covers sits below it, so recovery resumes the
+        // counter at or above the floor and never reuses a seq.
+        let seq_floor = self.seq.load(Ordering::Relaxed);
+        let mut sessions: Vec<CheckpointSession> =
+            Vec::with_capacity(shard.sessions.len() + shard.spilled.len());
+        for (key, hosted) in &shard.sessions {
+            let session = hosted.session.as_ref().expect("no checkouts (checked above)");
+            let snap = SessionSnapshot {
+                config: session.config(),
+                seed: session.seed(),
+                criterion: session.criterion(),
+                state: session.export_state(),
+                rng_states: Vec::new(),
+            };
+            sessions.push(CheckpointSession {
+                tenant: key.tenant,
+                session: key.session,
+                last_applied: hosted.last_applied,
+                snapshot: snapshot::encode(&snap),
+            });
+        }
+        for (key, spilled) in &shard.spilled {
+            sessions.push(CheckpointSession {
+                tenant: key.tenant,
+                session: key.session,
+                last_applied: spilled.last_applied,
+                snapshot: spilled.bytes.clone(),
+            });
+        }
+        sessions.sort_by_key(|s| (s.tenant, s.session));
+        let mut base = journal::stream_header();
+        base.extend_from_slice(&journal::encode_record(&JournalRecord::Checkpoint {
+            seq_floor,
+            sessions,
+        }));
+        // The fresh journal re-frames the ops still queued: admitted is a
+        // durable promise, and compaction must not narrow it.
+        let mut fresh = journal::stream_header();
+        for e in &shard.queue {
+            fresh.extend_from_slice(&journal::encode_ops_record(
+                e.key.tenant,
+                e.key.session,
+                e.seq,
+                std::slice::from_ref(&e.op),
+            ));
+        }
+        let queued = shard.queue.len();
+        let j = shard.journal.as_mut().expect("journaled (checked above)");
+        if let Err(e) = j.store.install_checkpoint(&base, &fresh) {
+            j.sealed = true;
+            return Err(ServiceError::Journal(e));
+        }
+        j.unsynced = 0;
+        j.since_checkpoint = queued;
+        StatCounters::bump(&self.stats.journal_compactions);
+        Ok(true)
+    }
+
+    /// Rebuilds a journaled service from its durable stores: each shard's
+    /// base checkpoint is restored, then the journal suffix is replayed
+    /// in `(tenant, seq)` order through the same executor live batches
+    /// use — so by the service's determinism contract the recovered
+    /// sessions continue **wave-for-wave bit-identical** to a run that
+    /// never crashed. A torn final record (partial write at crash) is
+    /// truncated and reported in the [`RecoveryReport`]; replay is
+    /// idempotent under the per-session applied-seq mark, so records
+    /// double-covered by a mid-crash checkpoint are deduplicated.
+    ///
+    /// Recovery is total and typed: unreadable stores, mid-journal
+    /// corruption, and snapshots that no longer decode come back as a
+    /// [`RecoveryError`] naming the shard (and offset/session), never a
+    /// panic. On success the stores hold a fresh checkpoint of the
+    /// recovered state — torn tails are truncated *durably* — and the
+    /// returned service journals onward into them.
+    ///
+    /// # Panics
+    /// Panics when `stores` is empty or a limit is zero (operator
+    /// configuration, same contract as [`new`](Self::new)).
+    pub fn recover(
+        comparator: C,
+        scheduler: Parallelism,
+        limits: ServiceLimits,
+        config: JournalConfig,
+        mut stores: Vec<Box<dyn JournalStore>>,
+    ) -> Result<(Self, RecoveryReport), RecoveryError> {
+        assert!(!stores.is_empty(), "need at least one journal store");
+        struct Rebuilt<C: ScratchThreeWayComparator + Send + Sync> {
+            session: ClusterSession<SharedComparator<C>>,
+            last_applied: Option<u64>,
+        }
+        let comparator = Arc::new(comparator);
+        let mut report = RecoveryReport::default();
+        let mut sessions: HashMap<SessionKey, Rebuilt<C>> = HashMap::new();
+        let mut next_seq = 0u64;
+        // Replay discards responses; the scratch counters keep `run_op`
+        // honest without polluting the recovered service's stats.
+        let scratch = StatCounters::default();
+        for (shard, store) in stores.iter_mut().enumerate() {
+            let stored = store
+                .load()
+                .map_err(|error| RecoveryError::Store { shard, error })?;
+            // The base is strict: exactly one intact checkpoint record
+            // (or empty for a never-checkpointed store). Installs are
+            // atomic, so anything else is corruption, not a torn write.
+            if !stored.base.is_empty() {
+                let scan = journal::scan(&stored.base)
+                    .map_err(|error| RecoveryError::Journal { shard, error })?;
+                let strict = !scan.torn && scan.records.len() == 1;
+                let checkpoint = strict
+                    .then(|| scan.records.into_iter().next().expect("one record").1)
+                    .and_then(|record| match record {
+                        JournalRecord::Checkpoint { seq_floor, sessions } => {
+                            Some((seq_floor, sessions))
+                        }
+                        _ => None,
+                    });
+                let Some((seq_floor, checkpointed)) = checkpoint else {
+                    return Err(RecoveryError::Journal {
+                        shard,
+                        error: journal::JournalError::Corrupt {
+                            offset: 0,
+                            what: "base is not exactly one intact checkpoint record",
+                        },
+                    });
+                };
+                next_seq = next_seq.max(seq_floor);
+                for cp in checkpointed {
+                    let key = SessionKey { tenant: cp.tenant, session: cp.session };
+                    let typed = |error| RecoveryError::Session {
+                        shard,
+                        tenant: cp.tenant,
+                        session: cp.session,
+                        error,
+                    };
+                    let session =
+                        rebuild_session(&comparator, &cp.snapshot).map_err(typed)?;
+                    if sessions
+                        .insert(key, Rebuilt { session, last_applied: cp.last_applied })
+                        .is_some()
+                    {
+                        return Err(typed(ServiceError::SessionExists {
+                            tenant: key.tenant,
+                            session: key.session,
+                        }));
+                    }
+                }
+            }
+            // The journal is torn-tolerant: scan stops at the longest
+            // valid prefix when the tail is a partial write.
+            let scan = journal::scan(&stored.journal)
+                .map_err(|error| RecoveryError::Journal { shard, error })?;
+            if scan.torn {
+                report.torn_shards += 1;
+            }
+            for (offset, record) in scan.records {
+                match record {
+                    JournalRecord::Create { tenant, session, spec } => {
+                        let key = SessionKey { tenant, session };
+                        if sessions.contains_key(&key) {
+                            // Already covered by a mid-crash checkpoint.
+                            continue;
+                        }
+                        let typed = |error| RecoveryError::Session {
+                            shard,
+                            tenant,
+                            session,
+                            error,
+                        };
+                        if spec.algorithms == 0 {
+                            return Err(typed(ServiceError::NoAlgorithms));
+                        }
+                        if spec.config.repetitions == 0 {
+                            return Err(typed(ServiceError::NoRepetitions));
+                        }
+                        spec.criterion.try_validate().map_err(|e| typed(e.into()))?;
+                        let session_obj = ClusterSession::with_criterion(
+                            spec.algorithms,
+                            SharedComparator(Arc::clone(&comparator)),
+                            spec.config,
+                            spec.seed,
+                            spec.criterion,
+                        );
+                        sessions
+                            .insert(key, Rebuilt { session: session_obj, last_applied: None });
+                    }
+                    JournalRecord::Restore { tenant, session, snapshot } => {
+                        let key = SessionKey { tenant, session };
+                        if sessions.contains_key(&key) {
+                            continue;
+                        }
+                        let session_obj =
+                            rebuild_session(&comparator, &snapshot).map_err(|error| {
+                                RecoveryError::Session { shard, tenant, session, error }
+                            })?;
+                        sessions
+                            .insert(key, Rebuilt { session: session_obj, last_applied: None });
+                    }
+                    JournalRecord::Ops { tenant, session, first_seq, ops } => {
+                        next_seq = next_seq.max(first_seq + ops.len() as u64);
+                        let key = SessionKey { tenant, session };
+                        let Some(rebuilt) = sessions.get_mut(&key) else {
+                            // The session was closed (or never durable):
+                            // the live run answered these with typed
+                            // errors and no state change — dropping them
+                            // replays exactly that.
+                            report.dropped_ops += ops.len();
+                            continue;
+                        };
+                        let total = ops.len();
+                        let mut closed_at = None;
+                        for (i, op) in ops.into_iter().enumerate() {
+                            let seq = first_seq + i as u64;
+                            if rebuilt.last_applied.is_some_and(|mark| seq <= mark) {
+                                report.deduped_ops += 1;
+                                continue;
+                            }
+                            let result = run_op(&mut rebuilt.session, op, &scratch);
+                            rebuilt.last_applied = Some(seq);
+                            report.replayed_ops += 1;
+                            if matches!(result, Ok(OpOutcome::Closed)) {
+                                closed_at = Some(i);
+                                break;
+                            }
+                        }
+                        if let Some(i) = closed_at {
+                            sessions.remove(&key);
+                            // Group ops after a Close answered
+                            // `SessionUnknown` live; state-neutral.
+                            report.dropped_ops += total - (i + 1);
+                        }
+                    }
+                    JournalRecord::Checkpoint { .. } => {
+                        return Err(RecoveryError::Journal {
+                            shard,
+                            error: journal::JournalError::Corrupt {
+                                offset,
+                                what: "checkpoint record in a journal stream",
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        // Build the service and install the rebuilt sessions in key order
+        // (deterministic spill decisions if the recovered set exceeds
+        // residency capacity).
+        let service = Self::from_arc(Arc::clone(&comparator), stores.len(), scheduler, limits);
+        service.seq.store(next_seq, Ordering::Relaxed);
+        report.sessions = sessions.len();
+        report.next_seq = next_seq;
+        let mut keys: Vec<SessionKey> = sessions.keys().copied().collect();
+        keys.sort();
+        for key in keys {
+            let rebuilt = sessions.remove(&key).expect("key just listed");
+            service
+                .install_recovered(key, rebuilt.session, rebuilt.last_applied)
+                .map_err(|error| RecoveryError::Session {
+                    shard: service.shard_of(key),
+                    tenant: key.tenant,
+                    session: key.session,
+                    error,
+                })?;
+        }
+        for (idx, store) in stores.into_iter().enumerate() {
+            service.shard(idx).journal = Some(ShardJournal::new(store, config));
+        }
+        // A fresh checkpoint everywhere makes the recovered state — and
+        // the truncation of any torn tail — durable before the service
+        // accepts new work.
+        for idx in 0..service.shards.len() {
+            service
+                .compact_shard(idx)
+                .map_err(|error| RecoveryError::Checkpoint { shard: idx, error })?;
+        }
+        Ok((service, report))
+    }
+
+    /// Installs one recovered session (journals are not attached yet, so
+    /// this never appends; the post-recovery checkpoint makes it durable).
+    fn install_recovered(
+        &self,
+        key: SessionKey,
+        session: ClusterSession<SharedComparator<C>>,
+        last_applied: Option<u64>,
+    ) -> Result<(), ServiceError> {
+        let idx = self.shard_of(key);
+        let tick = self.tick();
+        let mut guard = self.shard(idx);
+        self.insert_locked(&mut guard, idx, key, session, tick)?;
+        if let Some(h) = guard.sessions.get_mut(&key) {
+            h.last_applied = last_applied;
+        }
+        Ok(())
+    }
+}
+
+/// What [`SessionService::recover`] rebuilt, for operators and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Sessions alive after recovery (checkpointed + created − closed).
+    pub sessions: usize,
+    /// Journal ops executed during replay.
+    pub replayed_ops: usize,
+    /// Journal ops skipped because a checkpoint already covered them
+    /// (seq at or below the session's applied mark) — the idempotence
+    /// path a crash between checkpoint-install and journal-reset relies
+    /// on.
+    pub deduped_ops: usize,
+    /// Journal ops addressed to sessions that no longer existed (closed
+    /// in an earlier record); the live run answered these with typed
+    /// errors and no state change.
+    pub dropped_ops: usize,
+    /// Shards whose journal ended in a torn (partially written) record;
+    /// the tail was truncated and the truncation made durable.
+    pub torn_shards: usize,
+    /// Where the global seq counter resumes — strictly above every
+    /// recovered ticket.
+    pub next_seq: u64,
+}
+
+/// Decodes checkpoint/restore snapshot bytes back into a live session,
+/// with the same typed validation as the admission path.
+fn rebuild_session<C: ScratchThreeWayComparator + Send + Sync>(
+    comparator: &Arc<C>,
+    bytes: &[u8],
+) -> Result<ClusterSession<SharedComparator<C>>, ServiceError> {
+    let snap = snapshot::decode(bytes)?;
+    if snap.state.samples.is_empty() {
+        return Err(ServiceError::NoAlgorithms);
+    }
+    if snap.config.repetitions == 0 {
+        return Err(ServiceError::NoRepetitions);
+    }
+    snap.criterion.try_validate()?;
+    ClusterSession::try_restore(
+        SharedComparator(Arc::clone(comparator)),
+        snap.config,
+        snap.seed,
+        snap.criterion,
+        snap.state,
+    )
+    .map_err(|what| ServiceError::BadSnapshot(SnapshotError::Malformed(what)))
 }
 
 impl<C: ScratchThreeWayComparator + Send + Sync> std::fmt::Debug for SessionService<C> {

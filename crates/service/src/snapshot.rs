@@ -81,8 +81,14 @@ pub enum SnapshotError {
     },
     /// The magic prefix was not [`MAGIC`].
     BadMagic,
-    /// The version field named a format this build does not know.
-    UnsupportedVersion(u16),
+    /// The version field named a (future) format this build does not
+    /// know — the bytes are likely fine, the reader is just too old.
+    UnsupportedVersion {
+        /// Version found in the snapshot header.
+        found: u16,
+        /// Highest version this build understands.
+        supported: u16,
+    },
     /// The trailing checksum did not match the content.
     ChecksumMismatch {
         /// Checksum stored in the snapshot.
@@ -107,9 +113,10 @@ impl fmt::Display for SnapshotError {
                 write!(f, "snapshot truncated at byte {offset}")
             }
             SnapshotError::BadMagic => write!(f, "not a session snapshot (bad magic)"),
-            SnapshotError::UnsupportedVersion(v) => {
-                write!(f, "unsupported snapshot version {v}")
-            }
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot version {found} is newer than supported version {supported}"
+            ),
             SnapshotError::ChecksumMismatch { stored, computed } => write!(
                 f,
                 "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
@@ -301,7 +308,10 @@ pub fn decode(bytes: &[u8]) -> Result<SessionSnapshot, SnapshotError> {
     }
     let version = r.u16()?;
     if version != VERSION {
-        return Err(SnapshotError::UnsupportedVersion(version));
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
     }
     let p = r.len(2)?; // ≥ 1 dirty byte + 1 sample-presence byte each
     if p == 0 {
@@ -526,7 +536,10 @@ mod tests {
         bad_version[n..].copy_from_slice(&sum.to_le_bytes());
         assert_eq!(
             decode(&bad_version).unwrap_err(),
-            SnapshotError::UnsupportedVersion(99)
+            SnapshotError::UnsupportedVersion {
+                found: 99,
+                supported: super::VERSION
+            }
         );
     }
 

@@ -37,6 +37,9 @@ pub(crate) struct StatCounters {
     pub spills: AtomicU64,
     pub rehydrations: AtomicU64,
     pub shed: AtomicU64,
+    pub journal_appends: AtomicU64,
+    pub journal_syncs: AtomicU64,
+    pub journal_compactions: AtomicU64,
 }
 
 impl StatCounters {
@@ -67,6 +70,9 @@ impl StatCounters {
             spills: self.spills.load(Ordering::Relaxed),
             rehydrations: self.rehydrations.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            journal_appends: self.journal_appends.load(Ordering::Relaxed),
+            journal_syncs: self.journal_syncs.load(Ordering::Relaxed),
+            journal_compactions: self.journal_compactions.load(Ordering::Relaxed),
         }
     }
 }
@@ -106,4 +112,11 @@ pub struct ServiceStats {
     /// ([`Overloaded`](crate::error::ServiceError::Overloaded)); a subset
     /// of `ops_rejected`.
     pub shed: u64,
+    /// Journal records appended (one per create/restore and one per
+    /// atomically admitted op group). Zero on an unjournaled service.
+    pub journal_appends: u64,
+    /// Durable group commits (`fsync` boundaries) across all shards.
+    pub journal_syncs: u64,
+    /// Checkpoints installed (journal truncations), manual or automatic.
+    pub journal_compactions: u64,
 }

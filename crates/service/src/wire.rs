@@ -38,6 +38,7 @@
 //! the table.
 
 use crate::error::ServiceError;
+use crate::journal::JournalIoError;
 use crate::runtime::{RuntimeError, RuntimeHandle};
 use crate::service::{
     OpOutcome, OpResponse, SessionKey, SessionOp, SessionSpec, SessionStatus, WaveOutcome,
@@ -75,8 +76,14 @@ pub enum WireError {
     },
     /// The frame does not start with [`MAGIC`].
     BadMagic,
-    /// The frame names a protocol version this build does not speak.
-    UnsupportedVersion(u16),
+    /// The frame names a (future) protocol version this build does not
+    /// speak.
+    UnsupportedVersion {
+        /// Version found in the frame header.
+        found: u16,
+        /// Highest version this build understands.
+        supported: u16,
+    },
     /// The frame checksum does not match its content.
     ChecksumMismatch {
         /// Checksum carried in the frame.
@@ -119,7 +126,10 @@ impl fmt::Display for WireError {
                 write!(f, "frame truncated: needed a byte at offset {offset}")
             }
             WireError::BadMagic => write!(f, "not a wire frame (bad magic)"),
-            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "wire version {found} is newer than supported version {supported}"
+            ),
             WireError::ChecksumMismatch { stored, computed } => write!(
                 f,
                 "frame checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
@@ -150,7 +160,9 @@ impl From<SnapshotError> for WireError {
         match e {
             SnapshotError::Truncated { offset } => WireError::Truncated { offset },
             SnapshotError::BadMagic => WireError::BadMagic,
-            SnapshotError::UnsupportedVersion(v) => WireError::UnsupportedVersion(v),
+            SnapshotError::UnsupportedVersion { found, supported } => {
+                WireError::UnsupportedVersion { found, supported }
+            }
             SnapshotError::ChecksumMismatch { stored, computed } => {
                 WireError::ChecksumMismatch { stored, computed }
             }
@@ -210,7 +222,10 @@ pub fn decode_frame(bytes: &[u8]) -> Result<&[u8], WireError> {
     }
     let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
     if version != VERSION {
-        return Err(WireError::UnsupportedVersion(version));
+        return Err(WireError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
     }
     let stated = u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes")) as usize;
     let actual = body_len - HEADER_LEN;
@@ -248,7 +263,10 @@ pub fn read_frame<R: Read>(r: &mut R, max_payload: usize) -> Result<Vec<u8>, Wir
     }
     let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
     if version != VERSION {
-        return Err(WireError::UnsupportedVersion(version));
+        return Err(WireError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
     }
     let stated = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")) as usize;
     if stated > max_payload {
@@ -379,7 +397,7 @@ pub enum Response {
 // --- value codecs (shared Reader/Writer; Reader errors are lifted to
 // --- WireError by the top-level decode fns) ---
 
-fn enc_config(w: &mut Writer, c: &ClusterConfig) {
+pub(crate) fn enc_config(w: &mut Writer, c: &ClusterConfig) {
     w.u64(c.repetitions as u64);
     w.u64(c.parallelism.threads as u64);
     w.u64(c.parallelism.chunk as u64);
@@ -389,7 +407,7 @@ fn enc_config(w: &mut Writer, c: &ClusterConfig) {
     });
 }
 
-fn dec_config(r: &mut Reader) -> Result<ClusterConfig, SnapshotError> {
+pub(crate) fn dec_config(r: &mut Reader) -> Result<ClusterConfig, SnapshotError> {
     let repetitions = r.u64()? as usize;
     let threads = r.u64()? as usize;
     let chunk = r.u64()? as usize;
@@ -405,7 +423,7 @@ fn dec_config(r: &mut Reader) -> Result<ClusterConfig, SnapshotError> {
     })
 }
 
-fn enc_spec(w: &mut Writer, s: &SessionSpec) {
+pub(crate) fn enc_spec(w: &mut Writer, s: &SessionSpec) {
     w.u64(s.algorithms as u64);
     enc_config(w, &s.config);
     w.u64(s.seed);
@@ -413,7 +431,7 @@ fn enc_spec(w: &mut Writer, s: &SessionSpec) {
     w.f64(s.criterion.score_tol);
 }
 
-fn dec_spec(r: &mut Reader) -> Result<SessionSpec, SnapshotError> {
+pub(crate) fn dec_spec(r: &mut Reader) -> Result<SessionSpec, SnapshotError> {
     // Semantic validation (zero algorithms, bad criterion, …) is the
     // service's job and stays typed there; the wire only carries values.
     Ok(SessionSpec {
@@ -427,12 +445,12 @@ fn dec_spec(r: &mut Reader) -> Result<SessionSpec, SnapshotError> {
     })
 }
 
-fn enc_bytes(w: &mut Writer, bytes: &[u8]) {
+pub(crate) fn enc_bytes(w: &mut Writer, bytes: &[u8]) {
     w.u64(bytes.len() as u64);
     w.buf.extend_from_slice(bytes);
 }
 
-fn dec_bytes(r: &mut Reader) -> Result<Vec<u8>, SnapshotError> {
+pub(crate) fn dec_bytes(r: &mut Reader) -> Result<Vec<u8>, SnapshotError> {
     let len = r.len(1)?;
     Ok(r.take(len)?.to_vec())
 }
@@ -449,7 +467,7 @@ fn dec_seqs(r: &mut Reader) -> Result<Vec<u64>, SnapshotError> {
     (0..len).map(|_| r.u64()).collect()
 }
 
-fn enc_op(w: &mut Writer, op: &SessionOp) {
+pub(crate) fn enc_op(w: &mut Writer, op: &SessionOp) {
     match op {
         SessionOp::Push { alg, value } => {
             w.u8(0);
@@ -470,7 +488,7 @@ fn enc_op(w: &mut Writer, op: &SessionOp) {
     }
 }
 
-fn dec_op(r: &mut Reader) -> Result<SessionOp, SnapshotError> {
+pub(crate) fn dec_op(r: &mut Reader) -> Result<SessionOp, SnapshotError> {
     Ok(match r.u8()? {
         0 => SessionOp::Push {
             alg: r.u64()? as usize,
@@ -634,9 +652,10 @@ fn enc_service_error(w: &mut Writer, e: &ServiceError) {
                     w.u64(*offset as u64);
                 }
                 SnapshotError::BadMagic => w.u8(1),
-                SnapshotError::UnsupportedVersion(v) => {
+                SnapshotError::UnsupportedVersion { found, supported } => {
                     w.u8(2);
-                    w.u16(*v);
+                    w.u16(*found);
+                    w.u16(*supported);
                 }
                 SnapshotError::ChecksumMismatch { stored, computed } => {
                     w.u8(3);
@@ -649,6 +668,17 @@ fn enc_service_error(w: &mut Writer, e: &ServiceError) {
                 SnapshotError::TrailingBytes { extra } => {
                     w.u8(5);
                     w.u64(*extra as u64);
+                }
+            }
+        }
+        ServiceError::Journal(j) => {
+            w.u8(14);
+            match j {
+                JournalIoError::Crashed => w.u8(0),
+                JournalIoError::Sealed => w.u8(1),
+                JournalIoError::Io(msg) => {
+                    w.u8(2);
+                    enc_bytes(w, msg.as_bytes());
                 }
             }
         }
@@ -710,7 +740,10 @@ fn dec_service_error(r: &mut Reader) -> Result<ServiceError, SnapshotError> {
                 offset: r.u64()? as usize,
             },
             1 => SnapshotError::BadMagic,
-            2 => SnapshotError::UnsupportedVersion(r.u16()?),
+            2 => SnapshotError::UnsupportedVersion {
+                found: r.u16()?,
+                supported: r.u16()?,
+            },
             3 => SnapshotError::ChecksumMismatch {
                 stored: r.u64()?,
                 computed: r.u64()?,
@@ -720,6 +753,12 @@ fn dec_service_error(r: &mut Reader) -> Result<ServiceError, SnapshotError> {
                 extra: r.u64()? as usize,
             },
             _ => return Err(SnapshotError::Malformed("unknown snapshot error tag")),
+        }),
+        14 => ServiceError::Journal(match r.u8()? {
+            0 => JournalIoError::Crashed,
+            1 => JournalIoError::Sealed,
+            2 => JournalIoError::Io(String::from_utf8_lossy(&dec_bytes(r)?).into_owned()),
+            _ => return Err(SnapshotError::Malformed("unknown journal io error tag")),
         }),
         _ => return Err(SnapshotError::Malformed("unknown service error tag")),
     })
@@ -827,6 +866,9 @@ fn enc_stats(w: &mut Writer, s: &ServiceStats) {
         s.spills,
         s.rehydrations,
         s.shed,
+        s.journal_appends,
+        s.journal_syncs,
+        s.journal_compactions,
     ] {
         w.u64(v);
     }
@@ -846,6 +888,9 @@ fn dec_stats(r: &mut Reader) -> Result<ServiceStats, SnapshotError> {
         spills: r.u64()?,
         rehydrations: r.u64()?,
         shed: r.u64()?,
+        journal_appends: r.u64()?,
+        journal_syncs: r.u64()?,
+        journal_compactions: r.u64()?,
     })
 }
 

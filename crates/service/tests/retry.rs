@@ -1,0 +1,176 @@
+//! Client-side retry policy: bounded, deterministic retries of the three
+//! transient backpressure rejections, with between-attempt drains that
+//! make progress against a synchronous runtime — and a hard guarantee
+//! that nothing already admitted is ever resubmitted.
+
+use relperf_measure::compare::MedianComparator;
+use relperf_core::cluster::Parallelism;
+use relperf_service::client::{RetryPolicy, SubmitOutcome};
+use relperf_service::prelude::*;
+use relperf_service::service::SessionService;
+use std::time::Duration;
+
+/// A sync-mode (drive-on-drain) runtime over tight admission limits: the
+/// only way backpressure clears is a client-driven batch, so retry
+/// progress is fully deterministic.
+fn tight_runtime(tenant_in_flight: usize) -> ServiceRuntime<MedianComparator> {
+    let service = SessionService::new(
+        MedianComparator::new(0.05),
+        2,
+        Parallelism::serial(),
+        ServiceLimits {
+            tenant_in_flight,
+            ..ServiceLimits::default()
+        },
+    );
+    ServiceRuntime::start(
+        service,
+        RuntimeConfig {
+            scheduler_threads: 0,
+            ..Default::default()
+        },
+    )
+}
+
+fn push(alg: usize, value: f64) -> Vec<SessionOp> {
+    vec![SessionOp::Push { alg, value }]
+}
+
+#[test]
+fn policy_backoff_schedule_clamps_to_last_entry() {
+    let policy = RetryPolicy::default();
+    assert_eq!(policy.max_attempts, 4);
+    assert_eq!(policy.backoff(1), Some(Duration::from_millis(1)));
+    assert_eq!(policy.backoff(3), Some(Duration::from_millis(4)));
+    assert_eq!(policy.backoff(99), Some(Duration::from_millis(4)), "clamps");
+    let immediate = RetryPolicy::immediate(7);
+    assert_eq!(immediate.max_attempts, 7);
+    assert_eq!(immediate.backoff(1), None, "empty schedule never sleeps");
+}
+
+#[test]
+fn retry_succeeds_after_backpressure_clears() {
+    let runtime = tight_runtime(2);
+    let (mut client, server) = WireClient::connect_in_proc(runtime.handle());
+    client.create_session(1, 1, SessionSpec::new(1, 7)).unwrap();
+
+    // Fill the tenant's in-flight budget: the next plain submit bounces.
+    let queued = client.submit(1, 1, push(0, 1.0)).unwrap()[0];
+    client.submit(1, 1, push(0, 2.0)).unwrap();
+    assert!(matches!(
+        client.submit(1, 1, push(0, 3.0)),
+        Err(ClientError::Service(ServiceError::TenantBusy { .. }))
+    ));
+
+    // With retry, the between-attempt drain runs the sync-mode batch,
+    // freeing the budget — the second attempt is admitted.
+    let SubmitOutcome { seqs, attempts, drained } = client
+        .submit_with_retry(1, 1, push(0, 3.0), &RetryPolicy::immediate(4))
+        .unwrap();
+    assert_eq!(seqs.len(), 1);
+    assert_eq!(attempts, 2, "one rejection, one admission");
+    assert!(
+        drained.iter().any(|r| r.seq == queued),
+        "the drain delivered the earlier tickets to this call"
+    );
+    let stats = client.retry_stats();
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.exhausted, 0);
+    assert!(stats.drained_responses >= 2);
+    // Plain `submit` calls don't count — only `submit_with_retry` attempts.
+    assert_eq!(stats.attempts, 2);
+
+    client.goodbye().unwrap();
+    server.join().unwrap().unwrap();
+    runtime.shutdown();
+}
+
+#[test]
+fn exhausted_policy_surfaces_the_final_error() {
+    let runtime = tight_runtime(1);
+    let (mut client, server) = WireClient::connect_in_proc(runtime.handle());
+    client.create_session(1, 1, SessionSpec::new(1, 7)).unwrap();
+
+    // The sync runtime clears TenantBusy on every between-attempt drain,
+    // so exhaustion is pinned with max_attempts = 1: the budget is full
+    // and the single allowed attempt is the last.
+    client.submit(1, 1, push(0, 1.0)).unwrap();
+    let err = client
+        .submit_with_retry(1, 1, push(0, 2.0), &RetryPolicy::immediate(1))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ClientError::Service(ServiceError::TenantBusy { .. })
+    ));
+    let stats = client.retry_stats();
+    assert_eq!(stats.exhausted, 1);
+    assert_eq!(stats.retries, 0, "no retry budget was available");
+
+    client.goodbye().unwrap();
+    server.join().unwrap().unwrap();
+    runtime.shutdown();
+}
+
+#[test]
+fn non_transient_errors_abort_immediately() {
+    let runtime = tight_runtime(8);
+    let (mut client, server) = WireClient::connect_in_proc(runtime.handle());
+    client.create_session(1, 1, SessionSpec::new(1, 7)).unwrap();
+
+    // Unknown session: typed, non-transient, not retried.
+    let err = client
+        .submit_with_retry(1, 99, push(0, 1.0), &RetryPolicy::immediate(5))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ClientError::Service(ServiceError::SessionUnknown { .. })
+    ));
+    let stats = client.retry_stats();
+    assert_eq!(stats.attempts, 1, "no second attempt on a hard rejection");
+    assert_eq!(stats.retries, 0);
+    assert_eq!(stats.exhausted, 0, "aborted, not exhausted");
+
+    client.goodbye().unwrap();
+    server.join().unwrap().unwrap();
+    runtime.shutdown();
+}
+
+/// The retried op is admitted exactly once: every seq the service hands
+/// out is distinct and every response arrives exactly once.
+#[test]
+fn retries_never_duplicate_an_admission() {
+    let runtime = tight_runtime(2);
+    let (mut client, server) = WireClient::connect_in_proc(runtime.handle());
+    client.create_session(1, 1, SessionSpec::new(1, 7)).unwrap();
+
+    let mut seqs = Vec::new();
+    let mut delivered = Vec::new();
+    for i in 0..20 {
+        let outcome = client
+            .submit_with_retry(1, 1, push(0, i as f64), &RetryPolicy::immediate(8))
+            .unwrap();
+        seqs.extend(outcome.seqs);
+        delivered.extend(outcome.drained.into_iter().map(|r| r.seq));
+    }
+    delivered.extend(client.collect_ready(1).unwrap().into_iter().map(|r| r.seq));
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), 20, "every push admitted exactly once");
+    delivered.sort_unstable();
+    let dup_free = {
+        let mut d = delivered.clone();
+        d.dedup();
+        d
+    };
+    assert_eq!(delivered, dup_free, "no response delivered twice");
+    assert_eq!(delivered, seqs, "every admitted op answered exactly once");
+    assert_eq!(
+        runtime.stats().ops_executed,
+        20,
+        "the service executed each push once"
+    );
+
+    client.goodbye().unwrap();
+    server.join().unwrap().unwrap();
+    runtime.shutdown();
+}

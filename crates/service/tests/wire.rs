@@ -120,12 +120,18 @@ fn all_service_errors() -> Vec<ServiceError> {
         ServiceError::BadSample(SampleError::NonFinite(19)),
         ServiceError::BadSnapshot(SnapshotError::Truncated { offset: 20 }),
         ServiceError::BadSnapshot(SnapshotError::BadMagic),
-        ServiceError::BadSnapshot(SnapshotError::UnsupportedVersion(21)),
+        ServiceError::BadSnapshot(SnapshotError::UnsupportedVersion {
+            found: 21,
+            supported: 1,
+        }),
         ServiceError::BadSnapshot(SnapshotError::ChecksumMismatch {
             stored: 22,
             computed: 23,
         }),
         ServiceError::BadSnapshot(SnapshotError::TrailingBytes { extra: 24 }),
+        ServiceError::Journal(JournalIoError::Crashed),
+        ServiceError::Journal(JournalIoError::Sealed),
+        ServiceError::Journal(JournalIoError::Io("disk on fire".to_string())),
     ]
 }
 
@@ -186,6 +192,9 @@ fn rich_responses() -> Vec<Response> {
                 spills: 10,
                 rehydrations: 11,
                 shed: 12,
+                journal_appends: 13,
+                journal_syncs: 14,
+                journal_compactions: 15,
             },
         },
         Response::WaitError {

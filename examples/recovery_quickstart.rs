@@ -1,0 +1,191 @@
+//! Recovery quickstart: journal a multi-tenant clustering service, kill it
+//! mid-campaign with an injected power failure, and recover every session
+//! from the surviving stores — then finish the campaign bit-identically.
+//!
+//! Two tenants measure the paper's Fig. 1 experiment through one journaled
+//! `SessionService`. Each wave is submitted as a single atomic admission
+//! group (extends + score), so the journal's all-or-nothing torn-tail
+//! policy maps exactly onto campaign waves: after a crash, a wave either
+//! landed whole or not at all, and `session_status` says which. A torn
+//! write is injected during tenant 202's second wave; the service dies,
+//! the stores power-cycle, `SessionService::recover` rebuilds every shard
+//! as checkpoint + replay, and the client resubmits its (deterministic)
+//! lost wave before both tenants run to the final Fig. 1 clustering.
+//!
+//! Expected output: per-wave class counts for both tenants, the injected
+//! `journal I/O` error, a `RecoveryReport`, the reconciliation decision,
+//! and the final Fig. 1 classes with placement labels.
+//!
+//! Run with: `cargo run --release --example recovery_quickstart`
+
+use relative_performance::prelude::*;
+
+const TENANTS: [u64; 2] = [101, 202];
+const SESSION: u64 = 1;
+const WAVES: u64 = 3;
+/// Measurements per algorithm added by one wave.
+const WAVE_N: usize = 5;
+
+fn comparator() -> BootstrapComparator {
+    BootstrapComparator::with_config(
+        42,
+        BootstrapConfig {
+            reps: 30,
+            ..Default::default()
+        },
+    )
+}
+
+/// One wave as one atomic admission group: every algorithm's fresh
+/// measurements, then a score. Seeded by `(tenant, wave)`, so the client
+/// can regenerate and resubmit the identical wave after a crash.
+fn wave_ops(experiment: &Experiment, tenant: u64, wave: u64) -> Vec<SessionOp> {
+    let measured = measure_all_seeded(
+        experiment,
+        WAVE_N,
+        tenant * 1_000 + wave,
+        Parallelism::auto(),
+    );
+    let mut ops: Vec<SessionOp> = measured
+        .iter()
+        .enumerate()
+        .map(|(alg, m)| SessionOp::Extend {
+            alg,
+            values: m.sample.values().to_vec(),
+        })
+        .collect();
+    ops.push(SessionOp::Score);
+    ops
+}
+
+/// Submits one wave, drives the sync-mode batch, and returns its outcome.
+fn run_wave(
+    service: &SessionService<BootstrapComparator>,
+    experiment: &Experiment,
+    tenant: u64,
+    wave: u64,
+) -> relative_performance::service::WaveOutcome {
+    let seqs = service
+        .submit_all(tenant, SESSION, wave_ops(experiment, tenant, wave))
+        .expect("admission");
+    let score = *seqs.last().unwrap();
+    let responses = service.run_batch();
+    let r = responses.iter().find(|r| r.seq == score).expect("scored");
+    match r.result.clone().expect("score succeeds") {
+        OpOutcome::Scored(w) => w,
+        other => panic!("expected Scored, got {other:?}"),
+    }
+}
+
+fn main() {
+    let experiment = Experiment::fig1();
+    let labels = experiment.labels();
+
+    // Four in-memory stores with crash injection — swap in
+    // `FileJournalStore::open(dir)` per shard for on-disk durability.
+    let stores: Vec<MemJournalStore> = (0..4).map(|_| MemJournalStore::new()).collect();
+    let boxed = || -> Vec<Box<dyn JournalStore>> {
+        stores
+            .iter()
+            .map(|s| Box::new(s.clone()) as Box<dyn JournalStore>)
+            .collect()
+    };
+    let config = JournalConfig {
+        group_commit: 1, // every admission group durable before ack
+        compact_every: 1024,
+    };
+    let service = SessionService::with_journal(
+        comparator(),
+        Parallelism::auto(),
+        ServiceLimits::default(),
+        config,
+        boxed(),
+    )
+    .expect("journaled service");
+
+    println!("two tenants measuring Fig. 1 through one journaled service…");
+    for &tenant in &TENANTS {
+        service
+            .create_session(tenant, SESSION, SessionSpec::new(labels.len(), 7 + tenant))
+            .expect("create");
+    }
+    for &tenant in &TENANTS {
+        let wave = run_wave(&service, &experiment, tenant, 0);
+        println!(
+            "  tenant {tenant} wave 1: {} classes, stable run {}",
+            wave.clustering.num_classes(),
+            wave.stable_run
+        );
+    }
+
+    // Power failure mid-write: tenant 202's second wave tears on disk.
+    for s in &stores {
+        s.arm(CrashPoint::TornAppend);
+    }
+    let err = service
+        .submit_all(202, SESSION, wave_ops(&experiment, 202, 1))
+        .expect_err("the armed store tears this append");
+    println!("\npower failure during tenant 202's wave 2: {err}");
+    drop(service); // the process is gone; only the stores survive
+    for s in &stores {
+        s.power_cycle(); // half the torn record survives the restart
+    }
+
+    let (service, report) = SessionService::recover(
+        comparator(),
+        Parallelism::auto(),
+        ServiceLimits::default(),
+        config,
+        boxed(),
+    )
+    .expect("recovery is total: torn tails truncate, corruption is typed");
+    println!(
+        "recovered: {} sessions, {} ops replayed, {} deduped, {} torn shard(s), next seq {}",
+        report.sessions, report.replayed_ops, report.deduped_ops, report.torn_shards,
+        report.next_seq
+    );
+
+    // Reconcile the ambiguous wave: a journal crash error does not say
+    // whether the group became durable, but the recovered wave count does.
+    let status = service.session_status(202, SESSION).expect("recovered");
+    if status.waves < 2 {
+        println!("  tenant 202's wave 2 was torn away whole — resubmitting it");
+        run_wave(&service, &experiment, 202, 1);
+    } else {
+        println!("  tenant 202's wave 2 survived — not resubmitting");
+    }
+
+    // Finish the campaign on the recovered service.
+    for wave in 1..WAVES {
+        for &tenant in &TENANTS {
+            if tenant == 202 && wave == 1 {
+                continue; // reconciled above
+            }
+            let outcome = run_wave(&service, &experiment, tenant, wave);
+            println!(
+                "  tenant {tenant} wave {}: {} classes, stable run {}",
+                wave + 1,
+                outcome.clustering.num_classes(),
+                outcome.stable_run
+            );
+        }
+    }
+
+    println!("\nfinal Fig. 1 clustering (tenant 101):");
+    let final_wave = run_wave(&service, &experiment, 101, WAVES);
+    for class in 1..=final_wave.clustering.num_classes() {
+        let members: Vec<String> = final_wave
+            .clustering
+            .class(class)
+            .iter()
+            .map(|a| format!("{} ({:.2})", labels[a.algorithm], a.score))
+            .collect();
+        println!("  C{class}: {}", members.join(", "));
+    }
+
+    let stats = service.stats();
+    println!(
+        "\njournal: {} appends, {} syncs, {} compactions",
+        stats.journal_appends, stats.journal_syncs, stats.journal_compactions
+    );
+}

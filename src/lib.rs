@@ -30,7 +30,9 @@
 //!   ([`ServiceRuntime`](crate::service::ServiceRuntime)), a checksummed
 //!   binary wire protocol with in-proc/unix clients
 //!   ([`WireClient`](crate::service::WireClient)), admission control and
-//!   load shedding, and checkpoint/restore.
+//!   load shedding, checkpoint/restore, and a durable per-shard op
+//!   journal with crash recovery
+//!   ([`SessionService::recover`](crate::service::SessionService::recover)).
 //!
 //! ## Quickstart
 //!
@@ -83,9 +85,10 @@ pub mod prelude {
     };
     pub use relperf_parallel::{parallel_map_indexed, parallel_map_indexed_with, Parallelism};
     pub use relperf_service::{
-        ClientError, OpOutcome, OpResponse, RuntimeConfig, RuntimeError, ServiceCampaign,
-        ServiceError, ServiceLimits, ServiceRuntime, ServiceStats, SessionOp, SessionService,
-        SessionSpec, SessionStatus, WireClient, WireError,
+        ClientError, CrashPoint, FileJournalStore, JournalConfig, JournalStore, MemJournalStore,
+        OpOutcome, OpResponse, RecoveryError, RecoveryReport, RetryPolicy, RuntimeConfig,
+        RuntimeError, ServiceCampaign, ServiceError, ServiceLimits, ServiceRuntime, ServiceStats,
+        SessionOp, SessionService, SessionSpec, SessionStatus, WireClient, WireError,
     };
     pub use relperf_sim::presets;
     pub use relperf_sim::{Loc, Platform, Task};

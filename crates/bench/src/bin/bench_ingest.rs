@@ -1,0 +1,276 @@
+//! Machine-readable before/after benchmark of the measurement ingest
+//! engine: times the seed's per-element push loop (replicated in-bin as
+//! [`BaselineSample`] — `Vec::insert` into the sorted view plus an O(n)
+//! position fixup per element) against the gallop-merge bulk extend path
+//! (flat below [`Sample::TIER_THRESHOLD`], tiered leaf runs above it),
+//! ingesting waves of 1 000 measurements at a time, and writes the
+//! medians to `BENCH_ingest.json`.
+//!
+//! Before any timing, the harness asserts the growth contract: bulk
+//! extend, the baseline push loop, and `Sample::new` over the
+//! concatenated waves must agree **bit for bit** on values, sorted view,
+//! and position map — and the bounded-memory sketch must agree with the
+//! exact engine within its documented rank-error bound. A benchmark of a
+//! wrong answer is worthless.
+//!
+//! The baseline is O(n²) in total, so at N = 1e6 it is not run to
+//! completion: its time is extrapolated quadratically from the measured
+//! N = 1e5 run and the entry is flagged `"baseline_extrapolated": true`
+//! in the JSON.
+//!
+//! Run from the workspace root:
+//!
+//! ```bash
+//! cargo run --release -p relperf-bench --bin bench_ingest
+//! ```
+
+use rand::prelude::*;
+use relperf_measure::{QuantileSketch, Sample};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The seed ingest path, reproduced verbatim: every push does a binary
+/// search, a `Vec::insert` memmove, and a full pass over the position
+/// map. O(n) per element, O(n²) for a session.
+struct BaselineSample {
+    values: Vec<f64>,
+    sorted: Vec<f64>,
+    sorted_pos: Vec<usize>,
+}
+
+impl BaselineSample {
+    fn new() -> Self {
+        BaselineSample {
+            values: Vec::new(),
+            sorted: Vec::new(),
+            sorted_pos: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, value: f64) {
+        assert!(value.is_finite());
+        // Upper bound: ties sort stably by insertion order, and this value
+        // is the latest insertion, so it lands after all equal values.
+        let ins = self.sorted.partition_point(|&v| v <= value);
+        self.sorted.insert(ins, value);
+        for pos in &mut self.sorted_pos {
+            if *pos >= ins {
+                *pos += 1;
+            }
+        }
+        self.sorted_pos.push(ins);
+        self.values.push(value);
+    }
+}
+
+/// Noisy timing-like measurements with deliberate ties (quantised to a
+/// tick) so the stable-tie ordering contract is actually exercised.
+fn measurements(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let raw = 1.0 + 0.25 * rng.random_range(-1.0f64..1.0);
+            (raw * 4096.0).round() / 4096.0
+        })
+        .collect()
+}
+
+/// Median wall time of `runs` executions of `f`, in seconds.
+fn median_time(runs: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+const WAVE: usize = 1_000;
+
+fn ingest_bulk(values: &[f64]) -> Sample {
+    let mut it = values.chunks(WAVE);
+    let mut s = Sample::new(it.next().expect("non-empty").to_vec()).expect("finite");
+    for wave in it {
+        s.extend_from_slice(wave).expect("finite");
+    }
+    s
+}
+
+fn ingest_baseline(values: &[f64]) -> BaselineSample {
+    let mut s = BaselineSample::new();
+    for &v in values {
+        s.push(v);
+    }
+    s
+}
+
+/// The growth contract, checked before anything is timed: bulk extend ≡
+/// seed push loop ≡ batch construction, bit for bit, on all three views.
+fn assert_bit_identity(values: &[f64]) {
+    let bulk = ingest_bulk(values);
+    let base = ingest_baseline(values);
+    let batch = Sample::new(values.to_vec()).expect("finite");
+    assert_eq!(bulk.values(), base.values.as_slice());
+    assert_eq!(bulk.sorted(), base.sorted.as_slice());
+    assert_eq!(bulk.sorted_positions(), base.sorted_pos.as_slice());
+    assert_eq!(batch.values(), bulk.values());
+    assert_eq!(batch.sorted(), bulk.sorted());
+    assert_eq!(batch.sorted_positions(), bulk.sorted_positions());
+}
+
+/// Exact-vs-sketch agreement, checked before the sketch is timed: every
+/// probed quantile of the bounded-memory sketch must sit within the
+/// documented rank-error bound of the exact engine.
+fn assert_sketch_agreement(sample: &Sample, capacity: usize) {
+    let sketch = QuantileSketch::from_sample(sample, capacity);
+    assert_eq!(sketch.count(), sample.len() as u64);
+    assert_eq!(sketch.min(), sample.min());
+    assert_eq!(sketch.max(), sample.max());
+    let n = sample.len() as f64;
+    let k = capacity as f64;
+    let rank_bound = (n * (n / k).log2() / (2.0 * k)).ceil().max(1.0) as usize;
+    for &q in &[0.05, 0.25, 0.5, 0.75, 0.95] {
+        let approx = sketch.quantile(q);
+        let target = (q * (sample.len() - 1) as f64).round() as usize;
+        let lo = sample.order_stat(target.saturating_sub(rank_bound));
+        let hi = sample.order_stat((target + rank_bound).min(sample.len() - 1));
+        assert!(
+            (lo..=hi).contains(&approx),
+            "sketch q{q} = {approx} outside exact rank band [{lo}, {hi}]"
+        );
+    }
+}
+
+struct Entry {
+    name: String,
+    before_s: f64,
+    after_s: f64,
+    baseline_extrapolated: bool,
+    tiered: bool,
+}
+
+fn main() {
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // ---- correctness gates, before any clock starts --------------------
+    for &n in &[WAVE, 10 * WAVE, 100 * WAVE] {
+        assert_bit_identity(&measurements(n, 11));
+    }
+    // At 1e6 the baseline is infeasible; batch construction is the oracle.
+    {
+        let big = measurements(1_000_000, 13);
+        let bulk = ingest_bulk(&big);
+        let batch = Sample::new(big.clone()).expect("finite");
+        assert_eq!(bulk.sorted(), batch.sorted());
+        assert_eq!(bulk.sorted_positions(), batch.sorted_positions());
+        assert!(bulk.ingest_stats().tiered, "1e6 sample should be tiered");
+        assert_sketch_agreement(&bulk, 256);
+    }
+    println!("bit-identity and sketch-agreement gates passed\n");
+
+    // ---- before/after per N -------------------------------------------
+    // At 1e5 the baseline run is seconds; at 1e6 it would be ~100x that,
+    // so it is extrapolated quadratically (total work is O(n²)).
+    let mut baseline_1e5 = f64::NAN;
+    for &(n, runs) in &[(WAVE, 9usize), (100 * WAVE, 3), (1_000 * WAVE, 3)] {
+        let values = measurements(n, 17);
+        let (before_s, extrapolated) = if n <= 100 * WAVE {
+            let t = median_time(runs, || {
+                black_box(ingest_baseline(black_box(&values)));
+            });
+            if n == 100 * WAVE {
+                baseline_1e5 = t;
+            }
+            (t, false)
+        } else {
+            let scale = (n as f64 / (100 * WAVE) as f64).powi(2);
+            (baseline_1e5 * scale, true)
+        };
+        let after_s = median_time(runs.max(3), || {
+            black_box(ingest_bulk(black_box(&values)));
+        });
+        let tiered = ingest_bulk(&values).ingest_stats().tiered;
+        entries.push(Entry {
+            name: format!("ingest/n{n}_wave{WAVE}"),
+            before_s,
+            after_s,
+            baseline_extrapolated: extrapolated,
+            tiered,
+        });
+    }
+
+    // ---- bounded-memory sketch ingest at 1e6 ---------------------------
+    // Same wave stream, but the consumer is the opt-in sketch: O(k log n)
+    // memory instead of O(n). Before = exact bulk ingest at the same N.
+    {
+        let values = measurements(1_000 * WAVE, 17);
+        let exact_s = entries.last().expect("entries").after_s;
+        let sketch_s = median_time(3, || {
+            let mut sk = QuantileSketch::new(256);
+            for wave in values.chunks(WAVE) {
+                sk.extend(wave);
+            }
+            black_box(sk.quantile(0.5));
+        });
+        entries.push(Entry {
+            name: format!("sketch/n{}_wave{WAVE}_k256", 1_000 * WAVE),
+            before_s: exact_s,
+            after_s: sketch_s,
+            baseline_extrapolated: false,
+            tiered: false,
+        });
+    }
+
+    // Render: human table to stdout, machine-readable JSON to disk.
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}  {}",
+        "benchmark", "before", "after", "speedup", "notes"
+    );
+    let mut json =
+        String::from("{\n  \"bench\": \"ingest\",\n  \"units\": \"seconds\",\n  \"wave\": 1000,\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let speedup = e.before_s / e.after_s;
+        let mut notes = Vec::new();
+        if e.baseline_extrapolated {
+            notes.push("baseline extrapolated O(n²)");
+        }
+        if e.tiered {
+            notes.push("tiered");
+        }
+        println!(
+            "{:<28} {:>9.3} ms {:>9.3} ms {:>8.1}x  {}",
+            e.name,
+            e.before_s * 1e3,
+            e.after_s * 1e3,
+            speedup,
+            notes.join(", ")
+        );
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"before_median_s\": {:.3e}, \"after_median_s\": {:.3e}, \"speedup\": {:.1}, \"baseline_extrapolated\": {}, \"tiered\": {}}}{}\n",
+            e.name,
+            e.before_s,
+            e.after_s,
+            speedup,
+            e.baseline_extrapolated,
+            e.tiered,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    println!("\nwrote BENCH_ingest.json");
+
+    let million = entries
+        .iter()
+        .find(|e| e.name.contains("n1000000"))
+        .expect("1e6 entry");
+    assert!(
+        million.before_s / million.after_s >= 50.0,
+        "expected ≥ 50x at 1e6, got {:.1}x",
+        million.before_s / million.after_s
+    );
+}

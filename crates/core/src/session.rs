@@ -346,16 +346,63 @@ impl<C: ScratchThreeWayComparator + Sync> ClusterSession<C> {
         Ok(())
     }
 
-    /// Ingests a wave of measurements for algorithm `alg`; on the first
-    /// non-finite value the error is returned and the remaining values are
-    /// not ingested.
+    /// Ingests a wave of measurements for algorithm `alg` through the
+    /// sample's **bulk path** ([`Sample::extend_from_slice`]): the wave is
+    /// sorted once and gallop-merged into the sorted index in a single
+    /// pass, bit-identical to (and far cheaper than) pushing each value
+    /// individually. Streaming error semantics: on the first non-finite
+    /// value everything before it is ingested, the error is returned, and
+    /// the remaining values are not — exactly as the per-element loop
+    /// behaved. See [`try_extend_all`](ClusterSession::try_extend_all)
+    /// for the all-or-nothing variant.
     ///
     /// # Panics
     /// Panics when `alg` is out of range.
     pub fn extend(&mut self, alg: usize, values: &[f64]) -> Result<(), SampleError> {
-        for &v in values {
-            self.push(alg, v)?;
+        let bad = values.iter().position(|v| !v.is_finite());
+        let prefix = &values[..bad.unwrap_or(values.len())];
+        if !prefix.is_empty() {
+            match &mut self.samples[alg] {
+                Some(sample) => sample
+                    .extend_from_slice(prefix)
+                    .expect("prefix is all-finite"),
+                slot @ None => *slot = Some(Sample::new(prefix.to_vec()).expect("all-finite")),
+            }
+            self.dirty[alg] = true;
+            self.ingested = true;
         }
+        match bad {
+            Some(_) => Err(SampleError::NonFinite(self.measurements(alg))),
+            None => Ok(()),
+        }
+    }
+
+    /// All-or-nothing wave ingest ([`Sample::try_extend_all`]): the whole
+    /// wave is validated before anything mutates, so a non-finite value
+    /// anywhere leaves the session untouched and the returned
+    /// [`SampleError::NonFinite`] carries the offender's index **within
+    /// `values`**. The transactional contract service callers want; the
+    /// streaming [`extend`](ClusterSession::extend) keeps the
+    /// partial-prefix semantics.
+    ///
+    /// An empty wave is a no-op `Ok(())` — it ingests nothing and does
+    /// not mark the session dirty.
+    ///
+    /// # Panics
+    /// Panics when `alg` is out of range.
+    pub fn try_extend_all(&mut self, alg: usize, values: &[f64]) -> Result<(), SampleError> {
+        if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+            return Err(SampleError::NonFinite(i));
+        }
+        if values.is_empty() {
+            return Ok(());
+        }
+        match &mut self.samples[alg] {
+            Some(sample) => sample.try_extend_all(values).expect("validated above"),
+            slot @ None => *slot = Some(Sample::new(values.to_vec()).expect("validated above")),
+        }
+        self.dirty[alg] = true;
+        self.ingested = true;
         Ok(())
     }
 
@@ -735,6 +782,148 @@ mod tests {
         // No updates at all: a re-score computes nothing.
         session.score();
         assert_eq!(calls.load(Ordering::Relaxed), after_second);
+    }
+
+    #[test]
+    fn comparator_caches_stay_warm_across_bulk_waves() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counting<'a>(&'a AtomicUsize);
+        impl relperf_measure::ThreeWayComparator for Counting<'_> {
+            fn compare(&self, a: &Sample, b: &Sample) -> relperf_measure::Outcome {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                MedianComparator::new(0.05).compare(a, b)
+            }
+        }
+        impl relperf_measure::SeededThreeWayComparator for Counting<'_> {
+            fn compare_seeded(
+                &self,
+                a: &Sample,
+                b: &Sample,
+                _stream: u64,
+            ) -> relperf_measure::Outcome {
+                self.compare(a, b)
+            }
+        }
+        impl relperf_measure::ScratchThreeWayComparator for Counting<'_> {
+            type Scratch = ();
+            fn new_scratch(&self) {}
+            fn compare_seeded_scratch(
+                &self,
+                _: &mut (),
+                a: &Sample,
+                b: &Sample,
+                stream: u64,
+            ) -> relperf_measure::Outcome {
+                self.compare_seeded(a, b, stream)
+            }
+        }
+
+        // Waves of 32 are far above the bulk cutoff, so every extend runs
+        // the gallop-merge path; the cache discipline must be unchanged —
+        // a bulk wave dirties exactly the algorithms it touched.
+        let reps = 10;
+        let mut session = ClusterSession::new(
+            3,
+            Counting(&calls),
+            ClusterConfig {
+                repetitions: reps,
+                parallelism: Parallelism::serial(),
+                schedule: PairSchedule::Batched,
+            },
+            3,
+        );
+        let wave = |alg: usize, k: usize| -> Vec<f64> {
+            (0..32).map(|i| alg as f64 + ((i * 7 + k) % 5) as f64 * 0.01).collect()
+        };
+        for alg in 0..3 {
+            session.extend(alg, &wave(alg, 0)).unwrap();
+        }
+        session.score();
+        let after_first = calls.load(Ordering::Relaxed);
+        assert_eq!(after_first, reps * 3, "full matrix on the cold wave");
+
+        // A bulk wave into algorithm 1 only: the 0–2 pair stays cached.
+        session.extend(1, &wave(1, 1)).unwrap();
+        session.score();
+        let after_second = calls.load(Ordering::Relaxed);
+        assert_eq!(after_second - after_first, reps * 2, "only pairs touching 1");
+
+        // An all-or-nothing wave follows the same dirty discipline…
+        session.try_extend_all(0, &wave(0, 2)).unwrap();
+        session.score();
+        let after_third = calls.load(Ordering::Relaxed);
+        assert_eq!(after_third - after_second, reps * 2, "only pairs touching 0");
+
+        // …and a rejected one leaves every cache warm.
+        let mut poisoned = wave(2, 3);
+        poisoned[17] = f64::NAN;
+        assert!(session.try_extend_all(2, &poisoned).is_err());
+        session.score();
+        assert_eq!(calls.load(Ordering::Relaxed), after_third, "rejection is free");
+    }
+
+    #[test]
+    fn bulk_extend_session_matches_per_push_session() {
+        // The session-level growth contract: wave ingest through the bulk
+        // path produces bit-identical samples and score tables to a twin
+        // session fed one push at a time.
+        let waves: Vec<Vec<f64>> = (0..4)
+            .map(|w| (0..40).map(|i| 1.0 + ((i * 13 + w * 7) % 11) as f64 * 0.05).collect())
+            .collect();
+        let mk = || {
+            ClusterSession::new(
+                2,
+                MedianComparator::new(0.05),
+                ClusterConfig::with_repetitions(5),
+                7,
+            )
+        };
+        let (mut bulk, mut pushed) = (mk(), mk());
+        for (w, wave) in waves.iter().enumerate() {
+            let alg = w % 2;
+            bulk.extend(alg, wave).unwrap();
+            for &v in wave {
+                pushed.push(alg, v).unwrap();
+            }
+        }
+        bulk.extend(1, &waves[0]).unwrap();
+        for &v in &waves[0] {
+            pushed.push(1, v).unwrap();
+        }
+        for alg in 0..2 {
+            assert_eq!(bulk.sample(alg), pushed.sample(alg));
+        }
+        assert_eq!(bulk.score(), pushed.score());
+    }
+
+    #[test]
+    fn extend_keeps_streaming_error_semantics() {
+        let mut session = ClusterSession::new(
+            1,
+            MedianComparator::new(0.05),
+            ClusterConfig::with_repetitions(2),
+            1,
+        );
+        // Offender first, nothing yet ingested: index 0, still no sample.
+        assert_eq!(
+            session.extend(0, &[f64::NAN, 1.0]),
+            Err(SampleError::NonFinite(0))
+        );
+        assert_eq!(session.measurements(0), 0);
+        // Prefix before the offender lands; index is the insertion point.
+        assert_eq!(
+            session.extend(0, &[1.0, 2.0, f64::INFINITY, 3.0]),
+            Err(SampleError::NonFinite(2))
+        );
+        assert_eq!(session.sample(0).unwrap().values(), &[1.0, 2.0]);
+        // try_extend_all reports the wave-relative index and ingests nothing.
+        assert_eq!(
+            session.try_extend_all(0, &[5.0, f64::NAN]),
+            Err(SampleError::NonFinite(1))
+        );
+        assert_eq!(session.sample(0).unwrap().values(), &[1.0, 2.0]);
     }
 
     #[test]

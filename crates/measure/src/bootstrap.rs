@@ -49,6 +49,33 @@ pub fn resample_counts_into<R: Rng + ?Sized>(rng: &mut R, sample: &Sample, count
     }
 }
 
+/// Draws one bootstrap resample as a *count vector over insertion order*:
+/// after the call, `counts[i]` is how many times `sample.values()[i]` was
+/// drawn, with `counts.iter().sum::<u32>() == n`.
+///
+/// This consumes **exactly the same RNG draw sequence** as
+/// [`resample_into`] and [`resample_counts_into`] (`n` uniform index draws
+/// into insertion order — the tally is indexed by the draw itself, with no
+/// permutation applied), so all three forms describe the identical
+/// multiset. Unlike [`resample_counts_into`] it never touches
+/// [`Sample::sorted_positions`], so on a tiered sample it forces **no
+/// lazy materialization** — pair it with
+/// [`QuantilePlan::extract_sample_into`], which reads the tallies through
+/// the sample's sorted runs. This is the comparator's hot-path form.
+pub fn resample_id_counts_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    sample: &Sample,
+    counts: &mut Vec<u32>,
+) {
+    let n = sample.len();
+    debug_assert!(n <= u32::MAX as usize, "count vector uses u32 tallies");
+    counts.clear();
+    counts.resize(n, 0);
+    for _ in 0..n {
+        counts[rng.random_range(0..n)] += 1;
+    }
+}
+
 /// The bootstrap distribution of a statistic: applies `stat` to `reps`
 /// independent resamples and returns the resulting values (unsorted).
 pub fn bootstrap_statistic<R, F>(rng: &mut R, sample: &Sample, reps: usize, mut stat: F) -> Vec<f64>
@@ -343,6 +370,64 @@ impl QuantilePlan {
             out.push(interp_value(stats[2 * i], stats[2 * i + 1], lo, hi, frac));
         }
     }
+
+    /// [`extract_into`](Self::extract_into) driven by the sample's sorted
+    /// runs instead of a contiguous sorted slice: reads all planned
+    /// quantiles of the resample described by `counts_by_id` —
+    /// `counts_by_id[i]` copies of `sample.values()[i]`, as tallied by
+    /// [`resample_id_counts_into`] — into `out`.
+    ///
+    /// The cumulative walk advances one persistent cursor through
+    /// [`Sample::sorted_runs`], reading each element's multiplicity via
+    /// its insertion id, so it needs **neither** the flat sorted view
+    /// **nor** the position map: on a tiered sample the hot comparator
+    /// path forces no lazy materialization. Bit-identical to expanding
+    /// the counts and calling [`quantile_sorted`] (same sorted multiset,
+    /// same interpolation arithmetic — it is the same walk
+    /// `extract_into` performs, just over chunked storage).
+    ///
+    /// `counts_by_id` must sum to the plan's resample size (checked with
+    /// `debug_assert!` — hot path).
+    pub fn extract_sample_into(
+        &self,
+        sample: &Sample,
+        counts_by_id: &[u32],
+        stats: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(sample.len(), counts_by_id.len());
+        debug_assert_eq!(
+            counts_by_id.iter().map(|&c| c as usize).sum::<usize>(),
+            self.n,
+            "counts must describe a resample of the planned size"
+        );
+        stats.clear();
+        stats.resize(self.interp.len() * 2, 0.0);
+        let mut runs = sample.sorted_runs();
+        let mut run = runs.next().expect("samples are non-empty");
+        let mut k = 0usize;
+        let mut cum = 0usize;
+        for &(target, slot) in &self.walk {
+            loop {
+                while k >= run.values.len() {
+                    run = runs.next().expect("targets lie within the resample");
+                    k = 0;
+                }
+                let c = counts_by_id[run.ids[k] as usize] as usize;
+                if cum + c <= target {
+                    cum += c;
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+            stats[slot] = run.values[k];
+        }
+        out.clear();
+        for (i, &(lo, hi, frac)) in self.interp.iter().enumerate() {
+            out.push(interp_value(stats[2 * i], stats[2 * i + 1], lo, hi, frac));
+        }
+    }
 }
 
 /// Convenience wrapper around [`QuantilePlan`]: quantiles of the resample
@@ -484,6 +569,34 @@ mod tests {
             let fast = quantiles_from_counts(x.sorted(), &counts, &qs);
             for (i, &q) in qs.iter().enumerate() {
                 assert_eq!(fast[i], quantile_sorted(&buf, q), "seed {seed} q {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn id_counts_walk_matches_sorted_counts_walk() {
+        // The insertion-indexed tally + sorted-runs walk must be
+        // bit-identical to the sorted-position tally + flat walk, on both
+        // tiers (same RNG consumption, same multiset, same arithmetic).
+        let vals: Vec<f64> = (0..60).map(|i| ((i * 31) % 13) as f64 * 0.25).collect();
+        let qs = [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0];
+        for tiered in [false, true] {
+            let mut x = s(&vals);
+            if tiered {
+                x.force_tiered_for_test(7);
+            }
+            let plan = QuantilePlan::new(&qs, x.len());
+            for seed in 0..20u64 {
+                let mut pos_counts = Vec::new();
+                resample_counts_into(&mut StdRng::seed_from_u64(seed), &x, &mut pos_counts);
+                let mut id_counts = Vec::new();
+                resample_id_counts_into(&mut StdRng::seed_from_u64(seed), &x, &mut id_counts);
+
+                let (mut stats, mut flat_out) = (Vec::new(), Vec::new());
+                plan.extract_into(x.sorted(), &pos_counts, &mut stats, &mut flat_out);
+                let mut runs_out = Vec::new();
+                plan.extract_sample_into(&x, &id_counts, &mut stats, &mut runs_out);
+                assert_eq!(runs_out, flat_out, "seed {seed} tiered {tiered}");
             }
         }
     }

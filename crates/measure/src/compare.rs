@@ -9,7 +9,7 @@
 //! set of quantile statistics per draw, and declare a significant difference
 //! only when one side dominates a large fraction of the draws.
 
-use crate::bootstrap::{quantile_sorted, resample_counts_into, QuantilePlan};
+use crate::bootstrap::{quantile_sorted, resample_id_counts_into, QuantilePlan};
 use crate::sample::Sample;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -177,8 +177,10 @@ impl<T: ScratchThreeWayComparator> ScratchThreeWayComparator for &T {
 /// bootstrap round performs **zero** heap allocations.
 #[derive(Debug, Clone, Default)]
 pub struct Scratch {
-    /// Resample tallies over sorted positions (shared by both sides —
-    /// side A is fully drawn and read before side B is drawn).
+    /// Resample tallies over insertion order (shared by both sides —
+    /// side A is fully drawn and read before side B is drawn). Indexed by
+    /// insertion id so the cumulative walk can ride the sample's sorted
+    /// runs and never needs a flat view or position map.
     counts: Vec<u32>,
     /// Order statistics picked by the cumulative walk (2 per quantile).
     stats: Vec<f64>,
@@ -258,12 +260,14 @@ impl BootstrapConfig {
 /// # Fast path
 ///
 /// A bootstrap round never materializes or sorts a resample: because
-/// [`Sample`] caches its sorted order, each resample is drawn as a count
-/// vector over sorted positions (same RNG draw sequence, so seeded
+/// [`Sample`] maintains a sorted index, each resample is drawn as a count
+/// vector over insertion order (same RNG draw sequence, so seeded
 /// outcomes are **bit-identical** to the sort-based reference — see
 /// [`compare_seeded_reference`](BootstrapComparator::compare_seeded_reference))
-/// and quantiles are read by one cumulative walk: O(n) per round with
-/// zero allocations at steady state, given a reused [`Scratch`]. The
+/// and quantiles are read by one cumulative walk over the sample's sorted
+/// runs: O(n) per round with zero allocations at steady state, given a
+/// reused [`Scratch`]. On a tiered sample the walk rides the leaf runs
+/// directly, so comparison forces no lazy flat-view materialization. The
 /// dominance vote and the repetition loop both exit as soon as the
 /// outcome is decided.
 ///
@@ -439,14 +443,14 @@ impl BootstrapComparator {
         b: &Sample,
         scratch: &mut Scratch,
     ) -> RoundResult {
-        resample_counts_into(rng, a, &mut scratch.counts);
+        resample_id_counts_into(rng, a, &mut scratch.counts);
         scratch
             .plan_a
-            .extract_into(a.sorted(), &scratch.counts, &mut scratch.stats, &mut scratch.q_a);
-        resample_counts_into(rng, b, &mut scratch.counts);
+            .extract_sample_into(a, &scratch.counts, &mut scratch.stats, &mut scratch.q_a);
+        resample_id_counts_into(rng, b, &mut scratch.counts);
         scratch
             .plan_b
-            .extract_into(b.sorted(), &scratch.counts, &mut scratch.stats, &mut scratch.q_b);
+            .extract_sample_into(b, &scratch.counts, &mut scratch.stats, &mut scratch.q_b);
 
         let q = self.config.quantiles.len();
         let needed = (self.config.dominance * q as f64).ceil() as usize;

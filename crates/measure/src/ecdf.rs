@@ -48,15 +48,17 @@ impl Ecdf {
 
 /// Two-sample Kolmogorov–Smirnov distance `sup_x |F_a(x) − F_b(x)|`.
 ///
-/// Walks the two cached sorted views ([`Sample::sorted`]) with the shared
-/// merge cursor ([`merge_tie_groups`](crate::merge::merge_tie_groups)) —
-/// O(nₐ + n_b) with zero allocations, evaluating the gap at every distinct
-/// observation (the only points where either ECDF steps, with the
-/// cumulative counts of each tie group being exactly `n·F(x)`).
+/// Walks the two sorted-run sequences ([`Sample::sorted_chunks`]) with
+/// the shared chunked merge cursor
+/// ([`merge_tie_groups_chunked`](crate::merge::merge_tie_groups_chunked))
+/// — O(nₐ + n_b) with zero allocations and no flat-view materialization
+/// on tiered samples, evaluating the gap at every distinct observation
+/// (the only points where either ECDF steps, with the cumulative counts
+/// of each tie group being exactly `n·F(x)`).
 pub fn ks_distance(a: &Sample, b: &Sample) -> f64 {
     let (na, nb) = (a.len() as f64, b.len() as f64);
     let mut d = 0.0_f64;
-    crate::merge::merge_tie_groups(a.sorted(), b.sorted(), |g| {
+    crate::merge::merge_tie_groups_chunked(a.sorted_chunks(), b.sorted_chunks(), |g| {
         d = d.max((g.cum_a as f64 / na - g.cum_b as f64 / nb).abs());
     });
     d

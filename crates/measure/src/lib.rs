@@ -13,7 +13,8 @@
 //! Modules:
 //!
 //! * [`sample`] — the `Sample` type with quantiles, moments, histograms,
-//!   and the cached sorted order the comparator fast path rides on.
+//!   and the tiered sorted index (gallop-merge bulk ingest, lazy flat
+//!   views) the comparator fast path rides on.
 //! * [`bootstrap`] — resampling engine (buffer- and count-vector forms),
 //!   percentile confidence intervals, and the [`bootstrap::QuantilePlan`]
 //!   one-pass quantile reader.
@@ -28,6 +29,9 @@
 //! * [`merge`] — the shared sorted-merge cursor the rank/ECDF/overlap
 //!   statistics walk their cached sorted views with.
 //! * [`ranksum`] — the Mann–Whitney U comparator for ablations.
+//! * [`sketch`] — opt-in bounded-memory quantile sketching and the
+//!   **approximate** [`sketch::SketchComparator`] mode (never a default;
+//!   the exact path is the oracle).
 //! * [`timer`] — wall-clock measurement harness with warmup control.
 //! * [`transform`] — sample cleaning (trim, winsorize, warmup removal).
 
@@ -39,6 +43,7 @@ pub mod ecdf;
 pub mod merge;
 pub mod ranksum;
 pub mod sample;
+pub mod sketch;
 pub mod timer;
 pub mod transform;
 
@@ -46,4 +51,5 @@ pub use compare::{
     stream_seed, BootstrapComparator, Outcome, Parallelism, Scratch,
     ScratchThreeWayComparator, SeededThreeWayComparator, ThreeWayComparator,
 };
-pub use sample::Sample;
+pub use sample::{IngestStats, Sample};
+pub use sketch::{QuantileSketch, SketchComparator, SketchConfig};

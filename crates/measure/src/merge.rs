@@ -11,6 +11,15 @@
 //! tie conventions; [`merge_tie_groups`] is the single implementation they
 //! all ride on — O(nₐ + n_b), allocation-free, one visit per distinct
 //! value.
+//!
+//! Since the tiered ingest engine, a large sample's sorted order lives in
+//! **chunks** (sorted leaf runs — see
+//! [`Sample::sorted_chunks`](crate::Sample::sorted_chunks)), and asking
+//! for one contiguous slice forces a lazy materialization.
+//! [`merge_tie_groups_chunked`] is the same walk driven by two chunk
+//! iterators, so the statistics above consume the runs directly and never
+//! force a flat view; [`merge_tie_groups`] is now a thin wrapper treating
+//! each slice as a single chunk.
 
 /// One tie group in the merged ascending walk of two sorted slices: a
 /// distinct value, its multiplicity on each side, and the cumulative
@@ -72,32 +81,133 @@ impl TieGroup {
 /// ```
 ///
 /// [`Sample::sorted`]: crate::Sample::sorted
-pub fn merge_tie_groups(a: &[f64], b: &[f64], mut visit: impl FnMut(&TieGroup)) {
+pub fn merge_tie_groups(a: &[f64], b: &[f64], visit: impl FnMut(&TieGroup)) {
     debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "first slice not sorted");
     debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "second slice not sorted");
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() || j < b.len() {
-        // The next distinct value, ascending across both sides.
-        let value = match (a.get(i), b.get(j)) {
-            (Some(&u), Some(&v)) => u.min(v),
-            (Some(&u), None) => u,
-            (None, Some(&v)) => v,
-            (None, None) => unreachable!("loop condition"),
+    merge_tie_groups_chunked(std::iter::once(a), std::iter::once(b), visit);
+}
+
+/// A flattening cursor over a sequence of ascending chunks, tracking the
+/// cumulative count of elements consumed — the per-side state of
+/// [`merge_tie_groups_chunked`].
+struct ChunkCursor<'a, I: Iterator<Item = &'a [f64]>> {
+    chunks: I,
+    /// Remainder of the current chunk (its consumed prefix already counted
+    /// into `cum`).
+    cur: &'a [f64],
+    /// Elements consumed so far across all chunks.
+    cum: usize,
+}
+
+impl<'a, I: Iterator<Item = &'a [f64]>> ChunkCursor<'a, I> {
+    fn new(chunks: I) -> Self {
+        let mut c = ChunkCursor {
+            chunks,
+            cur: &[],
+            cum: 0,
         };
-        let start_a = i;
-        while i < a.len() && a[i] == value {
-            i += 1;
+        c.refill();
+        c
+    }
+
+    /// Skips empty chunks until the cursor sits on an element or the
+    /// sequence is exhausted.
+    fn refill(&mut self) {
+        while self.cur.is_empty() {
+            match self.chunks.next() {
+                Some(chunk) => {
+                    debug_assert!(
+                        chunk.windows(2).all(|w| w[0] <= w[1]),
+                        "chunk not sorted"
+                    );
+                    self.cur = chunk;
+                }
+                None => return,
+            }
         }
-        let start_b = j;
-        while j < b.len() && b[j] == value {
-            j += 1;
+    }
+
+    /// The next unconsumed element, if any.
+    fn peek(&self) -> Option<f64> {
+        self.cur.first().copied()
+    }
+
+    /// Consumes every leading element equal to `value` (possibly spanning
+    /// chunk boundaries) and returns how many there were.
+    fn take_equal(&mut self, value: f64) -> usize {
+        let before = self.cum;
+        loop {
+            let run = self.cur.iter().take_while(|&&v| v == value).count();
+            self.cum += run;
+            self.cur = &self.cur[run..];
+            if !self.cur.is_empty() {
+                break;
+            }
+            self.refill();
+            if self.cur.is_empty() {
+                break;
+            }
         }
+        self.cum - before
+    }
+}
+
+/// [`merge_tie_groups`] driven by two chunk iterators: each side is a
+/// sequence of ascending slices that concatenate to that side's full
+/// sorted order (exactly what [`Sample::sorted_chunks`] yields — one
+/// chunk for a flat sample, one per leaf for a tiered one).
+///
+/// Visits the identical [`TieGroup`] sequence the flat walk would, in the
+/// same order with the same cumulative counts, without ever needing the
+/// sides as contiguous slices — so callers on the comparator hot path
+/// never force a tiered sample to materialize its flat view. O(nₐ + n_b),
+/// allocation-free.
+///
+/// Chunk contract: each chunk is ascending (checked with `debug_assert!`
+/// only), and chunk boundaries are ascending too (`last of chunk k ≤
+/// first of chunk k+1` — the caller's responsibility, as the merged walk
+/// cannot cheaply detect it). Empty chunks are permitted and skipped.
+///
+/// # Examples
+///
+/// ```
+/// use relperf_measure::merge::{merge_tie_groups, merge_tie_groups_chunked};
+///
+/// let mut chunked = Vec::new();
+/// merge_tie_groups_chunked(
+///     [&[1.0, 2.0][..], &[2.0][..]],
+///     [&[2.0, 3.0][..]],
+///     |g| chunked.push(*g),
+/// );
+/// let mut flat = Vec::new();
+/// merge_tie_groups(&[1.0, 2.0, 2.0], &[2.0, 3.0], |g| flat.push(*g));
+/// assert_eq!(chunked, flat);
+/// ```
+///
+/// [`Sample::sorted_chunks`]: crate::Sample::sorted_chunks
+pub fn merge_tie_groups_chunked<'a>(
+    a: impl IntoIterator<Item = &'a [f64]>,
+    b: impl IntoIterator<Item = &'a [f64]>,
+    mut visit: impl FnMut(&TieGroup),
+) {
+    let mut ca = ChunkCursor::new(a.into_iter());
+    let mut cb = ChunkCursor::new(b.into_iter());
+    loop {
+        // The next distinct value, ascending across both sides.
+        let value = match (ca.peek(), cb.peek()) {
+            (Some(u), Some(v)) => u.min(v),
+            (Some(u), None) => u,
+            (None, Some(v)) => v,
+            (None, None) => return,
+        };
+        let count_a = ca.take_equal(value);
+        let count_b = cb.take_equal(value);
         visit(&TieGroup {
             value,
-            count_a: i - start_a,
-            count_b: j - start_b,
-            cum_a: i,
-            cum_b: j,
+            count_a,
+            count_b,
+            cum_a: ca.cum,
+            cum_b: cb.cum,
         });
     }
 }

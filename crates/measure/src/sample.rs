@@ -4,8 +4,48 @@
 //! algorithm is measured `N` times and kept as the full distribution —
 //! quantiles, moments, and histograms are views over it, never a
 //! replacement for it.
+//!
+//! # Ingest engine
+//!
+//! A sample keeps its measurements in **two orders at once**: insertion
+//! order (`values`) and ascending order (the *sorted index*). The sorted
+//! index has two tiers:
+//!
+//! * **Flat** (`n ≤` [`Sample::TIER_THRESHOLD`]): one contiguous sorted
+//!   array plus the argsort (`ids[r]` = insertion index of the `r`-th
+//!   smallest value). [`push`](Sample::push) binary-inserts — two `O(n)`
+//!   memmoves, no per-element bookkeeping loop.
+//! * **Tiered** (`n >` [`Sample::TIER_THRESHOLD`]): a two-level structure
+//!   of sorted **leaf runs** (≈ [`Sample::LEAF_TARGET`] elements each)
+//!   under a **node directory** of leaf minimum keys searched
+//!   binary-then-linear — the ordered-index shape of the classic node/leaf
+//!   intpair index. Inserts touch one leaf (`O(√n)`-ish), and bulk merges
+//!   touch only the leaves the batch lands in.
+//!
+//! [`extend_from_slice`](Sample::extend_from_slice) is the **bulk path**:
+//! it sorts the incoming batch once and gallop-merges it into the sorted
+//! index in a single pass — `O(n + k log n)` for a batch of `k` into a
+//! flat sample, `O(k log k + touched leaves)` into a tiered one — instead
+//! of `k` binary inserts. The result is **bit-identical** (values, sorted
+//! view, position map) to pushing the same values one at a time, which is
+//! itself bit-identical to [`Sample::new`] of the concatenation; the
+//! whole equivalence is property-tested across tier boundaries
+//! (`crates/measure/tests/ingest.rs`).
+//!
+//! The flat ascending copy ([`sorted`](Sample::sorted)) and the
+//! insertion→sorted position map
+//! ([`sorted_positions`](Sample::sorted_positions)) are **lazily
+//! materialized views** over the tiered index, invalidated by every write
+//! and counted in [`ingest_stats`](Sample::ingest_stats). Hot readers that
+//! do not need a contiguous view — the bootstrap comparator's cumulative
+//! quantile walk, the Mann–Whitney/KS merge cursors — iterate
+//! [`sorted_runs`](Sample::sorted_runs) /
+//! [`sorted_chunks`](Sample::sorted_chunks) instead and never force a
+//! materialization.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// A set of repeated measurements of one algorithm under one metric
 /// (execution time in seconds throughout the paper, but the type is
@@ -14,18 +54,29 @@ use std::fmt;
 /// Invariants maintained by construction:
 /// * at least one measurement,
 /// * every measurement is finite,
-/// * an internally cached sorted copy for O(1) quantile queries,
-/// * a cached insertion-order → sorted-order position map
-///   ([`sorted_positions`](Sample::sorted_positions)) so bootstrap
-///   resamples can be drawn as count vectors over sorted positions
-///   without re-sorting (the allocation-free comparator fast path).
+/// * an internally maintained sorted index (flat or tiered, see the
+///   [module docs](self)) for O(1)–O(log n) order-statistic queries,
+/// * running first and second moments in insertion order, making
+///   [`mean`](Sample::mean) and [`variance`](Sample::variance) O(1),
+/// * a lazily materialized ascending copy ([`sorted`](Sample::sorted))
+///   and insertion-order → sorted-order position map
+///   ([`sorted_positions`](Sample::sorted_positions)).
 ///
-/// Samples can grow incrementally: [`push`](Sample::push) binary-inserts a
-/// new measurement into the cached sorted order in O(n), keeping every
-/// invariant valid mid-stream — a sample built by pushing is bit-identical
-/// to one built by [`Sample::new`] from the full vector, which is what lets
-/// the streaming session engine reuse the count-vector comparator fast
-/// path between measurement waves.
+/// # Growth contract
+///
+/// Samples grow incrementally, and every growth path lands on the same
+/// bits: a sample built by [`push`](Sample::push)ing values one at a
+/// time, one built by [`extend_from_slice`](Sample::extend_from_slice)
+/// bulk waves under **any** batch split, and one built by [`Sample::new`]
+/// from the concatenation all agree exactly on
+/// [`values`](Sample::values), [`sorted`](Sample::sorted), and
+/// [`sorted_positions`](Sample::sorted_positions) (ties ordered stably by
+/// insertion). This is what lets the streaming session engine reuse the
+/// count-vector comparator fast path between measurement waves regardless
+/// of how measurements were batched.
+///
+/// Capacity: insertion indices are kept as `u32`, so a sample holds at
+/// most `u32::MAX` measurements (checked with `assert!` on ingest).
 ///
 /// # Examples
 ///
@@ -37,14 +88,307 @@ use std::fmt;
 /// assert_eq!(s.median(), 2.0);
 /// assert_eq!(s.len(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Sample {
     values: Vec<f64>,
-    sorted: Vec<f64>,
-    /// `sorted_pos[i]` is the index of `values[i]` in `sorted` (ties
-    /// assigned stably by insertion order — any assignment yields the
-    /// same multiset semantics since tied values are bit-equal).
-    sorted_pos: Vec<usize>,
+    /// Running Σv in insertion order — the exact fold
+    /// `values.iter().sum::<f64>()` performs, so [`mean`](Sample::mean)
+    /// is bit-identical to the O(n) definition.
+    sum: f64,
+    /// Welford running mean, updated per value in insertion order on
+    /// every growth path (see [`variance`](Sample::variance)).
+    w_mean: f64,
+    /// Welford running Σ(v−μ)² (see [`variance`](Sample::variance)).
+    m2: f64,
+    index: SortedIndex,
+    /// Lazily materialized flat ascending copy (tiered index only — the
+    /// flat index *is* its own sorted view). Invalidated on every write.
+    flat: OnceLock<Vec<f64>>,
+    /// Lazily materialized inverse argsort. Invalidated on every write.
+    positions: OnceLock<Vec<usize>>,
+    /// Times a lazy flat view was (re)built — see
+    /// [`ingest_stats`](Sample::ingest_stats).
+    materializations: AtomicU64,
+    /// Bulk gallop-merges performed.
+    bulk_merges: u64,
+}
+
+/// The sorted index behind a [`Sample`] — see the [module docs](self).
+#[derive(Debug, Clone)]
+enum SortedIndex {
+    /// One contiguous ascending run plus its argsort.
+    Flat {
+        sorted: Vec<f64>,
+        /// `ids[r]` is the insertion index of `sorted[r]`; ties ascend by
+        /// insertion index (stable argsort).
+        ids: Vec<u32>,
+    },
+    Tiered(TieredIndex),
+}
+
+/// Two-level node/leaf ordered index: sorted leaf runs under a directory
+/// of leaf minimum keys.
+#[derive(Debug, Clone)]
+struct TieredIndex {
+    leaves: Vec<Leaf>,
+    /// `mins[i] == leaves[i].vals[0]` — the node directory.
+    mins: Vec<f64>,
+    /// Target leaf size; leaves split above `2 * leaf_target`.
+    leaf_target: usize,
+}
+
+/// One sorted run of the tiered index, with the insertion index of each
+/// element alongside (same tie order as the flat argsort).
+#[derive(Debug, Clone)]
+struct Leaf {
+    vals: Vec<f64>,
+    ids: Vec<u32>,
+}
+
+/// Below this many directory entries the leaf search goes linear — the
+/// binary-then-linear idiom of the exemplar ordered index.
+const LINEAR_SEARCH_SIZE: usize = 8;
+
+/// Number of leading elements of ascending `run` that are `≤ v`, found by
+/// galloping: exponential probe to bracket the boundary, then binary
+/// search inside the bracket. Equivalent to
+/// `run.partition_point(|&x| x <= v)` but O(log run-length) with a small
+/// constant when the answer is near the front — the common case when
+/// merging a sorted batch, where each batch element only consumes a short
+/// prefix of what remains.
+fn gallop_leq(run: &[f64], v: f64) -> usize {
+    if run.first().is_none_or(|&x| x > v) {
+        return 0;
+    }
+    // run[lo] <= v; exponentially widen until run[hi] > v or the end.
+    let mut lo = 0usize;
+    let mut hi = 1usize;
+    while hi < run.len() && run[hi] <= v {
+        lo = hi;
+        hi *= 2;
+    }
+    let hi = hi.min(run.len());
+    lo + run[lo..hi].partition_point(|&x| x <= v)
+}
+
+impl TieredIndex {
+    /// Chunks an already-sorted `(sorted, ids)` pair into leaves of
+    /// `leaf_target` elements.
+    fn from_flat(sorted: Vec<f64>, ids: Vec<u32>, leaf_target: usize) -> TieredIndex {
+        debug_assert!(leaf_target >= 2 && !sorted.is_empty());
+        let mut leaves = Vec::with_capacity(sorted.len().div_ceil(leaf_target));
+        let mut i = 0;
+        while i < sorted.len() {
+            let end = (i + leaf_target).min(sorted.len());
+            leaves.push(Leaf {
+                vals: sorted[i..end].to_vec(),
+                ids: ids[i..end].to_vec(),
+            });
+            i = end;
+        }
+        let mins = leaves.iter().map(|l| l.vals[0]).collect();
+        TieredIndex {
+            leaves,
+            mins,
+            leaf_target,
+        }
+    }
+
+    /// Index of the leaf a value `v` inserts into: the **last** leaf whose
+    /// minimum key is `≤ v` (so the insert lands after every existing
+    /// equal value, preserving the stable tie order), or leaf 0 when `v`
+    /// is a new global minimum. Binary search down to a
+    /// [`LINEAR_SEARCH_SIZE`] window, then linear scan.
+    fn leaf_for(&self, v: f64) -> usize {
+        let mins = &self.mins;
+        let (mut lo, mut hi) = (0usize, mins.len());
+        while hi - lo > LINEAR_SEARCH_SIZE {
+            let mid = (lo + hi) / 2;
+            if mins[mid] <= v {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        while lo < hi && mins[lo] <= v {
+            lo += 1;
+        }
+        lo.saturating_sub(1)
+    }
+
+    /// Binary-inserts one `(value, insertion id)` into its leaf, splitting
+    /// the leaf when it exceeds `2 * leaf_target`.
+    fn insert(&mut self, v: f64, id: u32) {
+        let li = self.leaf_for(v);
+        let leaf = &mut self.leaves[li];
+        let at = leaf.vals.partition_point(|&x| x <= v);
+        leaf.vals.insert(at, v);
+        leaf.ids.insert(at, id);
+        if at == 0 {
+            // Only possible in leaf 0 (a new global minimum).
+            self.mins[li] = v;
+        }
+        if self.leaves[li].vals.len() > 2 * self.leaf_target {
+            self.split(li);
+        }
+    }
+
+    fn split(&mut self, li: usize) {
+        let leaf = &mut self.leaves[li];
+        let mid = leaf.vals.len() / 2;
+        let right = Leaf {
+            vals: leaf.vals.split_off(mid),
+            ids: leaf.ids.split_off(mid),
+        };
+        let rmin = right.vals[0];
+        self.leaves.insert(li + 1, right);
+        self.mins.insert(li + 1, rmin);
+    }
+
+    /// Gallop-merges a sorted batch of `(value, insertion id)` pairs
+    /// (ties ascending by id) in one left-to-right pass: the batch is
+    /// split into per-leaf segments by the node directory, untouched
+    /// leaves are moved wholesale, and each touched leaf is merged with
+    /// its segment (existing elements first on ties — the stable order)
+    /// and re-chunked to the target leaf size.
+    fn bulk_merge(&mut self, batch: &[(f64, u32)]) {
+        let old = std::mem::take(&mut self.leaves);
+        let n_old = old.len();
+        let mut out: Vec<Leaf> =
+            Vec::with_capacity(n_old + batch.len() / self.leaf_target + 1);
+        let mut b = 0usize;
+        for (i, leaf) in old.into_iter().enumerate() {
+            // The segment routed to leaf `i`: everything below the next
+            // leaf's minimum key. Values equal to that minimum belong to
+            // the *later* leaf (insert-after-equals, matching `leaf_for`).
+            let end = if i + 1 < n_old {
+                b + batch[b..].partition_point(|&(x, _)| x < self.mins[i + 1])
+            } else {
+                batch.len()
+            };
+            if b == end {
+                out.push(leaf);
+            } else {
+                merge_leaf(leaf, &batch[b..end], self.leaf_target, &mut out);
+            }
+            b = end;
+        }
+        debug_assert_eq!(b, batch.len(), "every batch element must be routed");
+        self.leaves = out;
+        self.mins.clear();
+        self.mins.extend(self.leaves.iter().map(|l| l.vals[0]));
+    }
+}
+
+/// Merges one leaf with its sorted batch segment (existing elements first
+/// on ties) and pushes the result — split into `leaf_target`-sized chunks
+/// when oversized — onto `out`.
+fn merge_leaf(leaf: Leaf, seg: &[(f64, u32)], leaf_target: usize, out: &mut Vec<Leaf>) {
+    let total = leaf.vals.len() + seg.len();
+    let mut vals = Vec::with_capacity(total);
+    let mut ids = Vec::with_capacity(total);
+    let mut i = 0usize;
+    for &(v, id) in seg {
+        let run = i + gallop_leq(&leaf.vals[i..], v);
+        vals.extend_from_slice(&leaf.vals[i..run]);
+        ids.extend_from_slice(&leaf.ids[i..run]);
+        i = run;
+        vals.push(v);
+        ids.push(id);
+    }
+    vals.extend_from_slice(&leaf.vals[i..]);
+    ids.extend_from_slice(&leaf.ids[i..]);
+    if total <= 2 * leaf_target {
+        out.push(Leaf { vals, ids });
+    } else {
+        let chunks = total.div_ceil(leaf_target);
+        let per = total.div_ceil(chunks);
+        let mut s = 0;
+        while s < total {
+            let e = (s + per).min(total);
+            out.push(Leaf {
+                vals: vals[s..e].to_vec(),
+                ids: ids[s..e].to_vec(),
+            });
+            s = e;
+        }
+    }
+}
+
+/// Gallop-merges a sorted batch into a flat `(sorted, ids)` pair in one
+/// O(n + k log n) pass (existing elements first on ties).
+fn flat_bulk_merge(sorted: &mut Vec<f64>, ids: &mut Vec<u32>, batch: &[(f64, u32)]) {
+    let total = sorted.len() + batch.len();
+    let mut new_sorted = Vec::with_capacity(total);
+    let mut new_ids = Vec::with_capacity(total);
+    let mut i = 0usize;
+    for &(v, id) in batch {
+        let run = i + gallop_leq(&sorted[i..], v);
+        new_sorted.extend_from_slice(&sorted[i..run]);
+        new_ids.extend_from_slice(&ids[i..run]);
+        i = run;
+        new_sorted.push(v);
+        new_ids.push(id);
+    }
+    new_sorted.extend_from_slice(&sorted[i..]);
+    new_ids.extend_from_slice(&ids[i..]);
+    *sorted = new_sorted;
+    *ids = new_ids;
+}
+
+/// One ascending run of a sample's sorted index, yielded by
+/// [`Sample::sorted_runs`].
+#[derive(Debug, Clone, Copy)]
+pub struct SortedRun<'a> {
+    /// The run's measurements, ascending. Runs concatenate to the full
+    /// sorted view.
+    pub values: &'a [f64],
+    /// `ids[r]` is the insertion index of `values[r]` (ties ascend by
+    /// insertion index across the whole sample).
+    pub ids: &'a [u32],
+}
+
+/// Iterator over the sorted runs of a [`Sample`] — see
+/// [`Sample::sorted_runs`].
+#[derive(Debug, Clone)]
+pub struct SortedRuns<'a> {
+    inner: RunsInner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum RunsInner<'a> {
+    Flat(Option<SortedRun<'a>>),
+    Leaves(std::slice::Iter<'a, Leaf>),
+}
+
+impl<'a> Iterator for SortedRuns<'a> {
+    type Item = SortedRun<'a>;
+
+    fn next(&mut self) -> Option<SortedRun<'a>> {
+        match &mut self.inner {
+            RunsInner::Flat(one) => one.take(),
+            RunsInner::Leaves(iter) => iter.next().map(|l| SortedRun {
+                values: &l.vals,
+                ids: &l.ids,
+            }),
+        }
+    }
+}
+
+/// Observability counters of a sample's ingest engine — see
+/// [`Sample::ingest_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Whether the sorted index is in its tiered (two-level) form.
+    pub tiered: bool,
+    /// Number of sorted leaf runs (1 for the flat tier).
+    pub leaves: usize,
+    /// Times a lazily cached flat view ([`Sample::sorted`] or
+    /// [`Sample::sorted_positions`]) was (re)built since construction.
+    pub materializations: u64,
+    /// Bulk gallop-merges performed by
+    /// [`Sample::extend_from_slice`] / [`Sample::try_extend_all`].
+    pub bulk_merges: u64,
 }
 
 /// Error constructing a [`Sample`].
@@ -68,6 +412,21 @@ impl fmt::Display for SampleError {
 impl std::error::Error for SampleError {}
 
 impl Sample {
+    /// Above this many measurements the sorted index switches from one
+    /// contiguous run to the tiered leaf/directory form (see the [module
+    /// docs](self)). The switch is an internal representation change only
+    /// — every accessor returns the same bits on either side of it.
+    pub const TIER_THRESHOLD: usize = 2048;
+
+    /// Target leaf size of the tiered index; leaves split above twice
+    /// this.
+    pub const LEAF_TARGET: usize = 512;
+
+    /// Batches at or below this size take the per-element insert path —
+    /// a gallop-merge's batch sort and rebuild don't pay for themselves
+    /// on a handful of values.
+    const BULK_CUTOFF: usize = 8;
+
     /// Wraps a vector of measurements.
     ///
     /// Returns [`SampleError::Empty`] for an empty vector and
@@ -79,35 +438,72 @@ impl Sample {
         if let Some(i) = values.iter().position(|v| !v.is_finite()) {
             return Err(SampleError::NonFinite(i));
         }
-        // Argsort once; derive both the sorted copy and the inverse
-        // permutation from it so the two views are always consistent.
-        let mut order: Vec<usize> = (0..values.len()).collect();
-        order.sort_by(|&i, &j| {
-            values[i]
-                .partial_cmp(&values[j])
+        assert!(
+            values.len() <= u32::MAX as usize,
+            "sample exceeds the u32 insertion-id capacity"
+        );
+        // Stable argsort once; the sorted copy and (lazily) the inverse
+        // permutation both derive from it, so the views are always
+        // consistent and ties order by insertion index.
+        let mut ids: Vec<u32> = (0..values.len() as u32).collect();
+        ids.sort_by(|&i, &j| {
+            values[i as usize]
+                .partial_cmp(&values[j as usize])
                 .expect("finite by construction")
         });
-        let sorted: Vec<f64> = order.iter().map(|&i| values[i]).collect();
-        let mut sorted_pos = vec![0usize; values.len()];
-        for (rank, &i) in order.iter().enumerate() {
-            sorted_pos[i] = rank;
+        let sorted: Vec<f64> = ids.iter().map(|&i| values[i as usize]).collect();
+        let (mut sum, mut w_mean, mut m2) = (0.0f64, 0.0f64, 0.0f64);
+        for (i, &v) in values.iter().enumerate() {
+            fold_moment(&mut sum, &mut w_mean, &mut m2, v, i + 1);
         }
-        Ok(Sample {
+        let mut sample = Sample {
             values,
-            sorted,
-            sorted_pos,
-        })
+            sum,
+            w_mean,
+            m2,
+            index: SortedIndex::Flat { sorted, ids },
+            flat: OnceLock::new(),
+            positions: OnceLock::new(),
+            materializations: AtomicU64::new(0),
+            bulk_merges: 0,
+        };
+        sample.maybe_promote();
+        Ok(sample)
     }
 
-    /// Appends one measurement, maintaining the cached sorted order and
-    /// the insertion→sorted position map incrementally.
+    /// Drops the lazy flat views (called by every write).
+    fn invalidate(&mut self) {
+        self.flat = OnceLock::new();
+        self.positions = OnceLock::new();
+    }
+
+    /// Switches a flat index that outgrew [`TIER_THRESHOLD`](Sample::TIER_THRESHOLD)
+    /// to the tiered form.
+    fn maybe_promote(&mut self) {
+        if let SortedIndex::Flat { sorted, ids } = &mut self.index {
+            if sorted.len() > Self::TIER_THRESHOLD {
+                let index = TieredIndex::from_flat(
+                    std::mem::take(sorted),
+                    std::mem::take(ids),
+                    Self::LEAF_TARGET,
+                );
+                self.index = SortedIndex::Tiered(index);
+            }
+        }
+    }
+
+    /// Appends one measurement, maintaining the sorted index
+    /// incrementally.
     ///
-    /// The new value is binary-inserted *after* any existing equal values,
+    /// The new value is inserted *after* any existing equal values,
     /// exactly where the stable argsort of [`Sample::new`] would place it —
     /// so a sample grown by `push` is **bit-identical** (values, sorted
     /// view, position map) to one constructed from the final vector in one
-    /// shot. Cost: O(log n) to locate plus O(n) to shift, versus the
-    /// O(n log n) full re-sort a rebuild would pay per ingested value.
+    /// shot. Cost: two O(n) memmoves in the flat tier, one O(leaf)
+    /// memmove plus an O(log #leaves) directory search in the tiered
+    /// tier. Streams of measurements should prefer
+    /// [`extend_from_slice`](Sample::extend_from_slice), which merges a
+    /// whole batch in one pass.
     ///
     /// Returns [`SampleError::NonFinite`] (with the would-be insertion
     /// index) and leaves the sample untouched when `value` is NaN or
@@ -126,27 +522,127 @@ impl Sample {
         if !value.is_finite() {
             return Err(SampleError::NonFinite(self.values.len()));
         }
-        // Upper bound: ties sort stably by insertion order, and this value
-        // is the latest insertion, so it lands after all equal values.
-        let ins = self.sorted.partition_point(|&v| v <= value);
-        self.sorted.insert(ins, value);
-        for pos in &mut self.sorted_pos {
-            if *pos >= ins {
-                *pos += 1;
+        assert!(
+            self.values.len() < u32::MAX as usize,
+            "sample exceeds the u32 insertion-id capacity"
+        );
+        let id = self.values.len() as u32;
+        match &mut self.index {
+            SortedIndex::Flat { sorted, ids } => {
+                // Upper bound: ties sort stably by insertion order, and
+                // this value is the latest insertion, so it lands after
+                // all equal values.
+                let ins = sorted.partition_point(|&v| v <= value);
+                sorted.insert(ins, value);
+                ids.insert(ins, id);
             }
+            SortedIndex::Tiered(t) => t.insert(value, id),
         }
-        self.sorted_pos.push(ins);
         self.values.push(value);
+        fold_moment(
+            &mut self.sum,
+            &mut self.w_mean,
+            &mut self.m2,
+            value,
+            self.values.len(),
+        );
+        self.invalidate();
+        self.maybe_promote();
         Ok(())
     }
 
-    /// [`push`](Sample::push)es every value in order; on the first
-    /// non-finite value the error is returned and the remaining values are
-    /// not ingested (all values before it are).
-    pub fn extend_from_slice(&mut self, values: &[f64]) -> Result<(), SampleError> {
-        for &v in values {
-            self.push(v)?;
+    /// Ingests a batch of known-finite values through the bulk path (or
+    /// the per-element path below [`BULK_CUTOFF`](Self::BULK_CUTOFF)).
+    fn ingest_finite_batch(&mut self, batch_values: &[f64]) {
+        if batch_values.is_empty() {
+            return;
         }
+        debug_assert!(batch_values.iter().all(|v| v.is_finite()));
+        if batch_values.len() <= Self::BULK_CUTOFF {
+            for &v in batch_values {
+                self.push(v).expect("caller validated finiteness");
+            }
+            return;
+        }
+        assert!(
+            self.values.len() + batch_values.len() <= u32::MAX as usize,
+            "sample exceeds the u32 insertion-id capacity"
+        );
+        let id0 = self.values.len() as u32;
+        let mut batch: Vec<(f64, u32)> = batch_values
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v, id0 + j as u32))
+            .collect();
+        // Stable sort: ties keep their batch (= insertion) order, so the
+        // merged tie groups order by insertion index exactly as a chain
+        // of upper-bound inserts would.
+        batch.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite by caller"));
+        match &mut self.index {
+            SortedIndex::Flat { sorted, ids } => flat_bulk_merge(sorted, ids, &batch),
+            SortedIndex::Tiered(t) => t.bulk_merge(&batch),
+        }
+        let mut n = self.values.len();
+        self.values.extend_from_slice(batch_values);
+        for &v in batch_values {
+            n += 1;
+            fold_moment(&mut self.sum, &mut self.w_mean, &mut self.m2, v, n);
+        }
+        self.bulk_merges += 1;
+        self.invalidate();
+        self.maybe_promote();
+    }
+
+    /// Ingests a wave of measurements through the **bulk path**: the
+    /// longest finite prefix is sorted once and gallop-merged into the
+    /// sorted index in a single pass — bit-identical (values, sorted
+    /// view, position map) to [`push`](Sample::push)ing the same values
+    /// one at a time, at a fraction of the cost.
+    ///
+    /// Error semantics are the streaming ones: on the first non-finite
+    /// value, everything before it **is** ingested, the offender and the
+    /// rest are not, and the returned [`SampleError::NonFinite`] carries
+    /// the offender's would-be insertion index (`len()` at return). Use
+    /// [`try_extend_all`](Sample::try_extend_all) for all-or-nothing
+    /// ingestion.
+    pub fn extend_from_slice(&mut self, values: &[f64]) -> Result<(), SampleError> {
+        let bad = values.iter().position(|v| !v.is_finite());
+        self.ingest_finite_batch(&values[..bad.unwrap_or(values.len())]);
+        match bad {
+            Some(_) => Err(SampleError::NonFinite(self.values.len())),
+            None => Ok(()),
+        }
+    }
+
+    /// All-or-nothing bulk ingest: pre-validates the whole batch and only
+    /// then gallop-merges it, so a non-finite value anywhere leaves the
+    /// sample **completely untouched** — the transactional contract a
+    /// hosted service wants for a tenant wave, where
+    /// [`extend_from_slice`](Sample::extend_from_slice)'s
+    /// partial-prefix-ingested streaming semantics would leave the
+    /// tenant guessing what landed.
+    ///
+    /// On rejection the returned [`SampleError::NonFinite`] carries the
+    /// offender's index **within `values`** (the same convention as
+    /// [`Sample::new`]), not an insertion index — nothing was inserted.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use relperf_measure::{sample::SampleError, Sample};
+    ///
+    /// let mut s = Sample::new(vec![1.0]).unwrap();
+    /// let err = s.try_extend_all(&[2.0, f64::NAN, 3.0]).unwrap_err();
+    /// assert_eq!(err, SampleError::NonFinite(1));
+    /// assert_eq!(s.values(), &[1.0]); // nothing ingested
+    /// s.try_extend_all(&[2.0, 3.0]).unwrap();
+    /// assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+    /// ```
+    pub fn try_extend_all(&mut self, values: &[f64]) -> Result<(), SampleError> {
+        if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+            return Err(SampleError::NonFinite(i));
+        }
+        self.ingest_finite_batch(values);
         Ok(())
     }
 
@@ -169,9 +665,51 @@ impl Sample {
     }
 
     /// The measurements in ascending order.
-    #[inline]
+    ///
+    /// In the flat tier this is the live sorted index (free); in the
+    /// tiered tier it is a **lazily materialized** contiguous copy,
+    /// rebuilt on first access after a write (counted in
+    /// [`ingest_stats`](Sample::ingest_stats)). Readers that only walk
+    /// the order — merge cursors, cumulative quantile reads — should
+    /// iterate [`sorted_runs`](Sample::sorted_runs) /
+    /// [`sorted_chunks`](Sample::sorted_chunks) instead, which never
+    /// materialize.
     pub fn sorted(&self) -> &[f64] {
-        &self.sorted
+        match &self.index {
+            SortedIndex::Flat { sorted, .. } => sorted,
+            SortedIndex::Tiered(t) => self.flat.get_or_init(|| {
+                self.materializations.fetch_add(1, Ordering::Relaxed);
+                let mut out = Vec::with_capacity(self.values.len());
+                for leaf in &t.leaves {
+                    out.extend_from_slice(&leaf.vals);
+                }
+                out
+            }),
+        }
+    }
+
+    /// The sorted index as a sequence of ascending runs (one run in the
+    /// flat tier, one per leaf in the tiered tier), each carrying the
+    /// insertion index of every element. Concatenated, the runs are
+    /// exactly [`sorted`](Sample::sorted) — but iterating them costs
+    /// nothing: no flat view is materialized.
+    pub fn sorted_runs(&self) -> SortedRuns<'_> {
+        SortedRuns {
+            inner: match &self.index {
+                SortedIndex::Flat { sorted, ids } => RunsInner::Flat(Some(SortedRun {
+                    values: sorted,
+                    ids,
+                })),
+                SortedIndex::Tiered(t) => RunsInner::Leaves(t.leaves.iter()),
+            },
+        }
+    }
+
+    /// The value slices of [`sorted_runs`](Sample::sorted_runs) — the
+    /// chunked drive for the shared merge cursor
+    /// ([`merge_tie_groups_chunked`](crate::merge::merge_tie_groups_chunked)).
+    pub fn sorted_chunks(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        self.sorted_runs().map(|r| r.values)
     }
 
     /// For each insertion-order index `i`, the position of `values[i]` in
@@ -179,34 +717,120 @@ impl Sample {
     /// values()[i]`. This is the permutation that lets a bootstrap
     /// resample be drawn directly as a count vector over sorted positions
     /// (see `relperf_measure::bootstrap::resample_counts_into`).
-    #[inline]
+    ///
+    /// Lazily materialized from the sorted index on first access after a
+    /// write (counted in [`ingest_stats`](Sample::ingest_stats)); the
+    /// comparator fast path uses insertion-indexed tallies
+    /// (`resample_id_counts_into`) and does not touch it.
     pub fn sorted_positions(&self) -> &[usize] {
-        &self.sorted_pos
+        self.positions.get_or_init(|| {
+            self.materializations.fetch_add(1, Ordering::Relaxed);
+            let mut pos = vec![0usize; self.values.len()];
+            let mut rank = 0usize;
+            for run in self.sorted_runs() {
+                for &id in run.ids {
+                    pos[id as usize] = rank;
+                    rank += 1;
+                }
+            }
+            pos
+        })
+    }
+
+    /// The `k`-th order statistic (0-based, `k < len()`): `sorted()[k]`
+    /// without materializing the flat view — O(1) in the flat tier,
+    /// O(#leaves) in the tiered tier.
+    pub fn order_stat(&self, k: usize) -> f64 {
+        match &self.index {
+            SortedIndex::Flat { sorted, .. } => sorted[k],
+            SortedIndex::Tiered(t) => {
+                let mut rem = k;
+                for leaf in &t.leaves {
+                    if rem < leaf.vals.len() {
+                        return leaf.vals[rem];
+                    }
+                    rem -= leaf.vals.len();
+                }
+                panic!("order statistic {k} out of range");
+            }
+        }
+    }
+
+    /// Observability counters of the ingest engine: current tier, leaf
+    /// count, lazy-view materializations, bulk merges.
+    pub fn ingest_stats(&self) -> IngestStats {
+        let (tiered, leaves) = match &self.index {
+            SortedIndex::Flat { .. } => (false, 1),
+            SortedIndex::Tiered(t) => (true, t.leaves.len()),
+        };
+        IngestStats {
+            tiered,
+            leaves,
+            materializations: self.materializations.load(Ordering::Relaxed),
+            bulk_merges: self.bulk_merges,
+        }
+    }
+
+    /// Re-chunks the sorted index into a tiered index with a custom leaf
+    /// size, regardless of [`TIER_THRESHOLD`](Sample::TIER_THRESHOLD) —
+    /// a test hook for exercising tier behaviour at small `n`. Not part
+    /// of the supported API.
+    #[doc(hidden)]
+    pub fn force_tiered_for_test(&mut self, leaf_target: usize) {
+        assert!(leaf_target >= 2, "leaf target too small");
+        let mut sorted = Vec::with_capacity(self.values.len());
+        let mut ids = Vec::with_capacity(self.values.len());
+        for run in self.sorted_runs() {
+            sorted.extend_from_slice(run.values);
+            ids.extend_from_slice(run.ids);
+        }
+        self.index = SortedIndex::Tiered(TieredIndex::from_flat(sorted, ids, leaf_target));
+        self.invalidate();
     }
 
     /// Smallest measurement.
     pub fn min(&self) -> f64 {
-        self.sorted[0]
+        match &self.index {
+            SortedIndex::Flat { sorted, .. } => sorted[0],
+            SortedIndex::Tiered(t) => t.mins[0],
+        }
     }
 
     /// Largest measurement.
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty")
+        match &self.index {
+            SortedIndex::Flat { sorted, .. } => *sorted.last().expect("non-empty"),
+            SortedIndex::Tiered(t) => *t
+                .leaves
+                .last()
+                .expect("non-empty")
+                .vals
+                .last()
+                .expect("leaves are non-empty"),
+        }
     }
 
-    /// Arithmetic mean.
+    /// Arithmetic mean — O(1) from the running sum, which is maintained
+    /// in insertion order and therefore **bit-identical** to
+    /// `values.iter().sum::<f64>() / n` (same fold, same rounding).
     pub fn mean(&self) -> f64 {
-        self.values.iter().sum::<f64>() / self.len() as f64
+        self.sum / self.len() as f64
     }
 
-    /// Unbiased sample variance (0 for a single measurement).
+    /// Unbiased sample variance (0 for a single measurement) — O(1) from
+    /// the Welford running moments, folded per value in insertion order
+    /// on every growth path (so push, bulk extend, and batch construction
+    /// agree bit for bit). Welford is exact on constant samples (a
+    /// naive `Σv² − (Σv)²/n` would cancel catastrophically there) and
+    /// agrees with the two-pass `Σ(v−μ)²/(n−1)` definition up to the last
+    /// few bits (this is a diagnostic readout — comparison outcomes never
+    /// consume it).
     pub fn variance(&self) -> f64 {
         let n = self.len();
         if n < 2 {
             return 0.0;
         }
-        let m = self.mean();
-        self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        self.m2 / (n as f64 - 1.0)
     }
 
     /// Sample standard deviation.
@@ -225,7 +849,8 @@ impl Sample {
         }
     }
 
-    /// Linear-interpolation quantile (type-7, the numpy/R default).
+    /// Linear-interpolation quantile (type-7, the numpy/R default), read
+    /// from the sorted index by order statistic — no flat view needed.
     ///
     /// # Contract
     /// `q` must lie in `[0, 1]`. The contract is checked with
@@ -238,8 +863,8 @@ impl Sample {
     /// rather than per read.
     pub fn quantile(&self, q: f64) -> f64 {
         debug_assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
-        let (lo, hi, frac) = crate::bootstrap::quantile_interp(q, self.sorted.len());
-        crate::bootstrap::interp_value(self.sorted[lo], self.sorted[hi], lo, hi, frac)
+        let (lo, hi, frac) = crate::bootstrap::quantile_interp(q, self.len());
+        crate::bootstrap::interp_value(self.order_stat(lo), self.order_stat(hi), lo, hi, frac)
     }
 
     /// Median (the 0.5 quantile).
@@ -299,18 +924,67 @@ impl Sample {
     /// reports (the comparison itself uses bootstrapping, not this).
     ///
     /// Counted on the shared merge cursor
-    /// ([`merge_tie_groups`](crate::merge::merge_tie_groups)) over the two
-    /// cached sorted views: a tie group of `self` lies inside iff its
-    /// value is within `other`'s range.
+    /// ([`merge_tie_groups_chunked`](crate::merge::merge_tie_groups_chunked))
+    /// over the two sorted-run sequences: a tie group of `self` lies
+    /// inside iff its value is within `other`'s range. Never materializes
+    /// a flat view.
     pub fn range_overlap(&self, other: &Sample) -> f64 {
         let (lo, hi) = (other.min(), other.max());
         let mut inside = 0usize;
-        crate::merge::merge_tie_groups(self.sorted(), other.sorted(), |g| {
-            if g.value >= lo && g.value <= hi {
-                inside += g.count_a;
-            }
-        });
+        crate::merge::merge_tie_groups_chunked(
+            self.sorted_chunks(),
+            other.sorted_chunks(),
+            |g| {
+                if g.value >= lo && g.value <= hi {
+                    inside += g.count_a;
+                }
+            },
+        );
         inside as f64 / self.len() as f64
+    }
+}
+
+/// One Welford step: folds `v` into the running moments, where `n` is
+/// the count *including* `v`. Every growth path (batch construction,
+/// per-element push, bulk extend) applies this same update per value in
+/// insertion order, so the moments are bit-identical across them; `sum`
+/// rides along as the plain left fold so [`Sample::mean`] matches
+/// `values.iter().sum::<f64>() / n` exactly.
+fn fold_moment(sum: &mut f64, w_mean: &mut f64, m2: &mut f64, v: f64, n: usize) {
+    *sum += v;
+    let delta = v - *w_mean;
+    *w_mean += delta / n as f64;
+    *m2 += delta * (v - *w_mean);
+}
+
+impl Clone for Sample {
+    /// Clones the measurements and the sorted index; the lazy flat views
+    /// and observability counters start fresh (they are caches, not
+    /// state — the clone compares equal to the original).
+    fn clone(&self) -> Self {
+        Sample {
+            values: self.values.clone(),
+            sum: self.sum,
+            w_mean: self.w_mean,
+            m2: self.m2,
+            index: self.index.clone(),
+            flat: OnceLock::new(),
+            positions: OnceLock::new(),
+            materializations: AtomicU64::new(0),
+            bulk_merges: self.bulk_merges,
+        }
+    }
+}
+
+impl PartialEq for Sample {
+    /// Equality of the full growth contract: insertion order, sorted
+    /// view, and position map must all agree bit for bit (lazy caches and
+    /// counters excluded; the internal tier is irrelevant). Comparing
+    /// tiered samples materializes their flat views.
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+            && self.sorted() == other.sorted()
+            && self.sorted_positions() == other.sorted_positions()
     }
 }
 
@@ -532,6 +1206,147 @@ mod tests {
         assert_eq!(err, SampleError::NonFinite(2));
         // 2.0 was ingested before the offender; 3.0 was not.
         assert_eq!(x.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_extend_all_is_all_or_nothing() {
+        let mut x = s(&[1.0]);
+        let before = x.clone();
+        let err = x
+            .try_extend_all(&[2.0, 3.0, f64::INFINITY, 4.0])
+            .unwrap_err();
+        // Index within the batch, Sample::new-style — nothing was inserted.
+        assert_eq!(err, SampleError::NonFinite(2));
+        assert_eq!(x, before);
+        x.try_extend_all(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, s(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn bulk_extend_matches_per_element_push() {
+        // Above BULK_CUTOFF so the gallop-merge path runs; duplicate-heavy
+        // so the stable tie order is genuinely exercised.
+        let base = [5.0, 1.0, 3.0];
+        let wave = [2.0, 3.0, 1.0, 3.0, 9.0, 0.5, 3.0, 3.0, 2.0, 7.0, 1.0, 5.0];
+        let mut bulk = s(&base);
+        bulk.extend_from_slice(&wave).unwrap();
+        let mut pushed = s(&base);
+        for &v in &wave {
+            pushed.push(v).unwrap();
+        }
+        let concat: Vec<f64> = base.iter().chain(&wave).copied().collect();
+        let rebuilt = Sample::new(concat).unwrap();
+        assert_eq!(bulk.values(), pushed.values());
+        assert_eq!(bulk.sorted(), pushed.sorted());
+        assert_eq!(bulk.sorted_positions(), pushed.sorted_positions());
+        assert_eq!(bulk, rebuilt);
+        assert_eq!(bulk.ingest_stats().bulk_merges, 1);
+    }
+
+    #[test]
+    fn tiered_index_matches_flat_views() {
+        // Force the tiered form at tiny scale and check every view against
+        // a flat-built twin, through both push and bulk growth.
+        let vals: Vec<f64> = (0..97).map(|i| ((i * 37) % 23) as f64 * 0.5).collect();
+        let mut tiered = s(&vals[..40]);
+        tiered.force_tiered_for_test(8);
+        assert!(tiered.ingest_stats().tiered);
+        for &v in &vals[40..60] {
+            tiered.push(v).unwrap();
+        }
+        tiered.extend_from_slice(&vals[60..]).unwrap();
+        let flat = s(&vals);
+        assert_eq!(tiered.values(), flat.values());
+        assert_eq!(tiered.sorted(), flat.sorted());
+        assert_eq!(tiered.sorted_positions(), flat.sorted_positions());
+        assert_eq!(tiered.min(), flat.min());
+        assert_eq!(tiered.max(), flat.max());
+        for k in 0..vals.len() {
+            assert_eq!(tiered.order_stat(k), flat.order_stat(k), "k = {k}");
+        }
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            assert_eq!(tiered.quantile(q), flat.quantile(q), "q = {q}");
+        }
+        assert!(tiered.ingest_stats().leaves > 1);
+    }
+
+    #[test]
+    fn promotion_happens_at_the_threshold() {
+        let n = Sample::TIER_THRESHOLD + 10;
+        let vals: Vec<f64> = (0..n).map(|i| ((i * 7919) % n) as f64).collect();
+        let x = Sample::new(vals.clone()).unwrap();
+        assert!(x.ingest_stats().tiered, "Sample::new past the threshold");
+
+        let mut grown = Sample::new(vals[..Sample::TIER_THRESHOLD].to_vec()).unwrap();
+        assert!(!grown.ingest_stats().tiered, "at the threshold stays flat");
+        grown.push(vals[Sample::TIER_THRESHOLD]).unwrap();
+        assert!(grown.ingest_stats().tiered, "crossing the threshold promotes");
+        grown
+            .extend_from_slice(&vals[Sample::TIER_THRESHOLD + 1..])
+            .unwrap();
+        assert_eq!(grown, x);
+    }
+
+    #[test]
+    fn sorted_runs_concatenate_to_sorted() {
+        let vals: Vec<f64> = (0..50).map(|i| ((i * 13) % 17) as f64).collect();
+        let mut x = s(&vals);
+        x.force_tiered_for_test(4);
+        let concat: Vec<f64> = x.sorted_chunks().flatten().copied().collect();
+        assert_eq!(concat, x.sorted());
+        let n: usize = x.sorted_runs().map(|r| r.ids.len()).sum();
+        assert_eq!(n, x.len());
+        for run in x.sorted_runs() {
+            for (j, &id) in run.ids.iter().enumerate() {
+                assert_eq!(x.values()[id as usize], run.values[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn materializations_are_counted_and_caches_invalidate() {
+        let vals: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let mut x = s(&vals);
+        x.force_tiered_for_test(8);
+        assert_eq!(x.ingest_stats().materializations, 0);
+        let _ = x.sorted();
+        let _ = x.sorted(); // cached — no recount
+        assert_eq!(x.ingest_stats().materializations, 1);
+        let _ = x.sorted_positions();
+        assert_eq!(x.ingest_stats().materializations, 2);
+        x.push(1.5).unwrap(); // invalidates both views
+        assert_eq!(x.sorted().len(), 65);
+        let pos = x.sorted_positions().to_vec();
+        assert_eq!(x.ingest_stats().materializations, 4);
+        // The rebuilt views are consistent.
+        for (i, &v) in x.values().iter().enumerate() {
+            assert_eq!(x.sorted()[pos[i]], v);
+        }
+    }
+
+    #[test]
+    fn running_moments_track_every_growth_path() {
+        let vals: Vec<f64> = (0..40).map(|i| 1.0 + (i as f64) * 0.03125).collect();
+        let mut grown = s(&vals[..1]);
+        for &v in &vals[1..20] {
+            grown.push(v).unwrap();
+        }
+        grown.extend_from_slice(&vals[20..]).unwrap();
+        let batch = s(&vals);
+        // Same insertion-order fold → identical bits.
+        assert_eq!(grown.mean(), batch.mean());
+        assert_eq!(grown.variance(), batch.variance());
+        assert_eq!(grown.mean(), vals.iter().sum::<f64>() / vals.len() as f64);
+        // And the moments agree with the two-pass definition numerically.
+        let m = batch.mean();
+        let two_pass =
+            vals.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (vals.len() as f64 - 1.0);
+        assert!((batch.variance() - two_pass).abs() < 1e-9 * two_pass.max(1.0));
+        // Welford is exact on constant data — a naive Σv² − (Σv)²/n
+        // running form would leave √ε·v of cancellation residue here.
+        let mut flat = s(&[1e9; 3]);
+        flat.extend_from_slice(&[1e9; 40]).unwrap();
+        assert_eq!(flat.variance(), 0.0);
     }
 
     #[test]

@@ -19,6 +19,20 @@ fn finite_values() -> impl Strategy<Value = Vec<f64>> {
     vec(0.001f64..1_000.0, 1..200)
 }
 
+/// One measurement that is either a continuous draw or one of six discrete
+/// levels — mixing the two makes duplicate values (cross- and within-wave
+/// ties) common, which is what stresses the stable tie order of the
+/// sorted index.
+fn tie_prone_value() -> impl Strategy<Value = f64> {
+    (proptest::bool::ANY, 0.001f64..1_000.0, 0u8..6).prop_map(|(discrete, cont, level)| {
+        if discrete {
+            level as f64 * 0.25 + 0.25
+        } else {
+            cont
+        }
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -202,6 +216,76 @@ proptest! {
         for q in [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0] {
             prop_assert_eq!(grown.quantile(q), rebuilt.quantile(q), "q = {}", q);
         }
+    }
+
+    #[test]
+    fn bulk_extend_equals_push_equals_batch_construction(
+        base in vec(tie_prone_value(), 1..20),
+        waves in vec(vec(tie_prone_value(), 0..30), 1..6),
+        leaf_target in 2usize..12,
+        force_tier in proptest::bool::ANY,
+    ) {
+        // The ingest-engine growth contract: a sample grown by bulk
+        // gallop-merge waves (any batch split, flat or tiered index) must
+        // be bit-identical — values, sorted view, position map — to one
+        // grown by per-element push AND to one built by Sample::new from
+        // the concatenation, after every wave.
+        let mut bulk = Sample::new(base.clone()).unwrap();
+        if force_tier {
+            bulk.force_tiered_for_test(leaf_target);
+        }
+        let mut pushed = Sample::new(base.clone()).unwrap();
+        let mut all = base.clone();
+        for wave in &waves {
+            bulk.extend_from_slice(wave).unwrap();
+            for &v in wave {
+                pushed.push(v).unwrap();
+            }
+            all.extend_from_slice(wave);
+            let rebuilt = Sample::new(all.clone()).unwrap();
+            prop_assert_eq!(bulk.values(), pushed.values());
+            prop_assert_eq!(bulk.sorted(), pushed.sorted());
+            prop_assert_eq!(bulk.sorted_positions(), pushed.sorted_positions());
+            prop_assert_eq!(bulk.values(), rebuilt.values());
+            prop_assert_eq!(bulk.sorted(), rebuilt.sorted());
+            prop_assert_eq!(bulk.sorted_positions(), rebuilt.sorted_positions());
+            // Running moments ride the same insertion-order fold.
+            prop_assert_eq!(bulk.mean(), pushed.mean());
+            prop_assert_eq!(bulk.variance(), pushed.variance());
+        }
+    }
+
+    #[test]
+    fn tiered_samples_agree_with_flat_twins(
+        a in vec(tie_prone_value(), 1..120),
+        b in vec(tie_prone_value(), 1..120),
+        la in 2usize..10,
+        lb in 2usize..10,
+        stream in 0u64..200,
+    ) {
+        // The tier is a representation choice, never an observable one:
+        // every consumer — merge-cursor statistics, the count-vector
+        // bootstrap fast path, the sort-based oracle — must produce the
+        // same bits on a tiered sample as on its flat twin.
+        let fa = Sample::new(a).unwrap();
+        let fb = Sample::new(b).unwrap();
+        let mut ta = fa.clone();
+        ta.force_tiered_for_test(la);
+        let mut tb = fb.clone();
+        tb.force_tiered_for_test(lb);
+        prop_assert_eq!(ks_distance(&ta, &tb), ks_distance(&fa, &fb));
+        prop_assert_eq!(
+            relperf_measure::ranksum::mann_whitney_u(&ta, &tb),
+            relperf_measure::ranksum::mann_whitney_u(&fa, &fb)
+        );
+        prop_assert_eq!(ta.range_overlap(&tb), fa.range_overlap(&fb));
+        let cmp = BootstrapComparator::with_config(4242, BootstrapConfig {
+            reps: 20,
+            ..Default::default()
+        });
+        let tiered_outcome = cmp.compare_seeded(&ta, &tb, stream);
+        prop_assert_eq!(tiered_outcome, cmp.compare_seeded(&fa, &fb, stream));
+        prop_assert_eq!(tiered_outcome, cmp.compare_seeded_reference(&fa, &fb, stream));
     }
 
     #[test]

@@ -133,8 +133,21 @@ pub enum SessionOp {
         /// The measurement.
         value: f64,
     },
-    /// Ingest a wave of measurements for algorithm `alg`.
+    /// Ingest a wave of measurements for algorithm `alg` (streaming
+    /// semantics: a non-finite value fails the op but keeps the finite
+    /// prefix before it).
     Extend {
+        /// Algorithm index.
+        alg: usize,
+        /// The measurements, in order.
+        values: Vec<f64>,
+    },
+    /// Ingest a wave of measurements for algorithm `alg` **all or
+    /// nothing**: the wave is validated before anything mutates, so a
+    /// non-finite value anywhere rejects the whole op and leaves the
+    /// session untouched (the transactional contract remote tenants
+    /// usually want — no guessing which prefix landed).
+    ExtendAll {
         /// Algorithm index.
         alg: usize,
         /// The measurements, in order.
@@ -166,7 +179,7 @@ pub struct WaveOutcome {
 /// The successful result of one executed [`SessionOp`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum OpOutcome {
-    /// A `Push`/`Extend` was applied.
+    /// A `Push`/`Extend`/`ExtendAll` was applied.
     Ingested,
     /// A `Score` ran (or replayed the previous table when no evidence
     /// arrived since the last wave — see
@@ -921,7 +934,9 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
                     Some(hosted) => {
                         let p = hosted.algorithms;
                         let bad_alg = ops.iter().find_map(|op| match op {
-                            SessionOp::Push { alg, .. } | SessionOp::Extend { alg, .. }
+                            SessionOp::Push { alg, .. }
+                            | SessionOp::Extend { alg, .. }
+                            | SessionOp::ExtendAll { alg, .. }
                                 if *alg >= p =>
                             {
                                 Some(*alg)
@@ -1695,6 +1710,16 @@ fn run_op<C: ScratchThreeWayComparator + Send + Sync>(
             // error is reported; determinism is unaffected since the
             // ingested prefix is the same on every replay.
             session.extend(alg, &values)?;
+            Ok(OpOutcome::Ingested)
+        }
+        SessionOp::ExtendAll { alg, values } => {
+            if alg >= p {
+                return Err(ServiceError::AlgorithmOutOfRange { alg, p });
+            }
+            // All-or-nothing: validation happens before any mutation, so
+            // a rejected wave leaves the session (and its comparison
+            // caches) exactly as it was — on replay too.
+            session.try_extend_all(alg, &values)?;
             Ok(OpOutcome::Ingested)
         }
         SessionOp::Score => {

@@ -485,6 +485,14 @@ pub(crate) fn enc_op(w: &mut Writer, op: &SessionOp) {
         SessionOp::Score => w.u8(2),
         SessionOp::Snapshot => w.u8(3),
         SessionOp::Close => w.u8(4),
+        SessionOp::ExtendAll { alg, values } => {
+            w.u8(5);
+            w.u64(*alg as u64);
+            w.u64(values.len() as u64);
+            for &v in values {
+                w.f64(v);
+            }
+        }
     }
 }
 
@@ -505,6 +513,14 @@ pub(crate) fn dec_op(r: &mut Reader) -> Result<SessionOp, SnapshotError> {
         2 => SessionOp::Score,
         3 => SessionOp::Snapshot,
         4 => SessionOp::Close,
+        5 => {
+            // Same payload as Extend; the tag alone carries the
+            // all-or-nothing semantics (journal replay included).
+            let alg = r.u64()? as usize;
+            let len = r.len(8)?;
+            let values = (0..len).map(|_| r.f64()).collect::<Result<_, _>>()?;
+            SessionOp::ExtendAll { alg, values }
+        }
         _ => return Err(SnapshotError::Malformed("unknown session op tag")),
     })
 }

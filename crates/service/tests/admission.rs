@@ -237,6 +237,54 @@ fn per_op_failures_are_typed_and_isolated() {
     assert_eq!(s.session_status(1, 1).unwrap().total_measurements, 2);
 }
 
+/// `ExtendAll` is transactional where `Extend` is streaming: a poisoned
+/// wave ingests nothing, reports the slice-relative offender, and leaves
+/// the session byte-for-byte where it was.
+#[test]
+fn extend_all_is_all_or_nothing_at_the_service_layer() {
+    let s = tiny_service(ServiceLimits::default());
+    s.create_session(1, 1, SessionSpec::new(2, 7)).unwrap();
+    // Out-of-range algorithm index is rejected at submit, before queueing.
+    assert!(matches!(
+        s.submit(
+            1,
+            1,
+            SessionOp::ExtendAll { alg: 2, values: vec![1.0] }
+        ),
+        Err(ServiceError::AlgorithmOutOfRange { alg: 2, p: 2 })
+    ));
+    let ok = s
+        .submit(
+            1,
+            1,
+            SessionOp::ExtendAll {
+                alg: 0,
+                values: vec![1.0, 2.0, 3.0],
+            },
+        )
+        .unwrap();
+    let poisoned = s
+        .submit(
+            1,
+            1,
+            SessionOp::ExtendAll {
+                alg: 1,
+                values: vec![4.0, f64::NAN, 5.0],
+            },
+        )
+        .unwrap();
+    let responses = s.run_batch();
+    let by_seq = |seq: u64| responses.iter().find(|r| r.seq == seq).unwrap().result.clone();
+    assert_eq!(by_seq(ok), Ok(OpOutcome::Ingested));
+    // The offender index is relative to the submitted wave, and nothing
+    // from the wave — not even the finite prefix — was ingested.
+    assert_eq!(
+        by_seq(poisoned),
+        Err(ServiceError::BadSample(SampleError::NonFinite(1)))
+    );
+    assert_eq!(s.session_status(1, 1).unwrap().total_measurements, 3);
+}
+
 #[test]
 fn close_frees_the_slot_and_later_ops_fail_typed() {
     let s = tiny_service(ServiceLimits::default());

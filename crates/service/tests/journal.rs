@@ -22,6 +22,10 @@ fn sample_ops(seed: u64) -> Vec<SessionOp> {
             alg: 0,
             values: (0..(seed % 4 + 1)).map(|i| i as f64 + 0.25).collect(),
         },
+        SessionOp::ExtendAll {
+            alg: 1,
+            values: (0..(seed % 3 + 1)).map(|i| i as f64 * 1.5 - 0.5).collect(),
+        },
         SessionOp::Score,
         SessionOp::Snapshot,
         SessionOp::Close,

@@ -67,6 +67,10 @@ fn rich_requests() -> Vec<Request> {
                     alg: 2,
                     values: vec![-1.0, 0.0, 3.25e300],
                 },
+                SessionOp::ExtendAll {
+                    alg: 1,
+                    values: vec![f64::NEG_INFINITY, 2.5, -0.0],
+                },
                 SessionOp::Score,
                 SessionOp::Snapshot,
                 SessionOp::Close,

@@ -101,6 +101,27 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D, E, F);
 }
 
+/// Strategies for `bool`, mirroring `proptest::bool`.
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::prelude::*;
+
+    /// Strategy yielding `true` or `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical instance, mirroring `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.random_range(0u8..2) == 1
+        }
+    }
+}
+
 /// Collection strategies.
 pub mod collection {
     use super::strategy::Strategy;

@@ -16,7 +16,9 @@
 //!   the Regularized-Least-Squares `MathTask`, FLOP accounting),
 //! * [`sim`] — the edge-platform simulator (devices, links, noise,
 //!   energy/cost metering, calibrated presets),
-//! * [`measure`] — samples, bootstrap, three-way comparators,
+//! * [`measure`] — samples (gallop-merge bulk ingest over a tiered
+//!   sorted index), bootstrap, three-way comparators, and the opt-in
+//!   bounded-memory [`QuantileSketch`](crate::measure::QuantileSketch),
 //! * [`core`] — three-way bubble sort, performance classes, relative
 //!   scores, decision models, and the streaming
 //!   [`ClusterSession`](crate::core::session::ClusterSession),
@@ -80,8 +82,8 @@ pub mod prelude {
     pub use relperf_core::sort::{sort, sort_from, sort_with_trace, SortState};
     pub use relperf_measure::compare::{BootstrapComparator, BootstrapConfig, MedianComparator};
     pub use relperf_measure::{
-        Outcome, Sample, Scratch, ScratchThreeWayComparator, SeededThreeWayComparator,
-        ThreeWayComparator,
+        IngestStats, Outcome, QuantileSketch, Sample, Scratch, ScratchThreeWayComparator,
+        SeededThreeWayComparator, SketchComparator, SketchConfig, ThreeWayComparator,
     };
     pub use relperf_parallel::{parallel_map_indexed, parallel_map_indexed_with, Parallelism};
     pub use relperf_service::{

@@ -9,22 +9,44 @@
 use crate::sample::Sample;
 
 /// An empirical CDF built from a [`Sample`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Backed by ascending sorted **runs** whose concatenation is the
+/// sample's full sorted view. [`Ecdf::new`] copies that flat view (on a
+/// tiered sample this materializes it — a counted allocation);
+/// [`Ecdf::from_runs`] copies the leaf runs as they stand
+/// ([`Sample::sorted_chunks`]), so KS-heavy consumers of tiered samples
+/// never pay for a flat view they don't otherwise need. Both
+/// constructors describe the same function — equality
+/// ([`PartialEq`]) and every query are defined over the merged order,
+/// not the run structure.
+#[derive(Debug, Clone)]
 pub struct Ecdf {
-    sorted: Vec<f64>,
+    /// Ascending runs; concatenated they are the full sorted view.
+    runs: Vec<Vec<f64>>,
+    len: usize,
 }
 
 impl Ecdf {
-    /// Builds the ECDF of a sample.
+    /// Builds the ECDF from the sample's flat sorted view (materializing
+    /// it on tiered samples).
     pub fn new(sample: &Sample) -> Self {
-        Ecdf {
-            sorted: sample.sorted().to_vec(),
-        }
+        let sorted = sample.sorted().to_vec();
+        let len = sorted.len();
+        Ecdf { runs: vec![sorted], len }
+    }
+
+    /// Builds the ECDF from the sample's sorted leaf runs without ever
+    /// materializing the flat view — the tiered-friendly constructor,
+    /// bit-identical to [`Ecdf::new`] on the same sample.
+    pub fn from_runs(sample: &Sample) -> Self {
+        let runs: Vec<Vec<f64>> = sample.sorted_chunks().map(<[f64]>::to_vec).collect();
+        let len = runs.iter().map(Vec::len).sum();
+        Ecdf { runs, len }
     }
 
     /// Number of underlying observations.
     pub fn len(&self) -> usize {
-        self.sorted.len()
+        self.len
     }
 
     /// Always `false` (samples are non-empty by construction).
@@ -34,15 +56,24 @@ impl Ecdf {
 
     /// `F(x)` — the fraction of observations `≤ x`.
     pub fn eval(&self, x: f64) -> f64 {
-        // partition_point returns the count of elements <= x via the
-        // predicate `v <= x` on the sorted data.
-        let count = self.sorted.partition_point(|&v| v <= x);
-        count as f64 / self.sorted.len() as f64
+        // Each run's partition_point is its count of elements <= x; the
+        // counts sum to the global count whatever the run boundaries.
+        let count: usize = self.runs.iter().map(|run| run.partition_point(|&v| v <= x)).sum();
+        count as f64 / self.len as f64
     }
 
-    /// The observation values where the ECDF steps.
-    pub fn support(&self) -> &[f64] {
-        &self.sorted
+    /// The observation values where the ECDF steps, ascending.
+    pub fn support(&self) -> impl Iterator<Item = &f64> + '_ {
+        self.runs.iter().flat_map(|run| run.iter())
+    }
+}
+
+/// Equality over the merged observation sequence: two ECDFs are equal
+/// exactly when they describe the same function, regardless of how their
+/// backing runs are cut.
+impl PartialEq for Ecdf {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.support().eq(other.support())
     }
 }
 
@@ -115,6 +146,31 @@ mod tests {
     fn ecdf_with_ties() {
         let f = Ecdf::new(&s(&[1.0, 1.0, 2.0]));
         assert!((f.eval(1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_backed_ecdf_never_materializes_and_matches_flat() {
+        let values = [4.0, 1.0, 3.0, 2.0, 5.0, 2.0, 9.0, 0.5];
+        let flat = Ecdf::new(&s(&values));
+        let mut tiered = s(&values);
+        tiered.force_tiered_for_test(3);
+        assert_eq!(tiered.ingest_stats().materializations, 0);
+        let f = Ecdf::from_runs(&tiered);
+        assert_eq!(
+            tiered.ingest_stats().materializations,
+            0,
+            "from_runs must not materialize the flat view"
+        );
+        assert_eq!(f, flat, "run structure must not leak into equality");
+        assert_eq!(f.len(), flat.len());
+        for &x in &values {
+            assert_eq!(f.eval(x), flat.eval(x));
+            assert_eq!(f.eval(x - 0.25), flat.eval(x - 0.25));
+        }
+        assert!(f.support().eq(flat.support()));
+        // The flat constructor on the tiered sample *does* materialize.
+        let _ = Ecdf::new(&tiered);
+        assert_eq!(tiered.ingest_stats().materializations, 1);
     }
 
     #[test]

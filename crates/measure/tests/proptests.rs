@@ -145,6 +145,31 @@ proptest! {
     }
 
     #[test]
+    fn run_backed_ecdf_is_bit_identical_to_flat(
+        values in finite_values(),
+        leaf in 2usize..9,
+    ) {
+        let flat = Ecdf::new(&Sample::new(values.clone()).unwrap());
+        let mut tiered = Sample::new(values.clone()).unwrap();
+        tiered.force_tiered_for_test(leaf);
+        let before = tiered.ingest_stats().materializations;
+        let f = Ecdf::from_runs(&tiered);
+        prop_assert_eq!(
+            tiered.ingest_stats().materializations, before,
+            "from_runs materialized the flat view"
+        );
+        prop_assert_eq!(&f, &flat);
+        prop_assert_eq!(f.len(), flat.len());
+        prop_assert!(f.support().eq(flat.support()), "merged support orders differ");
+        for &x in &values {
+            // Bit-identical at every step point and strictly between steps.
+            prop_assert_eq!(f.eval(x), flat.eval(x));
+            prop_assert_eq!(f.eval(x - 0.0004), flat.eval(x - 0.0004));
+            prop_assert_eq!(f.eval(x + 0.0004), flat.eval(x + 0.0004));
+        }
+    }
+
+    #[test]
     fn ks_distance_is_a_pseudometric(a in finite_values(), b in finite_values(), c in finite_values()) {
         let sa = Sample::new(a).unwrap();
         let sb = Sample::new(b).unwrap();

@@ -18,7 +18,7 @@
 use crate::error::ServiceError;
 use crate::runtime::{RuntimeError, RuntimeHandle};
 use crate::service::{OpResponse, SessionOp, SessionSpec, SessionStatus};
-use crate::stats::ServiceStats;
+use crate::stats::{RecoveryHealth, ServiceStats};
 use crate::wire::{
     self, decode_response, encode_request, read_frame, write_frame, Request, Response, WireError,
 };
@@ -226,6 +226,16 @@ impl Default for RetryPolicy {
     }
 }
 
+/// SplitMix64: the standard 64-bit finalizer-style mixer — one pass
+/// turns `(seed ^ attempt)` into well-distributed jitter bits with no
+/// RNG state to carry.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 impl RetryPolicy {
     /// `attempts` tries with no sleeping between them — fully
     /// deterministic, the right shape for tests and sync-mode runtimes.
@@ -233,6 +243,35 @@ impl RetryPolicy {
         RetryPolicy {
             max_attempts: attempts,
             backoff_schedule: Vec::new(),
+        }
+    }
+
+    /// Seeded exponential backoff with bounded jitter: the sleep before
+    /// retry *k* is `min(cap, base · 2^(k-1))` scaled by a factor in
+    /// `[0.75, 1.25)` drawn from a SplitMix64 mix of `seed` and `k`.
+    ///
+    /// The whole schedule is **precomputed here**, so two clients built
+    /// with the same arguments sleep the exact same sequence — retry
+    /// behavior stays reproducible (and pinnable by test) while distinct
+    /// seeds de-synchronize a thundering herd. No time source and no
+    /// shared RNG is consulted, preserving the exactly-once admission
+    /// argument of [`submit_with_retry`](WireClient::submit_with_retry):
+    /// jitter changes *when* a retry happens, never *whether* an op
+    /// group could be admitted twice.
+    pub fn exponential(max_attempts: usize, base: Duration, cap: Duration, seed: u64) -> Self {
+        let retries = max_attempts.saturating_sub(1);
+        let schedule = (1..=retries as u64)
+            .map(|k| {
+                let exp = base.saturating_mul(1u32 << (k - 1).min(31) as u32).min(cap);
+                // Top 53 bits → uniform in [0, 1): full f64 precision.
+                let unit = (splitmix64(seed ^ k) >> 11) as f64 / (1u64 << 53) as f64;
+                let scaled = exp.as_nanos() as f64 * (0.75 + 0.5 * unit);
+                Duration::from_nanos(scaled as u64)
+            })
+            .collect();
+        RetryPolicy {
+            max_attempts,
+            backoff_schedule: schedule,
         }
     }
 
@@ -453,9 +492,34 @@ impl<S: Read + Write> WireClient<S> {
         tenant: u64,
         session: u64,
     ) -> Result<Option<SessionStatus>, ClientError> {
+        Ok(self.status_with_health(tenant, session)?.0)
+    }
+
+    /// [`session_status`](WireClient::session_status) plus the service's
+    /// recovery health gauges — what the last crash recovery or failover
+    /// promotion replayed (all zero on a clean boot). The pair is what a
+    /// reconciling client wants after a failover: *whether* its session
+    /// survived, and *whether* it is talking to a promoted service.
+    pub fn status_with_health(
+        &mut self,
+        tenant: u64,
+        session: u64,
+    ) -> Result<(Option<SessionStatus>, RecoveryHealth), ClientError> {
         match self.call(&Request::Status { tenant, session })? {
-            Response::Status { status } => Ok(status),
+            Response::Status { status, recovery } => Ok((status, recovery)),
             _ => Err(ClientError::Protocol("unexpected response to Status")),
+        }
+    }
+
+    /// Delivers one replication `SHIP` envelope to a follower served by
+    /// [`serve_follower`](crate::wire::serve_follower), returning its
+    /// applied watermark. Replication rejections come back typed
+    /// ([`ServiceError::Replication`]).
+    pub fn ship(&mut self, envelope: Vec<u8>) -> Result<u64, ClientError> {
+        match self.call(&Request::Ship { envelope })? {
+            Response::ShipAck { watermark, .. } => Ok(watermark),
+            Response::Error { error } => Err(ClientError::Service(error)),
+            _ => Err(ClientError::Protocol("unexpected response to Ship")),
         }
     }
 

@@ -7,6 +7,7 @@
 //! the process down nor wedge the scheduler.
 
 use crate::journal::{JournalError, JournalIoError};
+use crate::replication::ReplicationError;
 use crate::snapshot::SnapshotError;
 use relperf_core::session::CriterionError;
 use relperf_measure::sample::SampleError;
@@ -108,6 +109,10 @@ pub enum ServiceError {
     /// [`session_status`](crate::service::SessionService::session_status)
     /// first.
     Journal(JournalIoError),
+    /// The replication layer failed: a shipped segment was rejected, a
+    /// follower diverged or was sealed, or a promotion was attempted on
+    /// a replica that is not cleanly [`Following`](crate::replication::ReplicaState::Following).
+    Replication(ReplicationError),
 }
 
 impl fmt::Display for ServiceError {
@@ -156,6 +161,7 @@ impl fmt::Display for ServiceError {
             ServiceError::BadSample(e) => write!(f, "measurement rejected: {e}"),
             ServiceError::BadSnapshot(e) => write!(f, "snapshot rejected: {e}"),
             ServiceError::Journal(e) => write!(f, "admission not journaled: {e}"),
+            ServiceError::Replication(e) => write!(f, "replication failed: {e}"),
         }
     }
 }
@@ -183,6 +189,12 @@ impl From<SnapshotError> for ServiceError {
 impl From<JournalIoError> for ServiceError {
     fn from(e: JournalIoError) -> Self {
         ServiceError::Journal(e)
+    }
+}
+
+impl From<ReplicationError> for ServiceError {
+    fn from(e: ReplicationError) -> Self {
+        ServiceError::Replication(e)
     }
 }
 

@@ -139,6 +139,15 @@ pub enum JournalRecord {
         /// Every session resident in (or spilled from) the shard.
         sessions: Vec<CheckpointSession>,
     },
+    /// A divergence-detection beacon: the leader's per-session export
+    /// checksums at a quiesced point in the stream. Replicas recompute
+    /// the same checksums after replay and must match; recovery skips
+    /// these records (they carry no state).
+    Digest {
+        /// One entry per session resident in (or spilled from) the shard
+        /// when the digest was emitted.
+        sessions: Vec<DigestSession>,
+    },
 }
 
 /// One session inside a [`JournalRecord::Checkpoint`].
@@ -153,6 +162,21 @@ pub struct CheckpointSession {
     pub last_applied: Option<u64>,
     /// Snapshot codec bytes (`RPSN`) for the session.
     pub snapshot: Vec<u8>,
+}
+
+/// One session inside a [`JournalRecord::Digest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestSession {
+    /// Owning tenant.
+    pub tenant: u64,
+    /// Session id within the tenant.
+    pub session: u64,
+    /// Highest op seq applied to the session when the digest was taken.
+    pub last_applied: Option<u64>,
+    /// FNV-1a 64 checksum of the session's canonical snapshot-codec
+    /// export (RNG streams excluded) — bit-exact across replicas by the
+    /// codec's determinism.
+    pub checksum: u64,
 }
 
 /// Typed decode/scan failure for a journal or base stream.
@@ -354,6 +378,17 @@ pub fn encode_record(record: &JournalRecord) -> Vec<u8> {
                 enc_bytes(&mut w, &s.snapshot);
             }
         }
+        JournalRecord::Digest { sessions } => {
+            w.u8(4);
+            w.u64(sessions.len() as u64);
+            for s in sessions {
+                w.u64(s.tenant);
+                w.u64(s.session);
+                w.flag(s.last_applied.is_some());
+                w.u64(s.last_applied.unwrap_or(0));
+                w.u64(s.checksum);
+            }
+        }
     }
     frame(&w.buf)
 }
@@ -425,6 +460,24 @@ fn decode_payload(offset: usize, payload: &[u8]) -> Result<JournalRecord, Journa
                 });
             }
             JournalRecord::Checkpoint { seq_floor, sessions }
+        }
+        4 => {
+            let n = r.len(33).map_err(err)?;
+            let mut sessions = Vec::with_capacity(n);
+            for _ in 0..n {
+                let tenant = r.u64().map_err(err)?;
+                let session = r.u64().map_err(err)?;
+                let has = r.flag("last_applied flag").map_err(err)?;
+                let seq = r.u64().map_err(err)?;
+                let checksum = r.u64().map_err(err)?;
+                sessions.push(DigestSession {
+                    tenant,
+                    session,
+                    last_applied: has.then_some(seq),
+                    checksum,
+                });
+            }
+            JournalRecord::Digest { sessions }
         }
         _ => {
             return Err(JournalError::Corrupt {

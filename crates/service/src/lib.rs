@@ -49,6 +49,16 @@
 //!   continue **bit-identically** to an uninterrupted run (proven by an
 //!   exhaustive crash-point fault-injection sweep in
 //!   `tests/recovery.rs`).
+//! * [`replication`] — journal-shipping replication: a
+//!   [`JournalShipper`] taps the leader's durable record stream and
+//!   ships checksummed, sequenced `SHIP` segments to a [`Follower`]
+//!   that replays them into a warm standby and acks its applied
+//!   watermark; periodic divergence digests catch any state drift as a
+//!   typed [`ReplicaState::Diverged`], and
+//!   [`Follower::promote`] turns the standby into a serving leader
+//!   after a failover — proven bit-identical under a partition
+//!   fault-injection sweep (drop / duplicate / reorder / truncate /
+//!   bit-flip) in `tests/replication.rs`.
 //! * [`campaign`] — adaptive measurement campaigns
 //!   ([`ServiceCampaign`]) driven through the
 //!   service instead of a private session, checkpointable mid-flight.
@@ -82,6 +92,7 @@ pub mod campaign;
 pub mod client;
 pub mod error;
 pub mod journal;
+pub mod replication;
 pub mod runtime;
 pub mod service;
 pub mod snapshot;
@@ -95,13 +106,17 @@ pub use journal::{
     CrashPoint, FileJournalStore, JournalConfig, JournalError, JournalIoError, JournalRecord,
     JournalStore, MemJournalStore, StoredShard, CRASH_POINTS,
 };
+pub use replication::{
+    Follower, InProcTransport, JournalShipper, PromotionReport, PumpReport, ReplicaState,
+    ReplicationError, SegmentTransport, ShipperConfig, ShipSegment,
+};
 pub use runtime::{RuntimeConfig, RuntimeError, RuntimeHandle, ServiceRuntime};
 pub use service::{
     OpOutcome, OpResponse, RecoveryReport, SessionKey, SessionOp, SessionService, SessionSpec,
     SessionStatus, ServiceLimits, SharedComparator, WaveOutcome,
 };
 pub use snapshot::{SessionSnapshot, SnapshotError};
-pub use stats::ServiceStats;
+pub use stats::{RecoveryHealth, ServiceStats};
 pub use wire::WireError;
 
 /// The commonly used service surface, re-exported flat.
@@ -113,13 +128,17 @@ pub mod prelude {
         CrashPoint, FileJournalStore, JournalConfig, JournalError, JournalIoError, JournalRecord,
         JournalStore, MemJournalStore, StoredShard, CRASH_POINTS,
     };
+    pub use crate::replication::{
+        Follower, InProcTransport, JournalShipper, PromotionReport, PumpReport, ReplicaState,
+        ReplicationError, SegmentTransport, ShipperConfig, ShipSegment,
+    };
     pub use crate::runtime::{RuntimeConfig, RuntimeError, RuntimeHandle, ServiceRuntime};
     pub use crate::service::{
         OpOutcome, OpResponse, RecoveryReport, SessionKey, SessionOp, SessionService, SessionSpec,
         SessionStatus, ServiceLimits, WaveOutcome,
     };
     pub use crate::snapshot::{SessionSnapshot, SnapshotError};
-    pub use crate::stats::ServiceStats;
+    pub use crate::stats::{RecoveryHealth, ServiceStats};
     pub use crate::wire::WireError;
     pub use relperf_core::cluster::{ClusterConfig, Parallelism};
     pub use relperf_core::session::ConvergenceCriterion;

@@ -43,6 +43,7 @@
 
 use crate::error::{RecoveryError, ServiceError};
 use crate::journal::{JournalConfig, JournalStore};
+use crate::replication::{JournalShipper, SegmentTransport};
 use crate::service::{
     OpResponse, RecoveryReport, SessionOp, SessionService, SessionSpec, SessionStatus,
     ServiceLimits,
@@ -292,6 +293,46 @@ impl<C: ScratchThreeWayComparator + Send + Sync + 'static> ServiceRuntime<C> {
         self.handle.clone()
     }
 
+    /// Starts a background **shipper thread** that pumps `shipper`
+    /// through `transport` every `interval` until shutdown (with one
+    /// final pump after stop, so a cleanly stopped leader leaves nothing
+    /// durable unshipped). Build the pair with
+    /// [`JournalShipper::wrap_stores`] and hand the wrapped stores to the
+    /// service before starting the runtime. Ship/ack progress lands in
+    /// [`ServiceStats::segments_shipped`] /
+    /// [`segments_acked`](ServiceStats::segments_acked); per-lane
+    /// delivery failures are retried on the next pump (see
+    /// [`JournalShipper::pump`]).
+    pub fn attach_shipper<T: SegmentTransport + Send + 'static>(
+        &mut self,
+        mut shipper: JournalShipper,
+        mut transport: T,
+        interval: Duration,
+    ) {
+        let shared = Arc::clone(&self.handle.0);
+        let join = thread::Builder::new()
+            .name("relperf-shipper".to_string())
+            .spawn(move || {
+                loop {
+                    let stopping = shared.stop.load(Ordering::Acquire);
+                    let report = shipper.pump(&mut transport);
+                    let counters = shared.service.stat_counters();
+                    counters
+                        .segments_shipped
+                        .fetch_add(report.cut as u64, Ordering::Relaxed);
+                    counters
+                        .segments_acked
+                        .fetch_add(report.acked as u64, Ordering::Relaxed);
+                    if stopping {
+                        break;
+                    }
+                    thread::park_timeout(interval);
+                }
+            })
+            .expect("spawn shipper thread");
+        self.joins.push(join);
+    }
+
     /// Stops the scheduler threads and joins them. Queued-but-undrained
     /// ops stay queued in the underlying service; undelivered mailbox
     /// contents are dropped with the runtime.
@@ -476,6 +517,13 @@ impl<C: ScratchThreeWayComparator + Send + Sync> RuntimeHandle<C> {
     /// [`SessionService::compact_all`] pass-through.
     pub fn compact_all(&self) -> Result<usize, ServiceError> {
         self.0.service.compact_all()
+    }
+
+    /// [`SessionService::emit_digests`] pass-through — append divergence
+    /// digests to every quiesced shard so downstream followers can audit
+    /// their replayed state.
+    pub fn emit_digests(&self) -> Result<usize, ServiceError> {
+        self.0.service.emit_digests()
     }
 
     /// Whether this runtime runs batches inline (no scheduler threads).

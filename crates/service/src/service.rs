@@ -72,9 +72,10 @@
 
 use crate::error::{RecoveryError, ServiceError};
 use crate::journal::{
-    self, CheckpointSession, JournalConfig, JournalIoError, JournalRecord, JournalStore,
+    self, CheckpointSession, DigestSession, JournalConfig, JournalIoError, JournalRecord,
+    JournalStore,
 };
-use crate::snapshot::{self, SessionSnapshot, SnapshotError};
+use crate::snapshot::{self, fnv1a64, SessionSnapshot, SnapshotError};
 use crate::stats::{ServiceStats, StatCounters};
 use relperf_core::cluster::{ClusterConfig, Clustering, Parallelism, ScoreTable};
 use relperf_core::session::{ClusterSession, ConvergenceCriterion};
@@ -262,7 +263,7 @@ pub struct SessionStatus {
 /// (sessions move between scheduler workers; the comparator itself is
 /// `Sync` and never cloned).
 #[derive(Debug)]
-pub struct SharedComparator<C>(Arc<C>);
+pub struct SharedComparator<C>(pub(crate) Arc<C>);
 
 impl<C> Clone for SharedComparator<C> {
     fn clone(&self) -> Self {
@@ -486,7 +487,7 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
         Self::from_arc(Arc::new(comparator), shards, scheduler, limits)
     }
 
-    fn from_arc(
+    pub(crate) fn from_arc(
         comparator: Arc<C>,
         shards: usize,
         scheduler: Parallelism,
@@ -1243,6 +1244,96 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
         self.stats.snapshot()
     }
 
+    /// The live counters (replication and recovery paths bump them from
+    /// outside the service's own methods).
+    pub(crate) fn stat_counters(&self) -> &StatCounters {
+        &self.stats
+    }
+
+    /// Resumes the global seq counter past every already-issued ticket
+    /// (recovery / follower promotion).
+    pub(crate) fn resume_seq(&self, next: u64) {
+        self.seq.store(next, Ordering::Relaxed);
+    }
+
+    /// Attaches one journal per shard and installs fresh checkpoints —
+    /// the `with_journal` tail shared with follower promotion, which
+    /// builds the service first and makes it durable after.
+    pub(crate) fn attach_journals(
+        &self,
+        config: JournalConfig,
+        stores: Vec<Box<dyn JournalStore>>,
+    ) -> Result<(), ServiceError> {
+        assert_eq!(
+            stores.len(),
+            self.shards.len(),
+            "one journal store per shard"
+        );
+        for (idx, store) in stores.into_iter().enumerate() {
+            self.shard(idx).journal = Some(ShardJournal::new(store, config));
+        }
+        self.compact_all()?;
+        Ok(())
+    }
+
+    /// Appends a divergence-detection
+    /// [`Digest`](JournalRecord::Digest) record to every **quiesced**
+    /// journaled shard (no checkouts, no pending ops, empty queue) and
+    /// syncs it durable, returning how many shards emitted one. A
+    /// replica replaying the stream reaches exactly the state the digest
+    /// checksums, so the digest pins the whole replicated prefix;
+    /// busy or sealed shards are skipped (the next quiesce catches up).
+    ///
+    /// The per-session checksum is FNV-1a 64 over the session's
+    /// canonical snapshot-codec export with RNG streams excluded — the
+    /// same bytes a spill or checkpoint would write, so resident and
+    /// spilled sessions digest identically.
+    pub fn emit_digests(&self) -> Result<usize, ServiceError> {
+        let mut emitted = 0;
+        for idx in 0..self.shards.len() {
+            let mut guard = self.shard(idx);
+            let shard = &mut *guard;
+            let ready = shard.journal.as_ref().is_some_and(|j| !j.sealed)
+                && shard.queue.is_empty()
+                && shard
+                    .sessions
+                    .values()
+                    .all(|h| h.session.is_some() && h.pending == 0);
+            if !ready {
+                continue;
+            }
+            let mut sessions: Vec<DigestSession> =
+                Vec::with_capacity(shard.sessions.len() + shard.spilled.len());
+            for (key, hosted) in &shard.sessions {
+                let session = hosted.session.as_ref().expect("quiesced (checked above)");
+                sessions.push(DigestSession {
+                    tenant: key.tenant,
+                    session: key.session,
+                    last_applied: hosted.last_applied,
+                    checksum: session_checksum(session),
+                });
+            }
+            for (key, spilled) in &shard.spilled {
+                sessions.push(DigestSession {
+                    tenant: key.tenant,
+                    session: key.session,
+                    last_applied: spilled.last_applied,
+                    checksum: fnv1a64(&spilled.bytes),
+                });
+            }
+            sessions.sort_by_key(|s| (s.tenant, s.session));
+            let bytes = journal::encode_record(&JournalRecord::Digest { sessions });
+            let j = shard.journal.as_mut().expect("journaled (checked above)");
+            j.append(&bytes, 0, &self.stats)?;
+            // A digest is only useful once shipped; force it durable now
+            // rather than waiting out the group-commit window.
+            j.sync(&self.stats)?;
+            StatCounters::bump(&self.stats.digests_emitted);
+            emitted += 1;
+        }
+        Ok(emitted)
+    }
+
     // -- durability ---------------------------------------------------------
 
     /// Installs a fresh checkpoint for shard `idx` and truncates its
@@ -1455,6 +1546,7 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
                 .map_err(|error| RecoveryError::Journal { shard, error })?;
             if scan.torn {
                 report.torn_shards += 1;
+                report.truncated_bytes += stored.journal.len() - scan.valid_len;
             }
             for (offset, record) in scan.records {
                 match record {
@@ -1542,6 +1634,9 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
                             },
                         });
                     }
+                    // Divergence beacons carry no state; a restarting
+                    // leader replays past them (replicas consume them).
+                    JournalRecord::Digest { .. } => {}
                 }
             }
         }
@@ -1552,6 +1647,11 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
         service.seq.store(next_seq, Ordering::Relaxed);
         report.sessions = sessions.len();
         report.next_seq = next_seq;
+        service.stats.record_recovery(
+            report.replayed_ops as u64,
+            report.torn_shards as u64,
+            report.truncated_bytes as u64,
+        );
         let mut keys: Vec<SessionKey> = sessions.keys().copied().collect();
         keys.sort();
         for key in keys {
@@ -1581,7 +1681,7 @@ impl<C: ScratchThreeWayComparator + Send + Sync> SessionService<C> {
 
     /// Installs one recovered session (journals are not attached yet, so
     /// this never appends; the post-recovery checkpoint makes it durable).
-    fn install_recovered(
+    pub(crate) fn install_recovered(
         &self,
         key: SessionKey,
         session: ClusterSession<SharedComparator<C>>,
@@ -1617,14 +1717,55 @@ pub struct RecoveryReport {
     /// Shards whose journal ended in a torn (partially written) record;
     /// the tail was truncated and the truncation made durable.
     pub torn_shards: usize,
+    /// Total torn-tail bytes truncated across all shards.
+    pub truncated_bytes: usize,
     /// Where the global seq counter resumes — strictly above every
     /// recovered ticket.
     pub next_seq: u64,
 }
 
+/// Validates a journaled `Create` spec and builds the session — the
+/// admission-path checks, shared with follower replay so a replica
+/// applies exactly what the leader admitted.
+pub(crate) fn build_session<C: ScratchThreeWayComparator + Send + Sync>(
+    comparator: &Arc<C>,
+    spec: &SessionSpec,
+) -> Result<ClusterSession<SharedComparator<C>>, ServiceError> {
+    if spec.algorithms == 0 {
+        return Err(ServiceError::NoAlgorithms);
+    }
+    if spec.config.repetitions == 0 {
+        return Err(ServiceError::NoRepetitions);
+    }
+    spec.criterion.try_validate()?;
+    Ok(ClusterSession::with_criterion(
+        spec.algorithms,
+        SharedComparator(Arc::clone(comparator)),
+        spec.config,
+        spec.seed,
+        spec.criterion,
+    ))
+}
+
+/// The divergence-detection checksum of a live session: FNV-1a 64 over
+/// its canonical snapshot-codec export (RNG streams excluded) — exactly
+/// the bytes a spill or checkpoint writes, so the checksum is bit-exact
+/// across replicas, residency states, and processes.
+pub(crate) fn session_checksum<C: ScratchThreeWayComparator + Send + Sync>(
+    session: &ClusterSession<SharedComparator<C>>,
+) -> u64 {
+    fnv1a64(&snapshot::encode(&SessionSnapshot {
+        config: session.config(),
+        seed: session.seed(),
+        criterion: session.criterion(),
+        state: session.export_state(),
+        rng_states: Vec::new(),
+    }))
+}
+
 /// Decodes checkpoint/restore snapshot bytes back into a live session,
 /// with the same typed validation as the admission path.
-fn rebuild_session<C: ScratchThreeWayComparator + Send + Sync>(
+pub(crate) fn rebuild_session<C: ScratchThreeWayComparator + Send + Sync>(
     comparator: &Arc<C>,
     bytes: &[u8],
 ) -> Result<ClusterSession<SharedComparator<C>>, ServiceError> {
@@ -1687,7 +1828,7 @@ fn run_session_ops<C: ScratchThreeWayComparator + Send + Sync>(
 /// Executes one op against a live session. Never panics on tenant input:
 /// index and readiness preconditions are re-checked here (defense in
 /// depth — `submit` validated indices already).
-fn run_op<C: ScratchThreeWayComparator + Send + Sync>(
+pub(crate) fn run_op<C: ScratchThreeWayComparator + Send + Sync>(
     session: &mut ClusterSession<SharedComparator<C>>,
     op: SessionOp,
     stats: &StatCounters,

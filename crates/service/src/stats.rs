@@ -40,6 +40,12 @@ pub(crate) struct StatCounters {
     pub journal_appends: AtomicU64,
     pub journal_syncs: AtomicU64,
     pub journal_compactions: AtomicU64,
+    pub digests_emitted: AtomicU64,
+    pub segments_shipped: AtomicU64,
+    pub segments_acked: AtomicU64,
+    pub recovery_replayed_ops: AtomicU64,
+    pub recovery_torn_shards: AtomicU64,
+    pub recovery_truncated_bytes: AtomicU64,
 }
 
 impl StatCounters {
@@ -54,6 +60,15 @@ impl StatCounters {
         self.ops_admitted
             .load(Ordering::Relaxed)
             .saturating_sub(self.ops_executed.load(Ordering::Relaxed))
+    }
+
+    /// Records the one-shot post-recovery (or post-promotion) health
+    /// gauges surfaced through [`ServiceStats`] and the wire `Status`
+    /// response.
+    pub fn record_recovery(&self, replayed_ops: u64, torn_shards: u64, truncated_bytes: u64) {
+        self.recovery_replayed_ops.store(replayed_ops, Ordering::Relaxed);
+        self.recovery_torn_shards.store(torn_shards, Ordering::Relaxed);
+        self.recovery_truncated_bytes.store(truncated_bytes, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> ServiceStats {
@@ -73,6 +88,12 @@ impl StatCounters {
             journal_appends: self.journal_appends.load(Ordering::Relaxed),
             journal_syncs: self.journal_syncs.load(Ordering::Relaxed),
             journal_compactions: self.journal_compactions.load(Ordering::Relaxed),
+            digests_emitted: self.digests_emitted.load(Ordering::Relaxed),
+            segments_shipped: self.segments_shipped.load(Ordering::Relaxed),
+            segments_acked: self.segments_acked.load(Ordering::Relaxed),
+            recovery_replayed_ops: self.recovery_replayed_ops.load(Ordering::Relaxed),
+            recovery_torn_shards: self.recovery_torn_shards.load(Ordering::Relaxed),
+            recovery_truncated_bytes: self.recovery_truncated_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -119,4 +140,47 @@ pub struct ServiceStats {
     pub journal_syncs: u64,
     /// Checkpoints installed (journal truncations), manual or automatic.
     pub journal_compactions: u64,
+    /// Divergence-detection [`Digest`](crate::journal::JournalRecord::Digest)
+    /// records appended to quiesced shards.
+    pub digests_emitted: u64,
+    /// Replication segments cut and handed to a transport by the
+    /// [`JournalShipper`](crate::replication::JournalShipper).
+    pub segments_shipped: u64,
+    /// Replication segments acknowledged by a follower's applied
+    /// watermark.
+    pub segments_acked: u64,
+    /// Ops replayed from journals by the last
+    /// [`recover`](crate::service::SessionService::recover) (or follower
+    /// promotion) that produced this service. Zero on a clean boot.
+    pub recovery_replayed_ops: u64,
+    /// Shards whose journal had a torn tail at the last recovery.
+    pub recovery_torn_shards: u64,
+    /// Torn-tail bytes truncated at the last recovery.
+    pub recovery_truncated_bytes: u64,
+}
+
+/// Post-crash / post-failover health, carried in the wire `Status`
+/// response so operators can see what the last recovery did remotely.
+///
+/// The three gauges mirror the recovery fields of [`ServiceStats`]; they
+/// are all zero for a service that booted clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryHealth {
+    /// Ops replayed from journals by the last recovery or promotion.
+    pub replayed_ops: u64,
+    /// Shards whose journal had a torn tail.
+    pub torn_shards: u64,
+    /// Torn-tail bytes truncated.
+    pub truncated_bytes: u64,
+}
+
+impl RecoveryHealth {
+    /// Extracts the recovery gauges from a stats reading.
+    pub fn from_stats(stats: &ServiceStats) -> Self {
+        RecoveryHealth {
+            replayed_ops: stats.recovery_replayed_ops,
+            torn_shards: stats.recovery_torn_shards,
+            truncated_bytes: stats.recovery_truncated_bytes,
+        }
+    }
 }

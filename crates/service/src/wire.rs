@@ -38,13 +38,15 @@
 //! the table.
 
 use crate::error::ServiceError;
-use crate::journal::JournalIoError;
+use crate::journal::{JournalError, JournalIoError};
+use crate::replication::{Follower, ReplicationError};
 use crate::runtime::{RuntimeError, RuntimeHandle};
 use crate::service::{
     OpOutcome, OpResponse, SessionKey, SessionOp, SessionSpec, SessionStatus, WaveOutcome,
 };
 use crate::snapshot::{fnv1a64, Reader, SnapshotError, Writer};
-use crate::stats::ServiceStats;
+use crate::stats::{RecoveryHealth, ServiceStats};
+use std::sync::{Arc, Mutex};
 use relperf_core::cluster::{ClusterConfig, PairSchedule, Parallelism, ScoreTable};
 use relperf_core::session::{ConvergenceCriterion, CriterionError};
 use relperf_measure::sample::SampleError;
@@ -351,6 +353,14 @@ pub enum Request {
     Stats,
     /// Close the connection cleanly.
     Goodbye,
+    /// Deliver one replication `SHIP` envelope to a follower (see
+    /// [`crate::replication`]); answered by [`Response::ShipAck`]. A
+    /// serving (non-follower) endpoint rejects it with a typed
+    /// [`ReplicationError::WrongRole`].
+    Ship {
+        /// The opaque envelope bytes ([`crate::replication::encode_segment`]).
+        envelope: Vec<u8>,
+    },
 }
 
 /// One server response.
@@ -374,6 +384,10 @@ pub enum Response {
     Status {
         /// The summary, if the session exists.
         status: Option<SessionStatus>,
+        /// What the last recovery or failover promotion replayed (all
+        /// zero after a clean boot) — lets a reconnecting client see
+        /// *that* it is talking to a recovered or promoted service.
+        recovery: RecoveryHealth,
     },
     /// `Stats` answer.
     Stats {
@@ -392,6 +406,14 @@ pub enum Response {
     },
     /// Goodbye acknowledged; the server closes after sending this.
     Goodbye,
+    /// `Ship` applied: the follower's watermark for the envelope's lane
+    /// (highest contiguously applied segment seq).
+    ShipAck {
+        /// The lane (shard) acked.
+        shard: u64,
+        /// The applied watermark on that lane.
+        watermark: u64,
+    },
 }
 
 // --- value codecs (shared Reader/Writer; Reader errors are lifted to
@@ -698,7 +720,148 @@ fn enc_service_error(w: &mut Writer, e: &ServiceError) {
                 }
             }
         }
+        ServiceError::Replication(rep) => {
+            w.u8(15);
+            enc_replication_error(w, rep);
+        }
     }
+}
+
+fn enc_replication_error(w: &mut Writer, e: &ReplicationError) {
+    match e {
+        // Lossy, like SnapshotError::Malformed: the &'static str detail
+        // cannot cross an address space.
+        ReplicationError::Envelope(_) => w.u8(0),
+        ReplicationError::ChecksumMismatch { stored, computed } => {
+            w.u8(1);
+            w.u64(*stored);
+            w.u64(*computed);
+        }
+        ReplicationError::SequenceGap {
+            shard,
+            expected,
+            found,
+        } => {
+            w.u8(2);
+            w.u32(*shard);
+            w.u64(*expected);
+            w.u64(*found);
+        }
+        ReplicationError::UnknownShard { shard, shards } => {
+            w.u8(3);
+            w.u32(*shard);
+            w.u64(*shards as u64);
+        }
+        ReplicationError::DigestMismatch {
+            shard,
+            seq,
+            expected,
+            found,
+        } => {
+            w.u8(4);
+            w.u32(*shard);
+            w.u64(*seq);
+            w.u64(*expected);
+            w.u64(*found);
+        }
+        ReplicationError::Records { shard, seq, error } => {
+            w.u8(5);
+            w.u32(*shard);
+            w.u64(*seq);
+            match error {
+                JournalError::BadMagic => w.u8(0),
+                JournalError::UnsupportedVersion { found, supported } => {
+                    w.u8(1);
+                    w.u16(*found);
+                    w.u16(*supported);
+                }
+                // Lossy: the &'static str detail stays behind.
+                JournalError::Corrupt { offset, .. } => {
+                    w.u8(2);
+                    w.u64(*offset as u64);
+                }
+            }
+        }
+        ReplicationError::Apply {
+            tenant,
+            session,
+            what,
+        } => {
+            w.u8(6);
+            w.u64(*tenant);
+            w.u64(*session);
+            enc_bytes(w, what.as_bytes());
+        }
+        ReplicationError::Diverged {
+            tenant,
+            session,
+            expected,
+            found,
+        } => {
+            w.u8(7);
+            w.u64(*tenant);
+            w.u64(*session);
+            w.u64(*expected);
+            w.u64(*found);
+        }
+        ReplicationError::Sealed => w.u8(8),
+        ReplicationError::WrongRole => w.u8(9),
+    }
+}
+
+fn dec_replication_error(r: &mut Reader) -> Result<ReplicationError, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => ReplicationError::Envelope("detail lost in wire transit"),
+        1 => ReplicationError::ChecksumMismatch {
+            stored: r.u64()?,
+            computed: r.u64()?,
+        },
+        2 => ReplicationError::SequenceGap {
+            shard: r.u32()?,
+            expected: r.u64()?,
+            found: r.u64()?,
+        },
+        3 => ReplicationError::UnknownShard {
+            shard: r.u32()?,
+            shards: r.u64()? as usize,
+        },
+        4 => ReplicationError::DigestMismatch {
+            shard: r.u32()?,
+            seq: r.u64()?,
+            expected: r.u64()?,
+            found: r.u64()?,
+        },
+        5 => ReplicationError::Records {
+            shard: r.u32()?,
+            seq: r.u64()?,
+            error: match r.u8()? {
+                0 => JournalError::BadMagic,
+                1 => JournalError::UnsupportedVersion {
+                    found: r.u16()?,
+                    supported: r.u16()?,
+                },
+                2 => JournalError::Corrupt {
+                    offset: r.u64()? as usize,
+                    what: "detail lost in wire transit",
+                },
+                _ => return Err(SnapshotError::Malformed("unknown journal error tag")),
+            },
+        },
+        6 => ReplicationError::Apply {
+            tenant: r.u64()?,
+            session: r.u64()?,
+            what: String::from_utf8_lossy(&dec_bytes(r)?).into_owned(),
+        },
+        7 => ReplicationError::Diverged {
+            tenant: r.u64()?,
+            session: r.u64()?,
+            expected: r.u64()?,
+            found: r.u64()?,
+        },
+        8 => ReplicationError::Sealed,
+        9 => ReplicationError::WrongRole,
+        _ => return Err(SnapshotError::Malformed("unknown replication error tag")),
+    })
 }
 
 fn dec_service_error(r: &mut Reader) -> Result<ServiceError, SnapshotError> {
@@ -776,6 +939,7 @@ fn dec_service_error(r: &mut Reader) -> Result<ServiceError, SnapshotError> {
             2 => JournalIoError::Io(String::from_utf8_lossy(&dec_bytes(r)?).into_owned()),
             _ => return Err(SnapshotError::Malformed("unknown journal io error tag")),
         }),
+        15 => ServiceError::Replication(dec_replication_error(r)?),
         _ => return Err(SnapshotError::Malformed("unknown service error tag")),
     })
 }
@@ -885,6 +1049,12 @@ fn enc_stats(w: &mut Writer, s: &ServiceStats) {
         s.journal_appends,
         s.journal_syncs,
         s.journal_compactions,
+        s.digests_emitted,
+        s.segments_shipped,
+        s.segments_acked,
+        s.recovery_replayed_ops,
+        s.recovery_torn_shards,
+        s.recovery_truncated_bytes,
     ] {
         w.u64(v);
     }
@@ -907,6 +1077,26 @@ fn dec_stats(r: &mut Reader) -> Result<ServiceStats, SnapshotError> {
         journal_appends: r.u64()?,
         journal_syncs: r.u64()?,
         journal_compactions: r.u64()?,
+        digests_emitted: r.u64()?,
+        segments_shipped: r.u64()?,
+        segments_acked: r.u64()?,
+        recovery_replayed_ops: r.u64()?,
+        recovery_torn_shards: r.u64()?,
+        recovery_truncated_bytes: r.u64()?,
+    })
+}
+
+fn enc_recovery_health(w: &mut Writer, h: &RecoveryHealth) {
+    w.u64(h.replayed_ops);
+    w.u64(h.torn_shards);
+    w.u64(h.truncated_bytes);
+}
+
+fn dec_recovery_health(r: &mut Reader) -> Result<RecoveryHealth, SnapshotError> {
+    Ok(RecoveryHealth {
+        replayed_ops: r.u64()?,
+        torn_shards: r.u64()?,
+        truncated_bytes: r.u64()?,
     })
 }
 
@@ -991,6 +1181,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => w.u8(6),
         Request::Goodbye => w.u8(7),
+        Request::Ship { envelope } => {
+            w.u8(8);
+            enc_bytes(&mut w, envelope);
+        }
     }
     w.buf
 }
@@ -1035,6 +1229,9 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, WireError> {
         },
         6 => Request::Stats,
         7 => Request::Goodbye,
+        8 => Request::Ship {
+            envelope: dec_bytes(&mut r)?,
+        },
         _ => return Err(WireError::Malformed("unknown request tag")),
     };
     if r.pos != bytes.len() {
@@ -1059,7 +1256,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.u8(3);
             enc_responses(&mut w, responses);
         }
-        Response::Status { status } => {
+        Response::Status { status, recovery } => {
             w.u8(4);
             match status {
                 None => w.flag(false),
@@ -1068,6 +1265,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     enc_status(&mut w, s);
                 }
             }
+            enc_recovery_health(&mut w, recovery);
         }
         Response::Stats { stats } => {
             w.u8(5);
@@ -1082,6 +1280,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             enc_runtime_error(&mut w, error);
         }
         Response::Goodbye => w.u8(8),
+        Response::ShipAck { shard, watermark } => {
+            w.u8(9);
+            w.u64(*shard);
+            w.u64(*watermark);
+        }
     }
     w.buf
 }
@@ -1104,6 +1307,7 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, WireError> {
             } else {
                 None
             },
+            recovery: dec_recovery_health(&mut r)?,
         },
         5 => Response::Stats {
             stats: dec_stats(&mut r)?,
@@ -1115,6 +1319,10 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, WireError> {
             error: dec_runtime_error(&mut r)?,
         },
         8 => Response::Goodbye,
+        9 => Response::ShipAck {
+            shard: r.u64()?,
+            watermark: r.u64()?,
+        },
         _ => return Err(WireError::Malformed("unknown response tag")),
     };
     if r.pos != bytes.len() {
@@ -1173,11 +1381,15 @@ fn apply<C: ScratchThreeWayComparator + Send + Sync>(
         },
         Request::Status { tenant, session } => Response::Status {
             status: handle.session_status(tenant, session),
+            recovery: RecoveryHealth::from_stats(&handle.stats()),
         },
         Request::Stats => Response::Stats {
             stats: handle.stats(),
         },
         Request::Goodbye => return (Response::Goodbye, true),
+        Request::Ship { .. } => Response::Error {
+            error: ServiceError::Replication(ReplicationError::WrongRole),
+        },
     };
     (resp, false)
 }
@@ -1204,6 +1416,55 @@ where
         if goodbye {
             return Ok(());
         }
+    }
+}
+
+/// Serves one duplex connection to a standby [`Follower`]: `Ship`
+/// requests replay into the replica (answered with the applied
+/// watermark), `Goodbye` or a clean peer close ends the loop, and every
+/// tenant-facing request is rejected with a typed
+/// [`ReplicationError::WrongRole`] — a standby does not serve until it
+/// is promoted. The follower stays shared so the caller can seal and
+/// promote it after the loop returns.
+pub fn serve_follower<C, S>(
+    follower: &Arc<Mutex<Follower<C>>>,
+    stream: &mut S,
+) -> Result<(), WireError>
+where
+    C: ScratchThreeWayComparator + Send + Sync,
+    S: Read + Write,
+{
+    loop {
+        let payload = match read_frame(stream, MAX_FRAME_PAYLOAD) {
+            Ok(p) => p,
+            Err(WireError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let response = match decode_request(&payload)? {
+            Request::Ship { envelope } => {
+                let shard = crate::replication::decode_segment(&envelope)
+                    .map(|s| u64::from(s.shard))
+                    .unwrap_or(u64::MAX);
+                let applied = follower
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .apply_segment(&envelope);
+                match applied {
+                    Ok(watermark) => Response::ShipAck { shard, watermark },
+                    Err(e) => Response::Error {
+                        error: ServiceError::Replication(e),
+                    },
+                }
+            }
+            Request::Goodbye => {
+                write_frame(stream, &encode_response(&Response::Goodbye))?;
+                return Ok(());
+            }
+            _ => Response::Error {
+                error: ServiceError::Replication(ReplicationError::WrongRole),
+            },
+        };
+        write_frame(stream, &encode_response(&response))?;
     }
 }
 

@@ -48,6 +48,100 @@ fn policy_backoff_schedule_clamps_to_last_entry() {
     assert_eq!(immediate.backoff(1), None, "empty schedule never sleeps");
 }
 
+/// The seeded exponential schedule is pinned to the nanosecond: same
+/// arguments, same sleeps, forever — jitter bounded in `[0.75, 1.25)` of
+/// the exponential envelope, capped, and de-synchronized across seeds.
+#[test]
+fn exponential_backoff_schedule_is_pinned() {
+    let policy = RetryPolicy::exponential(
+        8,
+        Duration::from_millis(1),
+        Duration::from_millis(100),
+        42,
+    );
+    assert_eq!(policy.max_attempts, 8);
+    let pinned: [u64; 7] = [
+        1_114_089, 1_713_358, 3_137_161, 8_920_797, 15_865_694, 39_704_384, 78_989_234,
+    ];
+    for (k, &nanos) in pinned.iter().enumerate() {
+        assert_eq!(
+            policy.backoff(k + 1),
+            Some(Duration::from_nanos(nanos)),
+            "retry {} drifted",
+            k + 1
+        );
+    }
+    // Rebuilding with the same arguments reproduces it exactly.
+    let again = RetryPolicy::exponential(
+        8,
+        Duration::from_millis(1),
+        Duration::from_millis(100),
+        42,
+    );
+    assert_eq!(again.backoff(3), policy.backoff(3));
+    // A different seed de-synchronizes, staying inside the envelope.
+    let other = RetryPolicy::exponential(
+        8,
+        Duration::from_millis(1),
+        Duration::from_millis(100),
+        43,
+    );
+    for k in 1..=7usize {
+        let envelope = Duration::from_millis(1 << (k - 1)).min(Duration::from_millis(100));
+        for p in [&policy, &other] {
+            let d = p.backoff(k).unwrap();
+            assert!(d >= envelope.mul_f64(0.75), "retry {k} below jitter floor");
+            assert!(d < envelope.mul_f64(1.25), "retry {k} above jitter ceiling");
+        }
+        assert_ne!(other.backoff(k), policy.backoff(k), "seeds must de-synchronize");
+    }
+    // The cap flattens the tail: retries past the schedule reuse the last
+    // (capped) entry rather than growing without bound.
+    assert_eq!(policy.backoff(99), policy.backoff(7));
+    // Degenerate shapes stay total.
+    assert_eq!(
+        RetryPolicy::exponential(1, Duration::from_millis(1), Duration::from_millis(9), 7)
+            .backoff(1),
+        None,
+        "no retries, no sleeps"
+    );
+    assert_eq!(
+        RetryPolicy::exponential(0, Duration::from_millis(1), Duration::from_millis(9), 7)
+            .max_attempts,
+        0
+    );
+}
+
+/// The exactly-once admission proof holds under the jittered policy too:
+/// seeded backoff changes *when* retries happen, never *whether* a group
+/// can be admitted twice.
+#[test]
+fn exponential_policy_preserves_exactly_once_admission() {
+    let runtime = tight_runtime(2);
+    let (mut client, server) = WireClient::connect_in_proc(runtime.handle());
+    client.create_session(1, 1, SessionSpec::new(1, 7)).unwrap();
+
+    // Microsecond-scale sleeps keep the test fast while exercising the
+    // real sleep path between attempts.
+    let policy =
+        RetryPolicy::exponential(8, Duration::from_micros(10), Duration::from_micros(200), 7);
+    let mut seqs = Vec::new();
+    for i in 0..12 {
+        let outcome = client.submit_with_retry(1, 1, push(0, i as f64), &policy).unwrap();
+        seqs.extend(outcome.seqs);
+    }
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), 12, "every push admitted exactly once");
+    // Drain the tail the sync-mode runtime has not been driven past yet.
+    client.collect_ready(1).unwrap();
+    assert_eq!(runtime.stats().ops_executed, 12);
+
+    client.goodbye().unwrap();
+    server.join().unwrap().unwrap();
+    runtime.shutdown();
+}
+
 #[test]
 fn retry_succeeds_after_backpressure_clears() {
     let runtime = tight_runtime(2);

@@ -88,6 +88,9 @@ fn rich_requests() -> Vec<Request> {
         },
         Request::Stats,
         Request::Goodbye,
+        Request::Ship {
+            envelope: relperf_service::replication::encode_segment(3, 9, 0xFEED, &[1, 2, 3, 200]),
+        },
     ]
 }
 
@@ -136,6 +139,57 @@ fn all_service_errors() -> Vec<ServiceError> {
         ServiceError::Journal(JournalIoError::Crashed),
         ServiceError::Journal(JournalIoError::Sealed),
         ServiceError::Journal(JournalIoError::Io("disk on fire".to_string())),
+        // The two lossy replication corners are constructed with the
+        // exact post-transit message, so they round-trip equal here; a
+        // dedicated assertion below covers the lossy path itself.
+        ServiceError::Replication(ReplicationError::Envelope("detail lost in wire transit")),
+        ServiceError::Replication(ReplicationError::ChecksumMismatch {
+            stored: 25,
+            computed: 26,
+        }),
+        ServiceError::Replication(ReplicationError::SequenceGap {
+            shard: 27,
+            expected: 28,
+            found: 29,
+        }),
+        ServiceError::Replication(ReplicationError::UnknownShard { shard: 30, shards: 31 }),
+        ServiceError::Replication(ReplicationError::DigestMismatch {
+            shard: 32,
+            seq: 33,
+            expected: 34,
+            found: 35,
+        }),
+        ServiceError::Replication(ReplicationError::Records {
+            shard: 36,
+            seq: 37,
+            error: JournalError::BadMagic,
+        }),
+        ServiceError::Replication(ReplicationError::Records {
+            shard: 38,
+            seq: 39,
+            error: JournalError::UnsupportedVersion { found: 40, supported: 1 },
+        }),
+        ServiceError::Replication(ReplicationError::Records {
+            shard: 41,
+            seq: 42,
+            error: JournalError::Corrupt {
+                offset: 43,
+                what: "detail lost in wire transit",
+            },
+        }),
+        ServiceError::Replication(ReplicationError::Apply {
+            tenant: 44,
+            session: 45,
+            what: "replayed create was rejected".to_string(),
+        }),
+        ServiceError::Replication(ReplicationError::Diverged {
+            tenant: 46,
+            session: 47,
+            expected: 48,
+            found: 49,
+        }),
+        ServiceError::Replication(ReplicationError::Sealed),
+        ServiceError::Replication(ReplicationError::WrongRole),
     ]
 }
 
@@ -171,7 +225,10 @@ fn rich_responses() -> Vec<Response> {
                 },
             ],
         },
-        Response::Status { status: None },
+        Response::Status {
+            status: None,
+            recovery: RecoveryHealth::default(),
+        },
         Response::Status {
             status: Some(SessionStatus {
                 algorithms: 2,
@@ -181,6 +238,11 @@ fn rich_responses() -> Vec<Response> {
                 pending: 1,
                 spilled: true,
             }),
+            recovery: RecoveryHealth {
+                replayed_ops: 77,
+                torn_shards: 1,
+                truncated_bytes: 123,
+            },
         },
         Response::Stats {
             stats: ServiceStats {
@@ -199,6 +261,12 @@ fn rich_responses() -> Vec<Response> {
                 journal_appends: 13,
                 journal_syncs: 14,
                 journal_compactions: 15,
+                digests_emitted: 16,
+                segments_shipped: 17,
+                segments_acked: 18,
+                recovery_replayed_ops: 19,
+                recovery_torn_shards: 20,
+                recovery_truncated_bytes: 21,
             },
         },
         Response::WaitError {
@@ -208,6 +276,10 @@ fn rich_responses() -> Vec<Response> {
             error: RuntimeError::Timeout { missing: 2 },
         },
         Response::Goodbye,
+        Response::ShipAck {
+            shard: 2,
+            watermark: 40,
+        },
     ];
     // Every typed service error travels (one response per variant).
     for error in all_service_errors() {
@@ -263,6 +335,40 @@ fn rich_messages_round_trip() {
             error: ServiceError::BadSnapshot(SnapshotError::Malformed(_))
         }
     ));
+
+    // Same contract for the two lossy replication corners: the variant
+    // (and any numeric fields) survive, the &'static str detail does not.
+    let lossy = Response::Error {
+        error: ServiceError::Replication(ReplicationError::Envelope("original detail")),
+    };
+    let frame = encode_frame(&encode_response(&lossy));
+    let got = decode_response(decode_frame(&frame).unwrap()).unwrap();
+    assert!(matches!(
+        got,
+        Response::Error {
+            error: ServiceError::Replication(ReplicationError::Envelope(_))
+        }
+    ));
+    let lossy = Response::Error {
+        error: ServiceError::Replication(ReplicationError::Records {
+            shard: 3,
+            seq: 4,
+            error: JournalError::Corrupt { offset: 99, what: "original detail" },
+        }),
+    };
+    let frame = encode_frame(&encode_response(&lossy));
+    let got = decode_response(decode_frame(&frame).unwrap()).unwrap();
+    match got {
+        Response::Error {
+            error:
+                ServiceError::Replication(ReplicationError::Records {
+                    shard: 3,
+                    seq: 4,
+                    error: JournalError::Corrupt { offset: 99, .. },
+                }),
+        } => {}
+        other => panic!("lossy Records corner decoded as {other:?}"),
+    }
 }
 
 /// The headline fault-injection sweep: EVERY single-bit flip anywhere in
@@ -392,7 +498,7 @@ proptest! {
     /// typed through the streaming reader.
     #[test]
     fn random_byte_rewrites_stay_typed_through_read_frame(
-        msg_idx in 0usize..8,
+        msg_idx in 0usize..9,
         pos_seed in 0usize..10_000,
         value in 0u8..255,
     ) {
@@ -514,6 +620,98 @@ fn in_proc_wire_client_works_with_background_scheduler() {
     client.goodbye().unwrap();
     server.join().unwrap().unwrap();
     rt.shutdown();
+}
+
+/// A serving endpoint refuses `Ship` with a typed `WrongRole` — the
+/// replication role check travels the wire like any other rejection.
+#[test]
+fn serving_endpoint_rejects_ship_with_wrong_role() {
+    let rt = runtime(0);
+    let (mut client, server) = WireClient::connect_in_proc(rt.handle());
+    let envelope = relperf_service::replication::encode_segment(0, 1, 0xABCD, &[1, 2, 3]);
+    assert!(matches!(
+        client.ship(envelope),
+        Err(ClientError::Service(ServiceError::Replication(
+            ReplicationError::WrongRole
+        )))
+    ));
+    client.goodbye().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// End-to-end replication over the wire: a journaled leader ships its
+/// record stream through `Request::Ship` frames into a `serve_follower`
+/// loop; the follower converges and a tenant request at the standby is
+/// refused typed until promotion.
+#[test]
+fn follower_over_wire_converges_and_refuses_tenant_requests() {
+    use relperf_service::client::duplex;
+    use relperf_service::replication::{Follower, JournalShipper, SegmentTransport, ShipperConfig};
+    use relperf_service::wire::serve_follower;
+    use std::sync::{Arc, Mutex};
+
+    const SHARDS: usize = 2;
+    let stores: Vec<Box<dyn JournalStore>> =
+        (0..SHARDS).map(|_| Box::new(MemJournalStore::new()) as _).collect();
+    let (stores, mut shipper) = JournalShipper::wrap_stores(stores, ShipperConfig::default());
+    let leader = SessionService::with_journal(
+        MedianComparator::new(0.05),
+        Parallelism::serial(),
+        ServiceLimits::default(),
+        JournalConfig::default(),
+        stores,
+    )
+    .unwrap();
+
+    let follower = Arc::new(Mutex::new(Follower::new(MedianComparator::new(0.05), SHARDS)));
+    let (client_end, mut server_end) = duplex();
+    let served = Arc::clone(&follower);
+    let server = std::thread::spawn(move || serve_follower(&served, &mut server_end));
+
+    // The leader runs a small campaign…
+    leader.create_session(7, 1, SessionSpec::new(2, 42)).unwrap();
+    for alg in 0..2 {
+        leader
+            .submit(7, 1, SessionOp::Extend { alg, values: vec![1.0 + alg as f64, 2.0, 3.0] })
+            .unwrap();
+    }
+    leader.submit(7, 1, SessionOp::Score).unwrap();
+    leader.run_batch();
+    leader.flush_journals().unwrap();
+    leader.emit_digests().unwrap();
+
+    // …and ships it through the wire client acting as the transport.
+    struct WireTransport(WireClient<relperf_service::client::DuplexPipe>);
+    impl SegmentTransport for WireTransport {
+        fn deliver(&mut self, _shard: usize, envelope: &[u8]) -> Result<u64, ReplicationError> {
+            match self.0.ship(envelope.to_vec()) {
+                Ok(watermark) => Ok(watermark),
+                Err(ClientError::Service(ServiceError::Replication(e))) => Err(e),
+                Err(e) => panic!("wire transport failed: {e}"),
+            }
+        }
+    }
+    let mut transport = WireTransport(WireClient::new(client_end));
+    let report = shipper.pump(&mut transport);
+    assert!(report.errors.is_empty(), "clean pump: {:?}", report.errors);
+    assert_eq!(shipper.unacked_segments(), 0, "everything acked");
+
+    // Tenant requests at the standby are refused typed.
+    assert!(matches!(
+        transport.0.create_session(9, 9, SessionSpec::new(1, 1)),
+        Err(ClientError::Service(ServiceError::Replication(
+            ReplicationError::WrongRole
+        )))
+    ));
+    transport.0.goodbye().unwrap();
+    server.join().unwrap().unwrap();
+
+    // The follower replayed the digest cleanly (no divergence) and holds
+    // the session warm.
+    let follower = Arc::try_unwrap(follower).expect("server done").into_inner().unwrap();
+    assert_eq!(*follower.state(), ReplicaState::Following);
+    assert_eq!(follower.num_sessions(), 1);
+    assert!(follower.session_checksum(7, 1).is_some());
 }
 
 /// Unix-socket smoke test: one real socket connection, one session, one

@@ -1,0 +1,218 @@
+//! Failover quickstart: replicate a journaled clustering service to a
+//! warm standby by journal shipping, kill the leader mid-campaign,
+//! promote the follower, and finish the campaign bit-identically.
+//!
+//! Two tenants measure the paper's Fig. 1 experiment through one
+//! journaled `SessionService` whose stores are tapped by a
+//! [`JournalShipper`]. Every durable record byte ships as a checksummed
+//! `SHIP` segment to a [`Follower`] replaying the same deterministic
+//! executor the journal's recovery path uses, so the standby's sessions
+//! are bit-identical warm copies — proven on the wire by the leader's
+//! periodic divergence digests, which the follower must re-derive
+//! exactly. When the leader dies between waves, `Follower::promote`
+//! seals replication, discards the (never-acked) torn tail, resumes the
+//! admission counter past every applied op, and starts serving; the
+//! client reconciles its one ambiguous wave through `session_status`
+//! exactly as it would after a crash-restart, then runs the campaign to
+//! the same Fig. 1 classes the old leader would have produced.
+//!
+//! Expected output: per-wave class counts, shipping progress, the
+//! leader's death, a `PromotionReport`, the reconciliation decision, and
+//! the final Fig. 1 classes with placement labels.
+//!
+//! Run with: `cargo run --release --example failover_quickstart`
+
+use relative_performance::prelude::*;
+use std::sync::{Arc, Mutex};
+
+const TENANTS: [u64; 2] = [101, 202];
+const SESSION: u64 = 1;
+const WAVES: u64 = 3;
+/// Measurements per algorithm added by one wave.
+const WAVE_N: usize = 5;
+const SHARDS: usize = 4;
+
+fn comparator() -> BootstrapComparator {
+    BootstrapComparator::with_config(
+        42,
+        BootstrapConfig {
+            reps: 30,
+            ..Default::default()
+        },
+    )
+}
+
+/// One wave as one atomic admission group, seeded by `(tenant, wave)` so
+/// the client can regenerate and resubmit it identically after failover.
+fn wave_ops(experiment: &Experiment, tenant: u64, wave: u64) -> Vec<SessionOp> {
+    let measured = measure_all_seeded(
+        experiment,
+        WAVE_N,
+        tenant * 1_000 + wave,
+        Parallelism::auto(),
+    );
+    let mut ops: Vec<SessionOp> = measured
+        .iter()
+        .enumerate()
+        .map(|(alg, m)| SessionOp::Extend {
+            alg,
+            values: m.sample.values().to_vec(),
+        })
+        .collect();
+    ops.push(SessionOp::Score);
+    ops
+}
+
+/// Submits one wave, drives the sync-mode batch, and returns its outcome.
+fn run_wave(
+    service: &SessionService<BootstrapComparator>,
+    experiment: &Experiment,
+    tenant: u64,
+    wave: u64,
+) -> relative_performance::service::WaveOutcome {
+    let seqs = service
+        .submit_all(tenant, SESSION, wave_ops(experiment, tenant, wave))
+        .expect("admission");
+    let score = *seqs.last().unwrap();
+    let responses = service.run_batch();
+    let r = responses.iter().find(|r| r.seq == score).expect("scored");
+    match r.result.clone().expect("score succeeds") {
+        OpOutcome::Scored(w) => w,
+        other => panic!("expected Scored, got {other:?}"),
+    }
+}
+
+fn main() {
+    let experiment = Experiment::fig1();
+    let labels = experiment.labels();
+
+    // The leader journals into shipper-tapped stores: every byte the
+    // journal makes durable is mirrored into per-shard outboxes.
+    let stores: Vec<Box<dyn JournalStore>> = (0..SHARDS)
+        .map(|_| Box::new(MemJournalStore::new()) as Box<dyn JournalStore>)
+        .collect();
+    let (stores, mut shipper) = JournalShipper::wrap_stores(stores, ShipperConfig::default());
+    let config = JournalConfig {
+        group_commit: 1, // every admission group durable before ack
+        compact_every: 1024,
+    };
+    let leader = SessionService::with_journal(
+        comparator(),
+        Parallelism::auto(),
+        ServiceLimits::default(),
+        config,
+        stores,
+    )
+    .expect("journaled leader");
+
+    // The warm standby: same comparator, same shard count, fed through an
+    // in-process transport (swap in a wire link for a real deployment).
+    let follower = Arc::new(Mutex::new(Follower::new(comparator(), SHARDS)));
+    let mut transport = InProcTransport::new(Arc::clone(&follower));
+
+    println!("two tenants measuring Fig. 1 through a replicated service…");
+    for &tenant in &TENANTS {
+        leader
+            .create_session(tenant, SESSION, SessionSpec::new(labels.len(), 7 + tenant))
+            .expect("create");
+    }
+    for &tenant in &TENANTS {
+        let wave = run_wave(&leader, &experiment, tenant, 0);
+        println!(
+            "  tenant {tenant} wave 1: {} classes, stable run {}",
+            wave.clustering.num_classes(),
+            wave.stable_run
+        );
+    }
+    // Quiesced: publish divergence digests, then ship everything durable.
+    leader.emit_digests().expect("digests");
+    leader.flush_journals().expect("flush");
+    let report = shipper.pump(&mut transport);
+    println!(
+        "  shipped {} segments ({} acked); follower holds {} warm sessions, digest-verified",
+        report.cut,
+        report.acked,
+        follower.lock().unwrap().num_sessions()
+    );
+
+    // Tenant 101's second wave lands and ships; then the leader dies with
+    // tenant 202's second wave admitted but NOT yet shipped past the
+    // follower — the classic ambiguous in-flight group.
+    run_wave(&leader, &experiment, 101, 1);
+    shipper.pump(&mut transport);
+    let seqs = leader
+        .submit_all(202, SESSION, wave_ops(&experiment, 202, 1))
+        .expect("admitted");
+    leader.run_batch();
+    println!("\nleader dies here — tenant 202's wave 2 (seqs {seqs:?}) admitted, unshipped…");
+    drop(leader);
+    // One last pump drains whatever the dead leader had made durable
+    // (group_commit = 1: that includes the ambiguous wave).
+    shipper.pump(&mut transport);
+    drop(transport);
+
+    // Failover: promote the standby into the new serving leader.
+    let follower = Arc::try_unwrap(follower)
+        .ok()
+        .expect("transport dropped with the leader")
+        .into_inner()
+        .expect("unpoisoned");
+    let fresh: Vec<Box<dyn JournalStore>> = (0..SHARDS)
+        .map(|_| Box::new(MemJournalStore::new()) as Box<dyn JournalStore>)
+        .collect();
+    let (promoted, promotion) = follower
+        .promote_with_journal(Parallelism::auto(), ServiceLimits::default(), config, fresh)
+        .expect("a healthy replica promotes");
+    println!(
+        "promoted: {} sessions, {} ops / {} segments applied, {} torn bytes discarded, next seq {}",
+        promotion.sessions,
+        promotion.applied_ops,
+        promotion.applied_segments,
+        promotion.truncated_bytes,
+        promotion.next_seq
+    );
+
+    // Reconcile the ambiguous wave through `session_status`, exactly as
+    // after a crash-restart: the wave count says whether it made it.
+    let status = promoted.session_status(202, SESSION).expect("replicated");
+    if status.waves < 2 {
+        println!("  tenant 202's wave 2 never reached the standby — resubmitting it");
+        run_wave(&promoted, &experiment, 202, 1);
+    } else {
+        println!("  tenant 202's wave 2 was shipped before the crash — not resubmitting");
+    }
+
+    // Finish the campaign on the new leader.
+    for wave in 1..WAVES {
+        for &tenant in &TENANTS {
+            if wave == 1 {
+                continue; // both tenants' wave 2 handled above
+            }
+            let outcome = run_wave(&promoted, &experiment, tenant, wave);
+            println!(
+                "  tenant {tenant} wave {}: {} classes, stable run {}",
+                wave + 1,
+                outcome.clustering.num_classes(),
+                outcome.stable_run
+            );
+        }
+    }
+
+    println!("\nfinal Fig. 1 clustering (tenant 101, on the promoted leader):");
+    let final_wave = run_wave(&promoted, &experiment, 101, WAVES);
+    for class in 1..=final_wave.clustering.num_classes() {
+        let members: Vec<String> = final_wave
+            .clustering
+            .class(class)
+            .iter()
+            .map(|a| format!("{} ({:.2})", labels[a.algorithm], a.score))
+            .collect();
+        println!("  C{class}: {}", members.join(", "));
+    }
+
+    let stats = promoted.stats();
+    println!(
+        "\nnew leader journal: {} appends, {} syncs — ready to be shipped from in turn",
+        stats.journal_appends, stats.journal_syncs
+    );
+}

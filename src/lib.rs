@@ -32,9 +32,13 @@
 //!   ([`ServiceRuntime`](crate::service::ServiceRuntime)), a checksummed
 //!   binary wire protocol with in-proc/unix clients
 //!   ([`WireClient`](crate::service::WireClient)), admission control and
-//!   load shedding, checkpoint/restore, and a durable per-shard op
+//!   load shedding, checkpoint/restore, a durable per-shard op
 //!   journal with crash recovery
-//!   ([`SessionService::recover`](crate::service::SessionService::recover)).
+//!   ([`SessionService::recover`](crate::service::SessionService::recover)),
+//!   and journal-shipping replication to deterministic warm standbys
+//!   with failover promotion
+//!   ([`JournalShipper`](crate::service::JournalShipper) /
+//!   [`Follower`](crate::service::Follower)).
 //!
 //! ## Quickstart
 //!
@@ -87,10 +91,12 @@ pub mod prelude {
     };
     pub use relperf_parallel::{parallel_map_indexed, parallel_map_indexed_with, Parallelism};
     pub use relperf_service::{
-        ClientError, CrashPoint, FileJournalStore, JournalConfig, JournalStore, MemJournalStore,
-        OpOutcome, OpResponse, RecoveryError, RecoveryReport, RetryPolicy, RuntimeConfig,
-        RuntimeError, ServiceCampaign, ServiceError, ServiceLimits, ServiceRuntime, ServiceStats,
-        SessionOp, SessionService, SessionSpec, SessionStatus, WireClient, WireError,
+        ClientError, CrashPoint, FileJournalStore, Follower, InProcTransport, JournalConfig,
+        JournalShipper, JournalStore, MemJournalStore, OpOutcome, OpResponse, PromotionReport,
+        PumpReport, RecoveryError, RecoveryReport, ReplicaState, ReplicationError, RetryPolicy,
+        RuntimeConfig, RuntimeError, SegmentTransport, ServiceCampaign, ServiceError,
+        ServiceLimits, ServiceRuntime, ServiceStats, SessionOp, SessionService, SessionSpec,
+        SessionStatus, ShipperConfig, WireClient, WireError,
     };
     pub use relperf_sim::presets;
     pub use relperf_sim::{Loc, Platform, Task};

@@ -137,9 +137,85 @@ pub fn rls_task(size: usize, iters: usize) -> u64 {
     (iters as u64) * rls_iteration(size)
 }
 
+/// FLOPs of a CSR sparse matrix–vector product with `nnz` stored entries:
+/// `2·nnz` (one fused multiply-add per entry).
+///
+/// Shared by [`crate::sparse::CsrMatrix::spmv`] and the simulator's sparse
+/// task models — same contract as [`gemm`] for the dense paths. Note what
+/// is *not* here: SpMV performs ~`2·nnz` FLOPs while touching
+/// [`spmv_bytes`] bytes, an arithmetic intensity of roughly 1/8 FLOP per
+/// byte, which is why the sparse family is priced by memory traffic, not
+/// FLOPs, on any device with a working-set roofline.
+pub fn spmv(nnz: usize) -> u64 {
+    2 * nnz as u64
+}
+
+/// FLOPs of one sparse triangular solve (forward or backward substitution)
+/// on an `n x n` CSR factor with `nnz` stored entries including the
+/// diagonal: `2·(nnz − n)` fused multiply-subtracts on the off-diagonal
+/// entries plus `n` divisions.
+pub fn sptrsv(n: usize, nnz: usize) -> u64 {
+    2 * (nnz as u64 - n as u64) + n as u64
+}
+
+/// FLOPs of one Jacobi sweep on an `n x n` CSR matrix with `nnz` stored
+/// entries including the diagonal: `2·(nnz − n)` off-diagonal fused
+/// multiply-subtracts, `n` divisions by the diagonal, and `n`
+/// update-delta subtractions for the convergence test — which telescopes
+/// to exactly `2·nnz`.
+pub fn jacobi_iter(n: usize, nnz: usize) -> u64 {
+    2 * (nnz as u64 - n as u64) + 2 * n as u64
+}
+
+/// FLOPs of one Conjugate-Gradient iteration on an `n x n` SPD CSR matrix
+/// with `nnz` stored entries: the SpMV `q = A·p` ([`spmv`]), two dot
+/// products and three fused vector updates (`2·n` each), one residual
+/// square root, and two scalar divisions — `2·nnz + 10·n + 3`.
+///
+/// The one-time setup (`r = b`, `rz = rᵀr`) costs a further `2·n` and is
+/// excluded; multiply by the iteration count for a whole solve, as
+/// [`crate::sparse::CsrMatrix::cg_fixed`]'s deterministic pricing does.
+pub fn cg_iter(n: usize, nnz: usize) -> u64 {
+    spmv(nnz) + 10 * n as u64 + 3
+}
+
 /// Bytes of one dense `rows x cols` `f64` matrix.
 pub fn matrix_bytes(rows: usize, cols: usize) -> u64 {
     8 * (rows as u64) * (cols as u64)
+}
+
+/// In-memory bytes of a `rows`-row CSR matrix with `nnz` stored entries:
+/// `8·nnz` values + `8·nnz` column indices + `8·(rows + 1)` row offsets
+/// (this crate stores indices as `usize`, 8 bytes on every supported
+/// target).
+///
+/// This is the **bytes-moved model** for the sparse kernels: one SpMV
+/// streams the whole structure exactly once, so where the dense tasks feed
+/// [`matrix_bytes`] working sets into the simulator's roofline, the sparse
+/// tasks feed `csr_bytes`-derived traffic — a sparse task's price is set by
+/// this number, not by its (tiny) FLOP count.
+pub fn csr_bytes(rows: usize, nnz: usize) -> u64 {
+    16 * nnz as u64 + 8 * (rows as u64 + 1)
+}
+
+/// Bytes moved by one SpMV `y = A·x` on a `rows x cols` CSR matrix with
+/// `nnz` entries: the CSR structure streams once ([`csr_bytes`]), `x` is
+/// read (`8·cols`, counting each element once — the streaming-friendly
+/// lower bound; a cache-hostile column pattern can re-read up to `8·nnz`),
+/// and `y` is written (`8·rows`).
+pub fn spmv_bytes(rows: usize, cols: usize, nnz: usize) -> u64 {
+    csr_bytes(rows, nnz) + 8 * (cols as u64) + 8 * (rows as u64)
+}
+
+/// Bytes moved by one CG iteration on an `n x n` CSR matrix with `nnz`
+/// entries: the SpMV streams the matrix once ([`csr_bytes`]), and the
+/// dense vector work makes 14 length-`n` sweeps — SpMV reads `p` and
+/// writes `q` (2), `pᵀq` reads both (2), the `x` and `r` updates
+/// read-modify-write against a second stream (3 each), `rᵀr` re-reads `r`
+/// (1), and the direction update `p ← r + β·p` is another
+/// read-modify-write (3).
+pub fn cg_iter_bytes(n: usize, nnz: usize) -> u64 {
+    csr_bytes(n, nnz) + 14 * 8 * n as u64
 }
 
 /// Bytes that must cross the device link per `MathTask` iteration when the
@@ -226,6 +302,73 @@ mod tests {
         let formula = lu(n);
         let err = (formula as f64 - count as f64).abs() / count as f64;
         assert!(err < 0.05, "lu: formula {formula} vs counted {count}");
+    }
+
+    /// Pins the sparse closed forms against instrumented replicas of the
+    /// CSR kernel loops, exact to the operation — same exercise as
+    /// `formulas_match_counted_naive_loops`, on a synthetic pattern with
+    /// ragged rows (including an empty one).
+    #[test]
+    fn sparse_formulas_match_counted_loops() {
+        // A 6x6 pattern: per-row off-diagonal counts 0..=4, diagonal always
+        // present ⇒ n = 6, nnz = 6 + (0+1+2+3+4+0) = 16.
+        let n = 6usize;
+        let offdiag = [0usize, 1, 2, 3, 4, 0];
+        let nnz = n + offdiag.iter().sum::<usize>();
+
+        // spmv: one fused multiply-add = 2 FLOPs per stored entry.
+        let mut count = 0u64;
+        for &k in &offdiag {
+            for _ in 0..(k + 1) {
+                count += 2;
+            }
+        }
+        assert_eq!(count, spmv(nnz));
+
+        // sptrsv: per row, one fused multiply-subtract per off-diagonal
+        // entry and one division by the diagonal.
+        let mut count = 0u64;
+        for &k in &offdiag {
+            count += 2 * k as u64 + 1;
+        }
+        assert_eq!(count, sptrsv(n, nnz));
+
+        // jacobi sweep: off-diagonal fused ops + diagonal divide + the
+        // |x' − x| convergence subtraction per element.
+        let mut count = 0u64;
+        for &k in &offdiag {
+            count += 2 * k as u64; // fused multiply-subtracts
+            count += 1; // divide by the diagonal
+            count += 1; // update-delta subtraction
+        }
+        assert_eq!(count, jacobi_iter(n, nnz));
+
+        // cg iteration, step by step as `CsrMatrix::cg` executes it.
+        let mut count = 0u64;
+        count += spmv(nnz); // q = A·p
+        count += 2 * n as u64; // pᵀq
+        count += 1; // α = rz / pᵀq
+        count += 2 * n as u64; // x ← x + α·p
+        count += 2 * n as u64; // r ← r − α·q
+        count += 2 * n as u64; // rᵀr
+        count += 1; // residual sqrt
+        count += 1; // β = rz'/rz
+        count += 2 * n as u64; // p ← r + β·p
+        assert_eq!(count, cg_iter(n, nnz));
+    }
+
+    #[test]
+    fn sparse_bytes_model() {
+        // 8-byte values, 8-byte indices, rows+1 offsets.
+        assert_eq!(csr_bytes(3, 10), 16 * 10 + 8 * 4);
+        // SpMV adds one x read and one y write per element.
+        assert_eq!(spmv_bytes(3, 5, 10), csr_bytes(3, 10) + 8 * 5 + 8 * 3);
+        // CG adds 14 dense sweeps over length-n vectors.
+        assert_eq!(cg_iter_bytes(4, 10), csr_bytes(4, 10) + 14 * 8 * 4);
+        // The family is bandwidth-bound: arithmetic intensity below 1
+        // FLOP/byte wherever the pattern is actually sparse.
+        let (n, nnz) = (1000, 5000);
+        assert!((spmv(nnz) as f64) < spmv_bytes(n, n, nnz) as f64);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   to solve the paper's Regularized Least Squares (RLS) task.
 //! * [`rls`] — the RLS solver `Z = (AᵀA + λI)⁻¹ AᵀB` (Procedure 6 of the
 //!   paper) with both a normal-equations/Cholesky path and a QR path.
+//! * [`sparse`] — the bandwidth-bound family: COO assembly, a [`CsrMatrix`]
+//!   with SpMV and sparse triangular solves, and deterministic Jacobi /
+//!   Conjugate-Gradient solvers, all pinned against the dense oracles.
 //! * [`flops`] — exact floating-point-operation counts for every kernel,
 //!   consumed by the simulator's energy model.
 //!
@@ -33,6 +36,7 @@ pub mod matrix;
 pub mod qr;
 pub mod random;
 pub mod rls;
+pub mod sparse;
 pub mod strassen;
 pub mod svd;
 pub mod triangular;
@@ -40,6 +44,7 @@ pub mod triangular;
 pub use engine::KernelEngine;
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
+pub use sparse::{CooMatrix, CsrMatrix, IterSolve, SparseError};
 pub use relperf_parallel::Parallelism;
 
 /// Default tolerance used by tests and debug assertions when comparing

@@ -95,6 +95,63 @@ impl Task {
         }
     }
 
+    /// A sparse matrix–vector product loop on an `n x n` CSR matrix with
+    /// `nnz` stored entries — the simulator's entry into the
+    /// **bandwidth-bound** regime.
+    ///
+    /// FLOPs come from [`relperf_linalg::flops::spmv`]; the working set is
+    /// the kernel's *actual byte traffic*
+    /// ([`relperf_linalg::flops::spmv_bytes`]: the CSR structure streams
+    /// once per product, plus the dense vectors), so on a device with a
+    /// working-set roofline the task is throttled by the bytes it moves,
+    /// not by its (tiny) FLOP count. When offloaded, the CSR arrays and
+    /// `x` cross the link each iteration and `y` returns.
+    pub fn spmv_loop(name: &str, n: usize, nnz: usize, iters: usize) -> Task {
+        let csr = relperf_linalg::flops::csr_bytes(n, nnz);
+        let vec_bytes = 8 * n as u64;
+        Task {
+            name: name.to_string(),
+            iterations: iters as u64,
+            flops_per_iter: relperf_linalg::flops::spmv(nnz),
+            offload_bytes_per_iter: csr + vec_bytes,
+            return_bytes_per_iter: vec_bytes,
+            working_set_bytes: relperf_linalg::flops::spmv_bytes(n, n, nnz),
+            handoff_bytes: 8,
+        }
+    }
+
+    /// A Conjugate-Gradient solve loop on an `n x n` SPD CSR system with
+    /// `nnz` stored entries, running exactly `cg_iters` CG iterations per
+    /// loop iteration — the simulated counterpart of
+    /// [`relperf_linalg::sparse::CsrMatrix::cg_fixed`], whose fixed
+    /// iteration count is what makes this price deterministic.
+    ///
+    /// FLOPs are `cg_iters ·` [`relperf_linalg::flops::cg_iter`]; the
+    /// working set is the solve's cumulative byte traffic (`cg_iters ·`
+    /// [`relperf_linalg::flops::cg_iter_bytes`]), the bandwidth-bound
+    /// pricing described on [`Task::spmv_loop`]. When offloaded, the
+    /// assembled system (CSR + right-hand side) crosses the link each
+    /// iteration and the solution vector returns.
+    pub fn cg_solve_loop(
+        name: &str,
+        n: usize,
+        nnz: usize,
+        cg_iters: usize,
+        iters: usize,
+    ) -> Task {
+        let csr = relperf_linalg::flops::csr_bytes(n, nnz);
+        let vec_bytes = 8 * n as u64;
+        Task {
+            name: name.to_string(),
+            iterations: iters as u64,
+            flops_per_iter: cg_iters as u64 * relperf_linalg::flops::cg_iter(n, nnz),
+            offload_bytes_per_iter: csr + vec_bytes,
+            return_bytes_per_iter: vec_bytes,
+            working_set_bytes: cg_iters as u64 * relperf_linalg::flops::cg_iter_bytes(n, nnz),
+            handoff_bytes: 8,
+        }
+    }
+
     /// The Strassen variant of [`Task::gemm_loop`]: mathematically the
     /// same product, different FLOP count
     /// ([`relperf_linalg::flops::strassen`]) and a padded working set —
@@ -198,6 +255,30 @@ mod tests {
         assert_eq!(strassen.offload_bytes_per_iter, classical.offload_bytes_per_iter);
         assert!(strassen.flops_per_iter < classical.flops_per_iter);
         assert!(strassen.working_set_bytes >= classical.working_set_bytes);
+    }
+
+    #[test]
+    fn sparse_loops_are_priced_by_traffic_not_flops() {
+        use relperf_linalg::flops;
+        let (n, nnz) = (2_000, 18_000);
+        let spmv = Task::spmv_loop("SpMV", n, nnz, 4);
+        assert_eq!(spmv.flops_per_iter, flops::spmv(nnz));
+        assert_eq!(spmv.working_set_bytes, flops::spmv_bytes(n, n, nnz));
+        // The bandwidth-bound signature: well below 1 FLOP per working-set
+        // byte, where the dense gemm loop sits far above it.
+        assert!(spmv.flops_per_iter < spmv.working_set_bytes);
+        let dense = Task::gemm_loop("G", 300, 4);
+        assert!(dense.flops_per_iter > dense.working_set_bytes);
+
+        let cg = Task::cg_solve_loop("CG", n, nnz, 50, 4);
+        assert_eq!(cg.flops_per_iter, 50 * flops::cg_iter(n, nnz));
+        assert_eq!(cg.working_set_bytes, 50 * flops::cg_iter_bytes(n, nnz));
+        // Offload ships the assembled system + rhs; the solution returns.
+        assert_eq!(
+            cg.offload_bytes_per_iter,
+            flops::csr_bytes(n, nnz) + 8 * n as u64
+        );
+        assert_eq!(cg.return_bytes_per_iter, 8 * n as u64);
     }
 
     #[test]

@@ -60,6 +60,30 @@ impl Experiment {
         }
     }
 
+    /// The FEM-extended Table I experiment: the three dense `MathTask`s
+    /// plus the sparse FEM assembly/solve task
+    /// ([`FemScenario::table1`](crate::fem::FemScenario::table1), labelled
+    /// `L4`) on the [same calibration](relperf_sim::presets::table1_fem_platform)
+    /// — 4 tasks, 16 placements.
+    ///
+    /// The dense tasks are compute-priced and the FEM task is priced by
+    /// its solver's *byte traffic*, so the accelerator's roofline
+    /// throttles every placement that offloads it: the sparse workload
+    /// lands in its own relative-performance class instead of shadowing
+    /// the dense ones.
+    pub fn table1_fem(iters: usize) -> Self {
+        let mut tasks = crate::scientific_code::tasks(iters);
+        tasks.push(crate::fem::FemScenario::table1().simulated_task("L4", iters));
+        Experiment {
+            platform: relperf_sim::presets::table1_fem_platform(),
+            tasks,
+            placements: relperf_sim::enumerate_placements(4)
+                .into_iter()
+                .map(|p| (relperf_sim::placement_label(&p), p))
+                .collect(),
+        }
+    }
+
     /// Labels of all placements, in order.
     pub fn labels(&self) -> Vec<String> {
         self.placements.iter().map(|(l, _)| l.clone()).collect()
@@ -322,6 +346,118 @@ mod tests {
                 .map(|r| reference.score(alg, r))
                 .sum();
             assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn table1_fem_experiment_shape() {
+        let e = Experiment::table1_fem(2);
+        assert_eq!(e.tasks.len(), 4);
+        assert_eq!(e.placements.len(), 16);
+        assert_eq!(e.tasks[3].name, "L4");
+        assert_eq!(e.labels()[0], "DDDD");
+        assert_eq!(e.labels()[15], "AAAA");
+    }
+
+    #[test]
+    fn offloading_fem_always_loses_noiselessly() {
+        // The FEM solve's byte traffic throttles the accelerator far below
+        // the edge device's rate, so for *every* dense prefix the
+        // placement that offloads L4 must be noiselessly slower than its
+        // device-side twin.
+        let e = Experiment::table1_fem(2);
+        for prefix in ["DDD", "DDA", "DAD", "DAA", "ADD", "ADA", "AAD", "AAA"] {
+            let time = |label: String| {
+                let (_, p) = e
+                    .placements
+                    .iter()
+                    .find(|(l, _)| *l == label)
+                    .unwrap();
+                e.platform.execute_noiseless(&e.tasks, p).total_time_s
+            };
+            let on_device = time(format!("{prefix}D"));
+            let on_accel = time(format!("{prefix}A"));
+            assert!(
+                on_accel > 1.15 * on_device,
+                "{prefix}: A {on_accel} vs D {on_device}"
+            );
+        }
+    }
+
+    #[test]
+    fn fem_clustering_puts_sparse_offload_in_a_worse_class() {
+        // Table-I-style clustering over the 16 FEM-extended placements:
+        // every `…A` placement (FEM offloaded) must rank strictly worse
+        // than its `…D` twin — the sparse workload forms its own
+        // relative-performance classes rather than shadowing the dense
+        // structure.
+        use relperf_measure::compare::{BootstrapComparator, BootstrapConfig};
+        let e = Experiment::table1_fem(2);
+        let measured = measure_all_seeded(&e, 40, 17, Parallelism::auto());
+        let comparator = BootstrapComparator::with_config(
+            5,
+            BootstrapConfig {
+                reps: 20,
+                ..Default::default()
+            },
+        );
+        let table = cluster_measurements_seeded(
+            &measured,
+            &comparator,
+            ClusterConfig::with_repetitions(40),
+            19,
+        );
+        let clustering = table.final_assignment();
+        let rank = |label: String| {
+            let i = measured.iter().position(|m| m.label == label).unwrap();
+            clustering.assignment(i).rank
+        };
+        for prefix in ["DDD", "DDA", "DAD", "DAA", "ADD", "ADA", "AAD", "AAA"] {
+            assert!(
+                rank(format!("{prefix}A")) > rank(format!("{prefix}D")),
+                "{prefix}: offloaded FEM must rank worse"
+            );
+        }
+    }
+
+    #[test]
+    fn fem_pipeline_bit_identical_across_parallelism() {
+        use relperf_measure::compare::{BootstrapComparator, BootstrapConfig};
+        let e = Experiment::table1_fem(2);
+        let serial = measure_all_seeded(&e, 15, 23, Parallelism::serial());
+        let comparator = BootstrapComparator::with_config(
+            7,
+            BootstrapConfig {
+                reps: 10,
+                ..Default::default()
+            },
+        );
+        let reference = cluster_measurements_seeded(
+            &serial,
+            &comparator,
+            ClusterConfig {
+                repetitions: 40,
+                parallelism: Parallelism::serial(),
+                ..Default::default()
+            },
+            29,
+        );
+        for threads in [0usize, 2, 7] {
+            let par = measure_all_seeded(&e, 15, 23, Parallelism::with_threads(threads));
+            for (x, y) in par.iter().zip(&serial) {
+                assert_eq!(x.sample.values(), y.sample.values(), "label {}", x.label);
+            }
+            let table = cluster_measurements_seeded(
+                &par,
+                &comparator,
+                ClusterConfig {
+                    repetitions: 40,
+                    parallelism: Parallelism::with_threads(threads),
+                    ..Default::default()
+                },
+                29,
+            );
+            assert_eq!(table, reference, "threads = {threads}");
         }
     }
 

@@ -7,6 +7,10 @@
 //!   split between device and accelerator (4 algorithms DD/DA/AD/AA).
 //! * [`scientific_code`] — the Sec. IV workload (Procedure 5): three
 //!   `MathTask`s of sizes 50/75/300 (8 algorithms, Table I).
+//! * [`fem`] — the sparse workload family's scenario: FEM assembly of a
+//!   Poisson system into CSR (element kernels on the [`mathtask`]
+//!   engines) plus a fixed-iteration CG solve, runnable for real and
+//!   priced for the simulator by FLOPs *and* byte traffic.
 //! * [`experiment`] — glue that measures every placement, clusters the
 //!   distributions, and builds decision-model profiles.
 //! * [`adaptive`] — the streaming loop over that glue: measure in waves,
@@ -19,6 +23,7 @@ pub mod adaptive;
 pub mod digital_twin;
 pub mod experiment;
 pub mod features;
+pub mod fem;
 pub mod mathtask;
 pub mod object_detection;
 pub mod scientific_code;
@@ -28,3 +33,4 @@ pub use adaptive::{
     measure_until_converged_seeded, AdaptiveExperiment, AdaptiveResult, WaveSchedule,
 };
 pub use experiment::{measure_all, profiles, Experiment, MeasuredAlgorithm};
+pub use fem::{FemRun, FemScenario};

@@ -1,0 +1,73 @@
+//! FEM quickstart: run the sparse FEM workload for real, then cluster the
+//! FEM-extended Table I experiment (4 tasks, 16 placements).
+//!
+//! Part 1 assembles and solves the Poisson model problem on this machine
+//! — element stiffness kernels through the blocked engine, scatter into
+//! CSR, fixed-iteration CG — and prints the physics (the converged peak
+//! of `−Δu = 1` on the unit square is ≈ 0.0737).
+//!
+//! Part 2 runs the simulated experiment: the three dense `MathTask`s plus
+//! the FEM task across all 16 device/accelerator placements, clustered
+//! into performance classes. Expect every `…A` placement (FEM offloaded)
+//! to rank below its `…D` twin: the solver's byte traffic throttles the
+//! accelerator's roofline, so the sparse family forms its own classes.
+//!
+//! Run with: `cargo run --release --example fem_quickstart`
+
+use relative_performance::linalg::KernelEngine;
+use relative_performance::prelude::*;
+
+fn main() {
+    // — Part 1: the real workload —
+    let scenario = FemScenario::table1();
+    let run = scenario
+        .run_real_with(KernelEngine::Blocked)
+        .expect("the FEM system is SPD and well-posed");
+    println!(
+        "FEM mesh {}x{}: {} unknowns, {} stored entries",
+        scenario.nx, scenario.ny, run.unknowns, run.nnz
+    );
+    println!(
+        "  CG ran {} iterations, residual {:.3e}, ∫u ≈ {:.5}",
+        run.solve.iterations, run.solve.residual, run.integral_u
+    );
+    println!(
+        "  one solve moves ~{:.1} MB through memory for {:.2} MFLOPs — bandwidth-bound",
+        scenario.solve_traffic_bytes() as f64 / 1e6,
+        scenario.flops_per_iteration() as f64 / 1e6,
+    );
+
+    // — Part 2: the FEM-extended Table I experiment —
+    let experiment = Experiment::table1_fem(2);
+    println!(
+        "\nmeasuring {} placements of {} tasks…",
+        experiment.placements.len(),
+        experiment.tasks.len()
+    );
+    let measured = measure_all_seeded(&experiment, 40, 17, Parallelism::auto());
+    let comparator = BootstrapComparator::new(42);
+    let table = cluster_measurements_seeded(
+        &measured,
+        &comparator,
+        ClusterConfig::with_repetitions(40),
+        19,
+    );
+    let clustering = table.final_assignment();
+
+    println!("performance classes (1 = fastest; 4th letter = FEM placement):");
+    for rank in 1..=clustering.num_classes() {
+        let members: Vec<String> = clustering
+            .class(rank)
+            .iter()
+            .map(|asn| {
+                format!(
+                    "{} ({:.0} ms)",
+                    measured[asn.algorithm].label,
+                    1e3 * measured[asn.algorithm].sample.median()
+                )
+            })
+            .collect();
+        println!("  C{rank}: {}", members.join(", "));
+    }
+    println!("\nevery …A placement offloads the FEM solve and pays the roofline.");
+}

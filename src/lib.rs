@@ -13,7 +13,10 @@
 //! This facade re-exports the five workspace crates:
 //!
 //! * [`linalg`] — dense linear algebra substrate (GEMM, Cholesky/LU/QR,
-//!   the Regularized-Least-Squares `MathTask`, FLOP accounting),
+//!   the Regularized-Least-Squares `MathTask`, FLOP accounting) plus the
+//!   sparse family: CSR/COO, SpMV, sparse triangular solves, and the
+//!   Jacobi/CG iterative solvers, all bit-identity-contracted against
+//!   their dense oracles,
 //! * [`sim`] — the edge-platform simulator (devices, links, noise,
 //!   energy/cost metering, calibrated presets),
 //! * [`measure`] — samples (gallop-merge bulk ingest over a tiered
@@ -25,6 +28,10 @@
 //! * [`workloads`] — the paper's Fig. 1 and Table I experiments end to
 //!   end, batch or adaptive
 //!   ([`measure_until_converged_seeded`](crate::workloads::adaptive::measure_until_converged_seeded)),
+//!   plus the sparse FEM scenario
+//!   ([`FemScenario`](crate::workloads::fem::FemScenario)) and its
+//!   FEM-extended Table I experiment
+//!   ([`Experiment::table1_fem`](crate::workloads::experiment::Experiment::table1_fem)),
 //! * [`service`] — the multi-tenant hosted session service
 //!   ([`SessionService`](crate::service::SessionService)): sharded
 //!   registry with snapshot-on-evict, deterministic batch scheduler,
@@ -89,6 +96,7 @@ pub mod prelude {
         IngestStats, Outcome, QuantileSketch, Sample, Scratch, ScratchThreeWayComparator,
         SeededThreeWayComparator, SketchComparator, SketchConfig, ThreeWayComparator,
     };
+    pub use relperf_linalg::sparse::{CooMatrix, CsrMatrix, IterSolve, SparseError};
     pub use relperf_parallel::{parallel_map_indexed, parallel_map_indexed_with, Parallelism};
     pub use relperf_service::{
         ClientError, CrashPoint, FileJournalStore, Follower, InProcTransport, JournalConfig,
@@ -107,6 +115,7 @@ pub mod prelude {
         cluster_measurements, cluster_measurements_seeded, measure_all, measure_all_seeded,
         profiles, Experiment, MeasuredAlgorithm,
     };
+    pub use relperf_workloads::fem::{FemRun, FemScenario};
 }
 
 #[cfg(test)]
@@ -115,6 +124,8 @@ mod tests {
     fn facade_reexports_are_wired() {
         // Touch one item from each crate to keep the wiring honest.
         let _ = crate::linalg::Matrix::identity(2);
+        let _ = crate::linalg::CsrMatrix::from_dense(&crate::linalg::Matrix::identity(2));
+        let _ = crate::workloads::fem::FemScenario::table1().nnz();
         let _ = crate::measure::Sample::new(vec![1.0]).unwrap();
         let _ = crate::sim::presets::fig1_platform();
         let _ = crate::core::sort::SortState::initial(3);
